@@ -1,0 +1,74 @@
+// Command ycsbbench regenerates the paper's YCSB artifacts: Figures 2–6
+// (latency vs throughput for workloads C, B, A, D, E across Mongo-AS,
+// Mongo-CS, and SQL-CS) and the §3.4.2 load-time comparison, on a
+// scaled-down simulated cluster.
+//
+// Usage:
+//
+//	ycsbbench [-workloads CBADE] [-systems Mongo-AS,Mongo-CS,SQL-CS] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"elephants/internal/core"
+	"elephants/internal/ycsb"
+)
+
+func main() {
+	workloads := flag.String("workloads", "CBADE", "workload letters to run")
+	systems := flag.String("systems", strings.Join(core.Systems, ","), "systems to run")
+	quick := flag.Bool("quick", false, "smaller sweep for a fast demo")
+	records := flag.Int("records-per-node", 0, "records per server node (0 = default)")
+	flag.Parse()
+
+	sc := core.DefaultYCSBScale()
+	if *records > 0 {
+		sc.RecordsPerNode = *records
+	}
+	targets := core.DefaultTargets()
+	var sysList []string
+	for _, s := range strings.Split(*systems, ",") {
+		sysList = append(sysList, strings.TrimSpace(s))
+	}
+
+	fmt.Printf("YCSB: %d server nodes, %d records/node, %d clients (virtual time)\n\n",
+		sc.ServerNodes, sc.RecordsPerNode, sc.Clients)
+
+	figures := []struct {
+		letter  string
+		title   string
+		targets []float64
+		kinds   []ycsb.OpKind
+	}{
+		{"C", "Figure 2. Workload C: 100% reads", targets.C, []ycsb.OpKind{ycsb.OpRead}},
+		{"B", "Figure 3. Workload B: 95% reads, 5% updates", targets.B, []ycsb.OpKind{ycsb.OpUpdate, ycsb.OpRead}},
+		{"A", "Figure 4. Workload A: 50% reads, 50% updates", targets.A, []ycsb.OpKind{ycsb.OpUpdate, ycsb.OpRead}},
+		{"D", "Figure 5. Workload D: 95% reads, 5% appends", targets.D, []ycsb.OpKind{ycsb.OpInsert, ycsb.OpRead}},
+		{"E", "Figure 6. Workload E: 95% scans, 5% appends", targets.E, []ycsb.OpKind{ycsb.OpInsert, ycsb.OpScan}},
+	}
+	for _, fig := range figures {
+		if !strings.Contains(*workloads, fig.letter) {
+			continue
+		}
+		w, _ := ycsb.ByName(fig.letter)
+		tg := fig.targets
+		if *quick {
+			tg = tg[:2]
+		}
+		curves := make(map[string][]core.CurvePoint)
+		for _, system := range sysList {
+			curves[system] = core.RunCurve(system, w, tg, sc)
+		}
+		core.WriteCurve(os.Stdout, fig.title, curves, fig.kinds)
+		fmt.Println()
+	}
+
+	fmt.Println("Load times (§3.4.2, virtual time):")
+	for system, d := range core.RunLoadTimes(sc) {
+		fmt.Printf("  %-10s %v\n", system, d)
+	}
+}

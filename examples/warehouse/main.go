@@ -1,0 +1,60 @@
+// Warehouse: the DSS scenario — load TPC-H into both engines and run
+// the three queries the paper dissects (Q1 scan/agg, Q5 six-way join,
+// Q19 complex predicate join), printing each engine's physical plan
+// decisions alongside the virtual runtimes.
+package main
+
+import (
+	"fmt"
+
+	"elephants/internal/cluster"
+	"elephants/internal/hive"
+	"elephants/internal/pdw"
+	"elephants/internal/sim"
+	"elephants/internal/tpch"
+)
+
+func main() {
+	const targetSF = 1000 // model the 1 TB point
+	db := tpch.Generate(tpch.GenConfig{SF: 0.002, Seed: 1, Random64: true})
+
+	fmt.Printf("TPC-H at modeled SF %d (functional data at SF %g)\n\n", targetSF, db.SF)
+
+	for _, id := range []int{1, 5, 19} {
+		// Hive.
+		hs := sim.New()
+		hcl := cluster.New(hs, cluster.Default16())
+		hw := hive.New(hs, hcl, db, targetSF, hive.DefaultConfig())
+		var hq hive.QueryStats
+		hs.Spawn("hive", func(p *sim.Proc) { hq = hw.RunQuery(p, id) })
+		hs.Run()
+
+		// PDW.
+		ps := sim.New()
+		pcl := cluster.New(ps, cluster.Default16())
+		pw := pdw.New(ps, pcl, db, targetSF, pdw.DefaultConfig())
+		var pq pdw.QueryStats
+		ps.Spawn("pdw", func(p *sim.Proc) { pq = pw.RunQuery(p, id) })
+		ps.Run()
+
+		fmt.Printf("Q%d  (%d answer rows)\n", id, hq.Answer.NumRows())
+		fmt.Printf("  Hive: %v across %d MapReduce jobs\n", hq.Total, len(hq.Jobs))
+		for _, j := range hq.Jobs {
+			strat := string(j.Strategy)
+			if strat == "" {
+				strat = "-"
+			}
+			fmt.Printf("    %-28s %-18s %5d map tasks  map %8s  total %8s\n",
+				j.Name, strat, j.Stats.MapTasks, j.Stats.MapPhase, j.Stats.Total)
+		}
+		fmt.Printf("  PDW:  %v (%.1fx faster)\n", pq.Total, float64(hq.Total)/float64(pq.Total))
+		for _, st := range pq.Steps {
+			strat := string(st.Strategy)
+			if strat == "" {
+				strat = "-"
+			}
+			fmt.Printf("    %-28s %-18s %10d bytes  %8s\n", st.Kind, strat, st.Bytes, st.Elapsed)
+		}
+		fmt.Println()
+	}
+}

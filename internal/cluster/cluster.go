@@ -1,0 +1,208 @@
+// Package cluster models the hardware testbed of the paper: a rack of
+// nodes with multi-core CPUs, arrays of 10k RPM SAS disks, and 1 Gbit
+// NICs on a shared Ethernet switch, all expressed as sim resources so
+// contention produces queueing delay in virtual time.
+//
+// The default configuration mirrors §3.1 of the paper: 16 (hyper-threaded)
+// cores, 32 GB of memory, 8 data disks per node delivering ~800 MB/s of
+// aggregate sequential bandwidth, and 1 Gbit/s networking.
+package cluster
+
+import (
+	"fmt"
+
+	"elephants/internal/sim"
+)
+
+// Config describes per-node hardware rates. Zero fields are filled with
+// defaults by New.
+type Config struct {
+	Nodes        int          // number of nodes
+	CoresPerNode int          // CPU cores (hyper-threaded count)
+	DisksPerNode int          // data disks
+	SeqMBps      float64      // per-disk sequential bandwidth (MB/s)
+	RandSeek     sim.Duration // per-random-I/O positioning time
+	NetMBps      float64      // per-NIC bandwidth (MB/s)
+	NetRTT       sim.Duration // one-way wire latency for small messages
+	MemoryBytes  int64        // main memory per node
+}
+
+// Default16 returns the paper's 16-node testbed configuration.
+func Default16() Config { return DefaultN(16) }
+
+// DefaultN returns the paper's per-node hardware with n nodes.
+func DefaultN(n int) Config {
+	return Config{
+		Nodes:        n,
+		CoresPerNode: 16,
+		DisksPerNode: 8,
+		SeqMBps:      100,                 // 8 disks ≈ 800 MB/s aggregate
+		RandSeek:     6 * sim.Millisecond, // 10k RPM SAS positioning
+		NetMBps:      125,                 // 1 Gbit/s
+		NetRTT:       100 * sim.Microsecond,
+		MemoryBytes:  32 << 30,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultN(c.Nodes)
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = d.CoresPerNode
+	}
+	if c.DisksPerNode <= 0 {
+		c.DisksPerNode = d.DisksPerNode
+	}
+	if c.SeqMBps <= 0 {
+		c.SeqMBps = d.SeqMBps
+	}
+	if c.RandSeek <= 0 {
+		c.RandSeek = d.RandSeek
+	}
+	if c.NetMBps <= 0 {
+		c.NetMBps = d.NetMBps
+	}
+	if c.NetRTT <= 0 {
+		c.NetRTT = d.NetRTT
+	}
+	if c.MemoryBytes <= 0 {
+		c.MemoryBytes = d.MemoryBytes
+	}
+	return c
+}
+
+// Cluster is a set of simulated nodes.
+type Cluster struct {
+	Sim    *sim.Sim
+	Config Config
+	Nodes  []*Node
+}
+
+// New builds a cluster on the given simulator.
+func New(s *sim.Sim, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{Sim: s, Config: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.Nodes = append(c.Nodes, newNode(s, i, cfg))
+	}
+	return c
+}
+
+// Node is one simulated machine.
+type Node struct {
+	ID    int
+	CPU   *sim.Resource
+	NIC   *sim.Resource
+	Disks []*Disk
+	cfg   Config
+}
+
+func newNode(s *sim.Sim, id int, cfg Config) *Node {
+	n := &Node{
+		ID:  id,
+		CPU: s.NewResource(fmt.Sprintf("node%d.cpu", id), cfg.CoresPerNode),
+		NIC: s.NewResource(fmt.Sprintf("node%d.nic", id), 1),
+		cfg: cfg,
+	}
+	for d := 0; d < cfg.DisksPerNode; d++ {
+		n.Disks = append(n.Disks, &Disk{
+			res:     s.NewResource(fmt.Sprintf("node%d.disk%d", id, d), 1),
+			seqMBps: cfg.SeqMBps,
+			seek:    cfg.RandSeek,
+		})
+	}
+	return n
+}
+
+// Disk models one spindle: sequential transfers at SeqMBps, random I/Os
+// paying a positioning time first. All requests queue FIFO.
+type Disk struct {
+	res     *sim.Resource
+	seqMBps float64
+	seek    sim.Duration
+}
+
+// transferTime converts a byte count to transfer duration at the
+// sequential rate.
+func (d *Disk) transferTime(bytes int64) sim.Duration {
+	return sim.Seconds(float64(bytes) / (d.seqMBps * 1e6))
+}
+
+// ReadRand performs one random read of the given size.
+func (d *Disk) ReadRand(p *sim.Proc, bytes int64) {
+	d.res.Use(p, d.seek+d.transferTime(bytes))
+}
+
+// WriteRand performs one random write of the given size.
+func (d *Disk) WriteRand(p *sim.Proc, bytes int64) {
+	d.res.Use(p, d.seek+d.transferTime(bytes))
+}
+
+// ReadSeq performs a sequential read of the given size.
+func (d *Disk) ReadSeq(p *sim.Proc, bytes int64) {
+	d.res.Use(p, d.transferTime(bytes))
+}
+
+// WriteSeq performs a sequential write of the given size.
+func (d *Disk) WriteSeq(p *sim.Proc, bytes int64) {
+	d.res.Use(p, d.transferTime(bytes))
+}
+
+// SeqTime reports the service time for a sequential transfer of the given
+// size without performing it (used by aggregate cost paths).
+func (d *Disk) SeqTime(bytes int64) sim.Duration { return d.transferTime(bytes) }
+
+// BusyTime reports cumulative busy time of the spindle.
+func (d *Disk) BusyTime() sim.Duration { return d.res.BusyTime() }
+
+// Disk returns the disk a key hashes to, spreading random I/O across the
+// array the way striping does.
+func (n *Node) Disk(key uint64) *Disk {
+	return n.Disks[key%uint64(len(n.Disks))]
+}
+
+// ReadSeqStriped reads bytes sequentially across all disks in parallel
+// (RAID-0-like): each disk transfers its stripe share concurrently, so
+// the elapsed time is that of one disk reading bytes/len(disks).
+func (n *Node) ReadSeqStriped(p *sim.Proc, bytes int64) {
+	share := bytes / int64(len(n.Disks))
+	if share <= 0 {
+		share = bytes
+	}
+	n.Disks[0].ReadSeq(p, share)
+}
+
+// WriteSeqStriped writes bytes sequentially across all disks in parallel.
+func (n *Node) WriteSeqStriped(p *sim.Proc, bytes int64) {
+	share := bytes / int64(len(n.Disks))
+	if share <= 0 {
+		share = bytes
+	}
+	n.Disks[0].WriteSeq(p, share)
+}
+
+// Compute occupies one CPU core for d.
+func (n *Node) Compute(p *sim.Proc, d sim.Duration) { n.CPU.Use(p, d) }
+
+// Send models a network transfer of the given size from node n to dst:
+// the bytes serialize through the sender's NIC and then the receiver's,
+// plus wire latency. Small control messages can pass bytes=0 to pay RTT
+// only.
+func (n *Node) Send(p *sim.Proc, dst *Node, bytes int64) {
+	t := sim.Seconds(float64(bytes) / (n.cfg.NetMBps * 1e6))
+	n.NIC.Use(p, t)
+	p.Sleep(n.cfg.NetRTT)
+	if dst != n {
+		dst.NIC.Use(p, t)
+	}
+}
+
+// NetTime reports the unloaded service time to move bytes across one NIC.
+func (n *Node) NetTime(bytes int64) sim.Duration {
+	return sim.Seconds(float64(bytes) / (n.cfg.NetMBps * 1e6))
+}
+
+// Memory reports the node's main-memory size in bytes.
+func (n *Node) Memory() int64 { return n.cfg.MemoryBytes }

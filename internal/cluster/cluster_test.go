@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+
+	"elephants/internal/sim"
+)
+
+func TestDefaultsFill(t *testing.T) {
+	c := Config{Nodes: 4}.withDefaults()
+	if c.CoresPerNode != 16 || c.DisksPerNode != 8 || c.SeqMBps != 100 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestNewBuildsNodes(t *testing.T) {
+	s := sim.New()
+	cl := New(s, Config{Nodes: 3})
+	if len(cl.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(cl.Nodes))
+	}
+	if len(cl.Nodes[0].Disks) != 8 {
+		t.Errorf("disks = %d, want 8", len(cl.Nodes[0].Disks))
+	}
+}
+
+func TestSeqReadTime(t *testing.T) {
+	s := sim.New()
+	cl := New(s, Config{Nodes: 1})
+	n := cl.Nodes[0]
+	var elapsed sim.Time
+	s.Spawn("r", func(p *sim.Proc) {
+		n.Disks[0].ReadSeq(p, 100*1000*1000) // 100 MB at 100 MB/s = 1 s
+		elapsed = p.Now()
+	})
+	s.Run()
+	if elapsed != sim.Time(sim.Second) {
+		t.Errorf("100MB seq read took %v, want 1s", sim.Duration(elapsed))
+	}
+}
+
+func TestRandReadPaysSeek(t *testing.T) {
+	s := sim.New()
+	cl := New(s, Config{Nodes: 1})
+	n := cl.Nodes[0]
+	var elapsed sim.Duration
+	s.Spawn("r", func(p *sim.Proc) {
+		start := p.Now()
+		n.Disks[0].ReadRand(p, 8192)
+		elapsed = sim.Duration(p.Now() - start)
+	})
+	s.Run()
+	if elapsed <= 6*sim.Millisecond {
+		t.Errorf("random read took %v, want > seek time 6ms", elapsed)
+	}
+	if elapsed > 7*sim.Millisecond {
+		t.Errorf("8KB random read took %v, unreasonably long", elapsed)
+	}
+}
+
+func TestStripedReadUsesAllDisks(t *testing.T) {
+	s := sim.New()
+	cl := New(s, Config{Nodes: 1})
+	n := cl.Nodes[0]
+	var elapsed sim.Duration
+	s.Spawn("r", func(p *sim.Proc) {
+		start := p.Now()
+		n.ReadSeqStriped(p, 800*1000*1000) // 800 MB / 8 disks = 1 s
+		elapsed = sim.Duration(p.Now() - start)
+	})
+	s.Run()
+	if elapsed != sim.Second {
+		t.Errorf("striped 800MB read took %v, want 1s", elapsed)
+	}
+}
+
+func TestDiskContentionQueues(t *testing.T) {
+	s := sim.New()
+	cl := New(s, Config{Nodes: 1})
+	n := cl.Nodes[0]
+	done := make([]sim.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Spawn("r", func(p *sim.Proc) {
+			n.Disks[0].ReadSeq(p, 100*1000*1000)
+			done[i] = p.Now()
+		})
+	}
+	s.Run()
+	if done[1] != sim.Time(2*sim.Second) {
+		t.Errorf("second contended read finished at %v, want 2s", sim.Duration(done[1]))
+	}
+}
+
+func TestSendChargesBothNICs(t *testing.T) {
+	s := sim.New()
+	cl := New(s, Config{Nodes: 2, NetRTT: sim.Millisecond})
+	var elapsed sim.Duration
+	s.Spawn("tx", func(p *sim.Proc) {
+		start := p.Now()
+		cl.Nodes[0].Send(p, cl.Nodes[1], 125*1000*1000) // 1 s per NIC at 125 MB/s
+		elapsed = sim.Duration(p.Now() - start)
+	})
+	s.Run()
+	want := 2*sim.Second + sim.Millisecond
+	if elapsed != want {
+		t.Errorf("transfer took %v, want %v", elapsed, want)
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	s := sim.New()
+	cl := New(s, Config{Nodes: 1, NetRTT: sim.Millisecond})
+	var elapsed sim.Duration
+	s.Spawn("tx", func(p *sim.Proc) {
+		start := p.Now()
+		cl.Nodes[0].Send(p, cl.Nodes[0], 125*1000*1000)
+		elapsed = sim.Duration(p.Now() - start)
+	})
+	s.Run()
+	want := sim.Second + sim.Millisecond
+	if elapsed != want {
+		t.Errorf("self transfer took %v, want %v (one NIC pass)", elapsed, want)
+	}
+}
+
+func TestDiskHashStable(t *testing.T) {
+	s := sim.New()
+	cl := New(s, Config{Nodes: 1})
+	n := cl.Nodes[0]
+	if n.Disk(42) != n.Disk(42) {
+		t.Error("Disk(key) must be stable")
+	}
+}
+
+func TestComputeUsesCores(t *testing.T) {
+	s := sim.New()
+	cl := New(s, Config{Nodes: 1, CoresPerNode: 2})
+	n := cl.Nodes[0]
+	for i := 0; i < 4; i++ {
+		s.Spawn("c", func(p *sim.Proc) { n.Compute(p, sim.Second) })
+	}
+	if end := s.Run(); end != sim.Time(2*sim.Second) {
+		t.Errorf("4 jobs on 2 cores ended at %v, want 2s", sim.Duration(end))
+	}
+}

@@ -1,0 +1,332 @@
+package docstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"elephants/internal/cluster"
+	"elephants/internal/sim"
+)
+
+func TestBSONRoundTripBasic(t *testing.T) {
+	d := NewDoc(
+		Field{"_id", "user42"},
+		Field{"age", int64(7)},
+		Field{"score", 3.5},
+		Field{"blob", []byte{1, 2, 3}},
+	)
+	got, err := Unmarshal(Marshal(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Fatalf("fields = %d, want 4", got.Len())
+	}
+	if v, _ := got.Get("_id"); v.(string) != "user42" {
+		t.Errorf("_id = %v", v)
+	}
+	if v, _ := got.Get("age"); v.(int64) != 7 {
+		t.Errorf("age = %v", v)
+	}
+	if v, _ := got.Get("score"); v.(float64) != 3.5 {
+		t.Errorf("score = %v", v)
+	}
+	if v, _ := got.Get("blob"); !bytes.Equal(v.([]byte), []byte{1, 2, 3}) {
+		t.Errorf("blob = %v", v)
+	}
+}
+
+func TestBSONNestedDoc(t *testing.T) {
+	d := NewDoc(Field{"inner", NewDoc(Field{"x", int64(1)})})
+	got, err := Unmarshal(Marshal(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, _ := got.Get("inner")
+	v, _ := inner.(*Doc).Get("x")
+	if v.(int64) != 1 {
+		t.Errorf("inner.x = %v", v)
+	}
+}
+
+func TestBSONPreservesFieldOrder(t *testing.T) {
+	d := NewDoc(Field{"z", "1"}, Field{"a", "2"}, Field{"m", "3"})
+	got, _ := Unmarshal(Marshal(d))
+	order := []string{"z", "a", "m"}
+	for i, f := range got.Fields {
+		if f.Key != order[i] {
+			t.Errorf("field %d = %q, want %q", i, f.Key, order[i])
+		}
+	}
+}
+
+func TestBSONErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil input should fail")
+	}
+	if _, err := Unmarshal([]byte{9, 0, 0, 0, 1}); err == nil {
+		t.Error("bad length should fail")
+	}
+	good := Marshal(NewDoc(Field{"a", "b"}))
+	bad := append([]byte{}, good...)
+	bad[len(bad)-1] = 1
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("missing terminator should fail")
+	}
+}
+
+func TestBSONStringRoundTripProperty(t *testing.T) {
+	f := func(key0 string, vals []string) bool {
+		d := &Doc{}
+		for i, v := range vals {
+			d.Set(fmt.Sprintf("f%d", i), v)
+		}
+		got, err := Unmarshal(Marshal(d))
+		if err != nil {
+			return false
+		}
+		if got.Len() != d.Len() {
+			return false
+		}
+		for i := range d.Fields {
+			if got.Fields[i].Key != d.Fields[i].Key || got.Fields[i].Val != d.Fields[i].Val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDocSetReplaces(t *testing.T) {
+	d := NewDoc(Field{"a", "1"})
+	d.Set("a", "2")
+	if d.Len() != 1 {
+		t.Errorf("len = %d, want 1", d.Len())
+	}
+	if v, _ := d.Get("a"); v.(string) != "2" {
+		t.Errorf("a = %v", v)
+	}
+}
+
+func newTestMongod(cfg Config) (*sim.Sim, *Mongod) {
+	s := sim.New()
+	cl := cluster.New(s, cluster.Config{Nodes: 1})
+	return s, NewMongod(s, cl.Nodes[0], cfg)
+}
+
+func ycsbDoc(id string) *Doc {
+	d := NewDoc(Field{"_id", id})
+	for i := 0; i < 10; i++ {
+		d.Set(fmt.Sprintf("field%d", i), string(make([]byte, 100)))
+	}
+	return d
+}
+
+func TestMongodInsertFind(t *testing.T) {
+	s, m := newTestMongod(Config{})
+	var got *Doc
+	var err error
+	s.Spawn("c", func(p *sim.Proc) {
+		if err = m.Insert(p, ycsbDoc("user1")); err != nil {
+			return
+		}
+		got, err = m.FindByID(p, "user1")
+	})
+	s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Get("_id"); v.(string) != "user1" {
+		t.Errorf("_id = %v", v)
+	}
+}
+
+func TestMongodDuplicateInsert(t *testing.T) {
+	s, m := newTestMongod(Config{})
+	var err error
+	s.Spawn("c", func(p *sim.Proc) {
+		m.Insert(p, ycsbDoc("u"))
+		err = m.Insert(p, ycsbDoc("u"))
+	})
+	s.Run()
+	if err == nil {
+		t.Error("duplicate insert should fail")
+	}
+}
+
+func TestMongodMissingID(t *testing.T) {
+	s, m := newTestMongod(Config{})
+	var err error
+	s.Spawn("c", func(p *sim.Proc) {
+		err = m.Insert(p, NewDoc(Field{"x", "y"}))
+	})
+	s.Run()
+	if err == nil {
+		t.Error("insert without _id should fail")
+	}
+}
+
+func TestMongodUpdateField(t *testing.T) {
+	s, m := newTestMongod(Config{})
+	var got *Doc
+	s.Spawn("c", func(p *sim.Proc) {
+		m.Insert(p, ycsbDoc("u"))
+		m.UpdateByID(p, "u", "field3", "updated")
+		got, _ = m.FindByID(p, "u")
+	})
+	s.Run()
+	if v, _ := got.Get("field3"); v.(string) != "updated" {
+		t.Errorf("field3 = %q", v)
+	}
+}
+
+func TestMongodUpdateMissing(t *testing.T) {
+	s, m := newTestMongod(Config{})
+	var err error
+	s.Spawn("c", func(p *sim.Proc) {
+		err = m.UpdateByID(p, "ghost", "f", "v")
+	})
+	s.Run()
+	if err == nil {
+		t.Error("update of missing doc should fail")
+	}
+}
+
+func TestMongodScanOrdered(t *testing.T) {
+	s, m := newTestMongod(Config{})
+	for i := 0; i < 30; i++ {
+		m.Load(ycsbDoc(fmt.Sprintf("user%03d", i)))
+	}
+	var docs []*Doc
+	s.Spawn("c", func(p *sim.Proc) {
+		docs, _ = m.ScanRange(p, "user010", 5)
+	})
+	s.Run()
+	if len(docs) != 5 {
+		t.Fatalf("scan returned %d docs, want 5", len(docs))
+	}
+	if v, _ := docs[0].Get("_id"); v.(string) != "user010" {
+		t.Errorf("first _id = %v", v)
+	}
+}
+
+func TestGlobalWriteLockBlocksReaders(t *testing.T) {
+	s, m := newTestMongod(Config{})
+	m.Load(ycsbDoc("a"))
+	m.Load(ycsbDoc("b"))
+	// Warm residency so only the lock matters.
+	var readLatency sim.Duration
+	s.Spawn("warm", func(p *sim.Proc) {
+		m.FindByID(p, "a")
+		m.FindByID(p, "b")
+	})
+	s.Spawn("writer", func(p *sim.Proc) {
+		p.Sleep(sim.Second)
+		m.globalLock.AcquireWrite(p)
+		p.Sleep(200 * sim.Millisecond)
+		m.globalLock.ReleaseWrite()
+	})
+	s.Spawn("reader", func(p *sim.Proc) {
+		p.Sleep(sim.Second + sim.Millisecond)
+		t0 := p.Now()
+		m.FindByID(p, "b") // different document — still blocked (global lock)
+		readLatency = sim.Duration(p.Now() - t0)
+	})
+	s.Run()
+	if readLatency < 190*sim.Millisecond {
+		t.Errorf("reader latency %v, want >= ~199ms: global write lock must block unrelated reads", readLatency)
+	}
+}
+
+func TestWriteBusyAccounting(t *testing.T) {
+	s, m := newTestMongod(Config{})
+	m.Load(ycsbDoc("u"))
+	s.Spawn("c", func(p *sim.Proc) {
+		m.UpdateByID(p, "u", "field1", "v")
+	})
+	s.Run()
+	if m.GlobalLock().WriteBusy() <= 0 {
+		t.Error("global lock write busy time should be positive after an update")
+	}
+}
+
+func TestJournalAddsCommitLatency(t *testing.T) {
+	s, m := newTestMongod(Config{Journal: true})
+	m.Load(ycsbDoc("u"))
+	var lat sim.Duration
+	s.Spawn("c", func(p *sim.Proc) {
+		// Warm up residency first.
+		m.FindByID(p, "u")
+		t0 := p.Now()
+		m.UpdateByID(p, "u", "field1", "v")
+		lat = sim.Duration(p.Now() - t0)
+	})
+	s.Run()
+	if lat < JournalFlushInterval {
+		t.Errorf("journaled update latency %v, want >= %v", lat, JournalFlushInterval)
+	}
+}
+
+func TestNoJournalIsFaster(t *testing.T) {
+	s, m := newTestMongod(Config{})
+	m.Load(ycsbDoc("u"))
+	var lat sim.Duration
+	s.Spawn("c", func(p *sim.Proc) {
+		m.FindByID(p, "u")
+		t0 := p.Now()
+		m.UpdateByID(p, "u", "field1", "v")
+		lat = sim.Duration(p.Now() - t0)
+	})
+	s.Run()
+	if lat >= JournalFlushInterval {
+		t.Errorf("unjournaled update latency %v, want < %v", lat, JournalFlushInterval)
+	}
+}
+
+func TestBackgroundFlusherClearsDirty(t *testing.T) {
+	s, m := newTestMongod(Config{FlushEvery: sim.Second})
+	m.Load(ycsbDoc("u"))
+	m.StartBackground()
+	s.Spawn("c", func(p *sim.Proc) {
+		m.UpdateByID(p, "u", "field1", "v")
+		p.Sleep(1500 * sim.Millisecond)
+		m.StopBackground()
+	})
+	s.Run()
+	if len(m.dirty) != 0 {
+		t.Errorf("dirty extents after flush = %d, want 0", len(m.dirty))
+	}
+}
+
+func TestColdReadFaults32KB(t *testing.T) {
+	s, m := newTestMongod(Config{ResidentExtents: 1})
+	for i := 0; i < 200; i++ {
+		m.Load(ycsbDoc(fmt.Sprintf("user%04d", i)))
+	}
+	var lat sim.Duration
+	s.Spawn("c", func(p *sim.Proc) {
+		t0 := p.Now()
+		m.FindByID(p, "user0150")
+		lat = sim.Duration(p.Now() - t0)
+	})
+	s.Run()
+	if lat < 6*sim.Millisecond {
+		t.Errorf("cold read latency %v, want >= seek time", lat)
+	}
+}
+
+func TestExtentPacking(t *testing.T) {
+	_, m := newTestMongod(Config{})
+	// ~1 KB docs: ~30 per 32 KB extent.
+	for i := 0; i < 100; i++ {
+		m.Load(ycsbDoc(fmt.Sprintf("user%04d", i)))
+	}
+	if m.numExtents < 2 || m.numExtents > 5 {
+		t.Errorf("100×1KB docs used %d extents, want 3±2", m.numExtents)
+	}
+}

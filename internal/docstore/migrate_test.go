@@ -1,0 +1,80 @@
+package docstore
+
+import (
+	"elephants/internal/sim"
+	"fmt"
+	"testing"
+)
+
+func TestExportRangeRemovesAndReturns(t *testing.T) {
+	_, m := newTestMongod(Config{})
+	for i := 0; i < 20; i++ {
+		m.Load(ycsbDoc(fmt.Sprintf("user%03d", i)))
+	}
+	docs := m.ExportRange("user005", "user010")
+	if len(docs) != 5 {
+		t.Fatalf("exported %d docs, want 5", len(docs))
+	}
+	if m.Count() != 15 {
+		t.Errorf("remaining = %d, want 15", m.Count())
+	}
+	for _, d := range docs {
+		id, _ := d.Get("_id")
+		if s := id.(string); s < "user005" || s >= "user010" {
+			t.Errorf("exported out-of-range doc %s", s)
+		}
+	}
+}
+
+func TestExportRangeUnbounded(t *testing.T) {
+	_, m := newTestMongod(Config{})
+	for i := 0; i < 10; i++ {
+		m.Load(ycsbDoc(fmt.Sprintf("user%03d", i)))
+	}
+	docs := m.ExportRange("user005", "")
+	if len(docs) != 5 {
+		t.Errorf("unbounded export = %d docs, want 5", len(docs))
+	}
+}
+
+func TestImportDocsRestores(t *testing.T) {
+	s, a := newTestMongod(Config{})
+	b := NewMongod(s, a.node, Config{})
+	for i := 0; i < 10; i++ {
+		a.Load(ycsbDoc(fmt.Sprintf("user%03d", i)))
+	}
+	b.ImportDocs(a.ExportRange("user000", ""))
+	if b.Count() != 10 || a.Count() != 0 {
+		t.Fatalf("after migration: a=%d b=%d, want 0/10", a.Count(), b.Count())
+	}
+	// Migrated docs must be readable on the destination.
+	var err error
+	s.Spawn("r", func(p *sim.Proc) {
+		_, err = b.FindByID(p, "user007")
+	})
+	s.Run()
+	if err != nil {
+		t.Errorf("read after import: %v", err)
+	}
+}
+
+func TestKeyAt(t *testing.T) {
+	_, m := newTestMongod(Config{})
+	for i := 0; i < 10; i++ {
+		m.Load(ycsbDoc(fmt.Sprintf("user%03d", i)))
+	}
+	if k, ok := m.KeyAt("user000", 4); !ok || k != "user004" {
+		t.Errorf("KeyAt = %q,%v", k, ok)
+	}
+	if _, ok := m.KeyAt("user000", 50); ok {
+		t.Error("KeyAt past end should report false")
+	}
+}
+
+func TestDataBytes(t *testing.T) {
+	_, m := newTestMongod(Config{})
+	m.Load(ycsbDoc("u"))
+	if m.DataBytes() < 1000 {
+		t.Errorf("data bytes = %d, want >= 1000 (one 1KB doc)", m.DataBytes())
+	}
+}

@@ -1,0 +1,135 @@
+// Package hdfs models the Hadoop Distributed File System as the paper's
+// Hive deployment used it: a namenode holding file → block metadata,
+// 256 MB blocks placed round-robin across datanodes, and 3-way
+// replication (replicas are metadata here; the simulation charges I/O on
+// the node a task reads from). Files carry byte sizes, not contents —
+// the functional data lives in the relal tables; HDFS exists to give the
+// MapReduce scheduler its task-per-block structure, including the empty
+// bucket files behind the paper's Table 4 analysis.
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BlockSize is the configured HDFS block size (256 MB in the paper).
+const BlockSize = 256 << 20
+
+// ReplicationFactor is the paper's HDFS replication setting.
+const ReplicationFactor = 3
+
+// Block is one block of a file.
+type Block struct {
+	// Node is the index of the datanode holding the primary replica.
+	Node int
+	// Bytes is the block length (≤ BlockSize).
+	Bytes int64
+	// Replicas are the datanodes holding the other replicas.
+	Replicas []int
+}
+
+// File is a named sequence of blocks.
+type File struct {
+	Path   string
+	Blocks []Block
+}
+
+// Bytes returns the file length.
+func (f *File) Bytes() int64 {
+	var total int64
+	for _, b := range f.Blocks {
+		total += b.Bytes
+	}
+	return total
+}
+
+// FS is the namenode: file metadata over a set of datanodes.
+type FS struct {
+	numNodes int
+	files    map[string]*File
+	nextNode int
+}
+
+// New returns an empty filesystem over numNodes datanodes.
+func New(numNodes int) *FS {
+	if numNodes < 1 {
+		numNodes = 1
+	}
+	return &FS{numNodes: numNodes, files: make(map[string]*File)}
+}
+
+// NumNodes returns the datanode count.
+func (fs *FS) NumNodes() int { return fs.numNodes }
+
+// Create writes a file of the given size, splitting it into blocks
+// placed round-robin across datanodes. Zero-byte files get a single
+// empty block (they still cost a map task, as the paper observed).
+func (fs *FS) Create(path string, bytes int64) (*File, error) {
+	if _, exists := fs.files[path]; exists {
+		return nil, fmt.Errorf("hdfs: file %q exists", path)
+	}
+	f := &File{Path: path}
+	remaining := bytes
+	for {
+		b := Block{Node: fs.nextNode % fs.numNodes}
+		for r := 1; r < ReplicationFactor && r < fs.numNodes; r++ {
+			b.Replicas = append(b.Replicas, (b.Node+r)%fs.numNodes)
+		}
+		fs.nextNode++
+		if remaining > BlockSize {
+			b.Bytes = BlockSize
+		} else {
+			b.Bytes = remaining
+		}
+		f.Blocks = append(f.Blocks, b)
+		remaining -= b.Bytes
+		if remaining <= 0 {
+			break
+		}
+	}
+	fs.files[path] = f
+	return f, nil
+}
+
+// Open returns the file metadata.
+func (fs *FS) Open(path string) (*File, error) {
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: no file %q", path)
+	}
+	return f, nil
+}
+
+// Delete removes a file.
+func (fs *FS) Delete(path string) error {
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("hdfs: no file %q", path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// List returns paths with the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	var out []string
+	for p := range fs.files {
+		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes returns the logical (unreplicated) bytes stored.
+func (fs *FS) TotalBytes() int64 {
+	var total int64
+	for _, f := range fs.files {
+		total += f.Bytes()
+	}
+	return total
+}
+
+// NumFiles returns the file count.
+func (fs *FS) NumFiles() int { return len(fs.files) }

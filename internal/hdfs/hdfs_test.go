@@ -1,0 +1,118 @@
+package hdfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateSplitsBlocks(t *testing.T) {
+	fs := New(4)
+	f, err := fs.Create("/t/lineitem/b0", 3*BlockSize+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(f.Blocks))
+	}
+	if f.Bytes() != 3*BlockSize+100 {
+		t.Errorf("bytes = %d", f.Bytes())
+	}
+	if f.Blocks[3].Bytes != 100 {
+		t.Errorf("last block = %d bytes, want 100", f.Blocks[3].Bytes)
+	}
+}
+
+func TestEmptyFileHasOneBlock(t *testing.T) {
+	fs := New(4)
+	f, _ := fs.Create("/t/lineitem/empty", 0)
+	if len(f.Blocks) != 1 || f.Blocks[0].Bytes != 0 {
+		t.Errorf("empty file blocks = %+v, want one empty block", f.Blocks)
+	}
+}
+
+func TestReplication(t *testing.T) {
+	fs := New(4)
+	f, _ := fs.Create("/x", 10)
+	if len(f.Blocks[0].Replicas) != ReplicationFactor-1 {
+		t.Errorf("replicas = %d, want %d", len(f.Blocks[0].Replicas), ReplicationFactor-1)
+	}
+	for _, r := range f.Blocks[0].Replicas {
+		if r == f.Blocks[0].Node {
+			t.Error("replica on primary node")
+		}
+	}
+}
+
+func TestReplicationFewNodes(t *testing.T) {
+	fs := New(1)
+	f, _ := fs.Create("/x", 10)
+	if len(f.Blocks[0].Replicas) != 0 {
+		t.Error("single-node cluster cannot hold remote replicas")
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	fs := New(4)
+	counts := make(map[int]int)
+	for i := 0; i < 16; i++ {
+		f, _ := fs.Create(string(rune('a'+i)), 1)
+		counts[f.Blocks[0].Node]++
+	}
+	for n, c := range counts {
+		if c != 4 {
+			t.Errorf("node %d has %d blocks, want 4", n, c)
+		}
+	}
+}
+
+func TestOpenDeleteList(t *testing.T) {
+	fs := New(2)
+	fs.Create("/a/1", 1)
+	fs.Create("/a/2", 1)
+	fs.Create("/b/1", 1)
+	if _, err := fs.Open("/a/1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/nope"); err == nil {
+		t.Error("open of missing file should fail")
+	}
+	if got := fs.List("/a/"); len(got) != 2 {
+		t.Errorf("list /a/ = %v", got)
+	}
+	if err := fs.Delete("/a/1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("/a/1"); err == nil {
+		t.Error("double delete should fail")
+	}
+	if fs.NumFiles() != 2 {
+		t.Errorf("files = %d, want 2", fs.NumFiles())
+	}
+}
+
+func TestDuplicateCreate(t *testing.T) {
+	fs := New(2)
+	fs.Create("/x", 1)
+	if _, err := fs.Create("/x", 1); err == nil {
+		t.Error("duplicate create should fail")
+	}
+}
+
+func TestBytesConservedProperty(t *testing.T) {
+	f := func(size uint32) bool {
+		fs := New(3)
+		file, err := fs.Create("/f", int64(size))
+		if err != nil {
+			return false
+		}
+		for _, b := range file.Blocks {
+			if b.Bytes > BlockSize || b.Bytes < 0 {
+				return false
+			}
+		}
+		return file.Bytes() == int64(size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package hive
+
+import (
+	"testing"
+
+	"elephants/internal/cluster"
+	"elephants/internal/relal"
+	"elephants/internal/sim"
+	"elephants/internal/tpch"
+)
+
+func testWarehouse(sf float64) (*sim.Sim, *Warehouse) {
+	s := sim.New()
+	cl := cluster.New(s, cluster.Default16())
+	db := tpch.Generate(tpch.GenConfig{SF: 0.002, Seed: 1, Random64: true})
+	return s, New(s, cl, db, sf, DefaultConfig())
+}
+
+func runQ(s *sim.Sim, w *Warehouse, id int) QueryStats {
+	var qs QueryStats
+	s.Spawn("driver", func(p *sim.Proc) { qs = w.RunQuery(p, id) })
+	s.Run()
+	return qs
+}
+
+func TestLayoutsMatchTable1(t *testing.T) {
+	if TableLayouts["lineitem"].Buckets != 512 || TableLayouts["lineitem"].BucketCol != "l_orderkey" {
+		t.Error("lineitem layout wrong")
+	}
+	if TableLayouts["customer"].Files() != 200 {
+		t.Errorf("customer files = %d, want 200 (25 partitions × 8 buckets)", TableLayouts["customer"].Files())
+	}
+	if TableLayouts["lineitem"].NonEmptyFiles("lineitem") != 128 {
+		t.Error("lineitem must have 128 non-empty buckets (orderkey sparsity)")
+	}
+	if TableLayouts["nation"].Files() != 1 {
+		t.Error("nation is a single file")
+	}
+}
+
+func TestQ1TaskCountsMatchPaper(t *testing.T) {
+	// At SF 250 each non-empty lineitem bucket is under one block, so
+	// 512 map tasks launch (one per file) — the paper's observation.
+	s, w := testWarehouse(250)
+	qs := runQ(s, w, 1)
+	if len(qs.Jobs) == 0 {
+		t.Fatal("no jobs")
+	}
+	first := qs.Jobs[0]
+	if first.Stats.MapTasks != 512 {
+		t.Errorf("Q1 SF250 map tasks = %d, want 512", first.Stats.MapTasks)
+	}
+}
+
+func TestQ1MoreTasksAtLargerSF(t *testing.T) {
+	s1, w1 := testWarehouse(250)
+	q250 := runQ(s1, w1, 1)
+	s2, w2 := testWarehouse(1000)
+	q1000 := runQ(s2, w2, 1)
+	if q1000.Jobs[0].Stats.MapTasks <= q250.Jobs[0].Stats.MapTasks {
+		t.Errorf("map tasks should grow with SF: %d vs %d",
+			q250.Jobs[0].Stats.MapTasks, q1000.Jobs[0].Stats.MapTasks)
+	}
+	if q1000.MapPhase(0) <= q250.MapPhase(0) {
+		t.Error("map phase should grow with SF")
+	}
+}
+
+func TestQ1MapPhaseScalingSublinearAtSmallSF(t *testing.T) {
+	// Table 4: 250→1000 scales ~2.3× (empty-file overhead amortizes),
+	// 4000→16000 approaches 4×.
+	phases := map[float64]sim.Duration{}
+	for _, sf := range []float64{250, 1000, 4000, 16000} {
+		s, w := testWarehouse(sf)
+		phases[sf] = runQ(s, w, 1).MapPhase(0)
+	}
+	early := float64(phases[1000]) / float64(phases[250])
+	late := float64(phases[16000]) / float64(phases[4000])
+	if early >= 4.0 {
+		t.Errorf("250→1000 map-phase scaling = %.2f, want < 4 (empty-file amortization)", early)
+	}
+	if late < early {
+		t.Errorf("scaling should approach 4 at large SF: early %.2f, late %.2f", early, late)
+	}
+	if late < 2.5 || late > 4.6 {
+		t.Errorf("4TB→16TB scaling = %.2f, want ≈4", late)
+	}
+}
+
+func TestQ5UsesCommonJoinForLineitem(t *testing.T) {
+	s, w := testWarehouse(250)
+	qs := runQ(s, w, 5)
+	var sawCommon, sawMap bool
+	for _, j := range qs.Jobs {
+		switch j.Strategy {
+		case CommonJoin:
+			sawCommon = true
+		case MapJoin:
+			sawMap = true
+		}
+	}
+	if !sawCommon {
+		t.Error("Q5 must use a common join for the lineitem repartition (the paper's bottleneck)")
+	}
+	if !sawMap {
+		t.Error("Q5 should map-join the small dimension tables")
+	}
+}
+
+func TestQ22HasFailingMapJoin(t *testing.T) {
+	s, w := testWarehouse(250)
+	qs := runQ(s, w, 22)
+	var sawFail bool
+	for _, j := range qs.Jobs {
+		if j.Strategy == FailedMapJoin {
+			sawFail = true
+		}
+	}
+	if !sawFail {
+		t.Error("Q22 must attempt and fail a map join (backup common join)")
+	}
+	if qs.Total < w.cfg.MapJoinFailTime {
+		t.Errorf("Q22 total %v must include the %v map-join failure stall", qs.Total, w.cfg.MapJoinFailTime)
+	}
+}
+
+func TestBucketedMapJoinForLineitemOrders(t *testing.T) {
+	// Q4 and Q12 join lineitem with orders on orderkey: both bucketed
+	// 512-way on that key, so a bucketed map join applies... but in
+	// our q4/q12 programs one side is an intermediate (filtered
+	// aggregate), so check the primitive directly.
+	_, w := testWarehouse(250)
+	aligned := w.bucketAligned(
+		stepWith("l_orderkey", "lineitem", "orders"),
+		input{base: "lineitem", bytes: 1000},
+		input{base: "orders", bytes: 500},
+	)
+	if !aligned {
+		t.Error("lineitem ⋈ orders on orderkey should be bucket-aligned")
+	}
+	misaligned := w.bucketAligned(
+		stepWith("l_suppkey", "lineitem", "supplier"),
+		input{base: "lineitem", bytes: 1000},
+		input{base: "supplier", bytes: 500},
+	)
+	if misaligned {
+		t.Error("lineitem ⋈ supplier on suppkey is not bucket-aligned (lineitem bucketed on orderkey)")
+	}
+}
+
+func TestSpeedupLargestAtSmallSF(t *testing.T) {
+	// Hive's fixed overheads (job startup, task startup, empty files)
+	// dominate at small scale: per-byte efficiency improves with SF.
+	s1, w1 := testWarehouse(250)
+	t250 := runQ(s1, w1, 6).Total
+	s2, w2 := testWarehouse(4000)
+	t4000 := runQ(s2, w2, 6).Total
+	scaling := float64(t4000) / float64(t250)
+	if scaling >= 16 {
+		t.Errorf("Q6 250→4000 (16× data) scaled %.1f×; Hive should scale sublinearly", scaling)
+	}
+}
+
+func TestAnswersMatchReference(t *testing.T) {
+	s, w := testWarehouse(250)
+	qs := runQ(s, w, 6)
+	ref, _ := tpch.RunQuery(6, w.db)
+	if qs.Answer.NumRows() != ref.NumRows() {
+		t.Fatal("Hive answer row count differs from reference")
+	}
+	if qs.Answer.Rows[0][0] != ref.Rows[0][0] {
+		t.Errorf("Hive Q6 answer %v != reference %v", qs.Answer.Rows[0][0], ref.Rows[0][0])
+	}
+}
+
+func TestLoadTimeScalesWithSF(t *testing.T) {
+	s1, w1 := testWarehouse(250)
+	var l250 sim.Duration
+	s1.Spawn("load", func(p *sim.Proc) { l250 = w1.LoadTime(p) })
+	s1.Run()
+	s2, w2 := testWarehouse(1000)
+	var l1000 sim.Duration
+	s2.Spawn("load", func(p *sim.Proc) { l1000 = w2.LoadTime(p) })
+	s2.Run()
+	if l1000 <= l250 {
+		t.Errorf("load time must grow with SF: %v vs %v", l250, l1000)
+	}
+	ratio := float64(l1000) / float64(l250)
+	if ratio < 2 || ratio > 6 {
+		t.Errorf("250→1000 load scaling = %.2f, want ≈3-4 (paper: 38→125 min)", ratio)
+	}
+}
+
+func stepWith(key, leftBase, rightBase string) relal.Step {
+	return relal.Step{JoinKey: key, LeftBase: leftBase, RightBase: rightBase}
+}

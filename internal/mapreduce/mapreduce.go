@@ -1,0 +1,281 @@
+// Package mapreduce models the Hadoop 0.20 MapReduce runtime as the
+// paper configured it: 8 map and 8 reduce slots per node (128 + 128 on
+// the 16-node cluster), per-task startup cost, wave/round scheduling of
+// map tasks over blocks, a network shuffle, and reduce tasks sized so
+// all 128 reducers finish in one round (the paper's tuning).
+//
+// The mechanisms behind the paper's scalability analysis are explicit
+// here: map tasks over empty bucket files still pay startup (Table 4),
+// tasks processing a few MB are dominated by startup (Table 5), and the
+// shuffle serializes through 1 Gbit NICs (the Q5/Q19 common joins).
+package mapreduce
+
+import (
+	"elephants/internal/cluster"
+	"elephants/internal/sim"
+)
+
+// Config holds the runtime's tuning knobs with the paper's defaults.
+type Config struct {
+	// MapSlotsPerNode and ReduceSlotsPerNode are 8 each in the paper.
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// TaskStartup is the JVM launch + scheduling cost per task; the
+	// paper measures ~6 s for map tasks over empty files.
+	TaskStartup sim.Duration
+	// JobStartup covers job submission and setup/cleanup tasks.
+	JobStartup sim.Duration
+	// MapMBps is the per-task processing rate over (compressed) input
+	// bytes. The paper found RCFile map tasks CPU-bound.
+	MapMBps float64
+	// ReduceMBps is the per-reduce-task rate over shuffled bytes.
+	ReduceMBps float64
+	// HDFSWriteMBps is the per-task rate for writing job output
+	// (includes the replication pipeline).
+	HDFSWriteMBps float64
+}
+
+// DefaultConfig returns the paper's tuning.
+func DefaultConfig() Config {
+	return Config{
+		MapSlotsPerNode:    8,
+		ReduceSlotsPerNode: 8,
+		TaskStartup:        6 * sim.Second,
+		JobStartup:         15 * sim.Second,
+		MapMBps:            2.0, // compressed RCFile, CPU-bound
+		ReduceMBps:         20,
+		HDFSWriteMBps:      40,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MapSlotsPerNode <= 0 {
+		c.MapSlotsPerNode = d.MapSlotsPerNode
+	}
+	if c.ReduceSlotsPerNode <= 0 {
+		c.ReduceSlotsPerNode = d.ReduceSlotsPerNode
+	}
+	if c.TaskStartup <= 0 {
+		c.TaskStartup = d.TaskStartup
+	}
+	if c.JobStartup <= 0 {
+		c.JobStartup = d.JobStartup
+	}
+	if c.MapMBps <= 0 {
+		c.MapMBps = d.MapMBps
+	}
+	if c.ReduceMBps <= 0 {
+		c.ReduceMBps = d.ReduceMBps
+	}
+	if c.HDFSWriteMBps <= 0 {
+		c.HDFSWriteMBps = d.HDFSWriteMBps
+	}
+	return c
+}
+
+// MapTask is one map task: it reads InputBytes from the block's node,
+// optionally loads CacheBytes of distributed-cache hash table first
+// (map-side joins), and emits its share of the job's map output.
+type MapTask struct {
+	Node       int
+	InputBytes int64
+	CacheBytes int64
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name     string
+	MapTasks []MapTask
+	// MapOnly jobs skip shuffle and reduce.
+	MapOnly bool
+	// Reducers is the reduce-task count (the paper sets 128 so one
+	// reduce round suffices).
+	Reducers int
+	// ShuffleBytes is the total map output repartitioned over the
+	// network.
+	ShuffleBytes int64
+	// OutputBytes is the job's output written to HDFS.
+	OutputBytes int64
+}
+
+// Stats reports a completed job's timing.
+type Stats struct {
+	Start        sim.Time
+	MapDone      sim.Time
+	End          sim.Time
+	MapTasks     int
+	MapRounds    int
+	MapPhase     sim.Duration
+	ShufflePhase sim.Duration
+	Total        sim.Duration
+}
+
+// JobTracker schedules jobs on a simulated cluster.
+type JobTracker struct {
+	s           *sim.Sim
+	cl          *cluster.Cluster
+	cfg         Config
+	mapSlots    *sim.Resource
+	reduceSlots *sim.Resource
+
+	jobsRun int64
+}
+
+// NewJobTracker returns a tracker over the cluster's nodes.
+func NewJobTracker(s *sim.Sim, cl *cluster.Cluster, cfg Config) *JobTracker {
+	cfg = cfg.withDefaults()
+	n := len(cl.Nodes)
+	return &JobTracker{
+		s:           s,
+		cl:          cl,
+		cfg:         cfg,
+		mapSlots:    s.NewResource("map-slots", cfg.MapSlotsPerNode*n),
+		reduceSlots: s.NewResource("reduce-slots", cfg.ReduceSlotsPerNode*n),
+	}
+}
+
+// MapSlots returns the cluster-wide map slot count.
+func (jt *JobTracker) MapSlots() int { return jt.cfg.MapSlotsPerNode * len(jt.cl.Nodes) }
+
+// JobsRun reports completed jobs.
+func (jt *JobTracker) JobsRun() int64 { return jt.jobsRun }
+
+// Run executes the job, blocking the calling process until it finishes.
+func (jt *JobTracker) Run(p *sim.Proc, job *Job) Stats {
+	st := Stats{Start: p.Now(), MapTasks: len(job.MapTasks)}
+	p.Sleep(jt.cfg.JobStartup)
+	mapStart := p.Now()
+
+	// Map phase: every task queues on the global slot pool; rounds
+	// emerge from slot contention.
+	wg := jt.s.NewWaitGroup()
+	wg.Add(len(job.MapTasks))
+	for _, mt := range job.MapTasks {
+		mt := mt
+		jt.s.Spawn("map-task", func(tp *sim.Proc) {
+			defer wg.Done()
+			jt.mapSlots.Acquire(tp)
+			defer jt.mapSlots.Release()
+			tp.Sleep(jt.cfg.TaskStartup)
+			node := jt.cl.Nodes[mt.Node%len(jt.cl.Nodes)]
+			if mt.CacheBytes > 0 {
+				// Load the distributed-cache hash table from local
+				// disk and build it (does not persist across tasks —
+				// one of the paper's map-join criticisms).
+				node.ReadSeqStriped(tp, mt.CacheBytes)
+				node.Compute(tp, sim.Seconds(float64(mt.CacheBytes)/(jt.cfg.ReduceMBps*1e6)))
+			}
+			if mt.InputBytes > 0 {
+				node.ReadSeqStriped(tp, mt.InputBytes)
+				node.Compute(tp, sim.Seconds(float64(mt.InputBytes)/(jt.cfg.MapMBps*1e6)))
+			}
+		})
+	}
+	wg.Wait(p)
+	st.MapDone = p.Now()
+	st.MapPhase = sim.Duration(st.MapDone - mapStart)
+	if rounds := (len(job.MapTasks) + jt.MapSlots() - 1) / jt.MapSlots(); rounds > 0 {
+		st.MapRounds = rounds
+	}
+
+	if !job.MapOnly {
+		// Shuffle: map output repartitions across the cluster. Each
+		// node sends and receives ~1/n of the bytes; NICs serialize.
+		shuffleStart := p.Now()
+		n := len(jt.cl.Nodes)
+		if job.ShuffleBytes > 0 {
+			share := job.ShuffleBytes / int64(n)
+			swg := jt.s.NewWaitGroup()
+			swg.Add(n)
+			for i := 0; i < n; i++ {
+				i := i
+				jt.s.Spawn("shuffle", func(sp *sim.Proc) {
+					defer swg.Done()
+					jt.cl.Nodes[i].Send(sp, jt.cl.Nodes[(i+1)%n], share)
+				})
+			}
+			swg.Wait(p)
+		}
+		st.ShufflePhase = sim.Duration(p.Now() - shuffleStart)
+
+		// Reduce phase: reducers queue on reduce slots.
+		reducers := job.Reducers
+		if reducers <= 0 {
+			reducers = jt.cfg.ReduceSlotsPerNode * n
+		}
+		perReducer := int64(0)
+		if reducers > 0 {
+			perReducer = job.ShuffleBytes / int64(reducers)
+		}
+		outPerReducer := int64(0)
+		if reducers > 0 {
+			outPerReducer = job.OutputBytes / int64(reducers)
+		}
+		rwg := jt.s.NewWaitGroup()
+		rwg.Add(reducers)
+		for i := 0; i < reducers; i++ {
+			i := i
+			jt.s.Spawn("reduce-task", func(rp *sim.Proc) {
+				defer rwg.Done()
+				jt.reduceSlots.Acquire(rp)
+				defer jt.reduceSlots.Release()
+				rp.Sleep(jt.cfg.TaskStartup)
+				node := jt.cl.Nodes[i%len(jt.cl.Nodes)]
+				if perReducer > 0 {
+					node.Compute(rp, sim.Seconds(float64(perReducer)/(jt.cfg.ReduceMBps*1e6)))
+				}
+				if outPerReducer > 0 {
+					node.WriteSeqStriped(rp, outPerReducer)
+				}
+			})
+		}
+		rwg.Wait(p)
+	} else if job.OutputBytes > 0 {
+		// Map-only jobs write output from the map tasks; charge the
+		// aggregate write spread across the cluster.
+		n := int64(len(jt.cl.Nodes))
+		per := job.OutputBytes / n
+		owg := jt.s.NewWaitGroup()
+		owg.Add(int(n))
+		for i := int64(0); i < n; i++ {
+			i := i
+			jt.s.Spawn("map-output", func(op *sim.Proc) {
+				defer owg.Done()
+				jt.cl.Nodes[i].WriteSeqStriped(op, per)
+			})
+		}
+		owg.Wait(p)
+	}
+
+	st.End = p.Now()
+	st.Total = sim.Duration(st.End - st.Start)
+	jt.jobsRun++
+	return st
+}
+
+// TasksForFile returns the map tasks covering a file of the given size:
+// one per 256 MB block (minimum one, so empty bucket files still cost a
+// task), with blocks placed round-robin from nodeOffset.
+func TasksForFile(bytes int64, nodeOffset, numNodes int) []MapTask {
+	const blockSize = 256 << 20
+	var tasks []MapTask
+	remaining := bytes
+	i := 0
+	for {
+		b := remaining
+		if b > blockSize {
+			b = blockSize
+		}
+		if b < 0 {
+			b = 0
+		}
+		tasks = append(tasks, MapTask{Node: (nodeOffset + i) % numNodes, InputBytes: b})
+		remaining -= b
+		i++
+		if remaining <= 0 {
+			break
+		}
+	}
+	return tasks
+}

@@ -1,0 +1,134 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"elephants/internal/cluster"
+	"elephants/internal/sim"
+)
+
+func testTracker(nodes int, cfg Config) (*sim.Sim, *JobTracker) {
+	s := sim.New()
+	cl := cluster.New(s, cluster.Config{Nodes: nodes})
+	return s, NewJobTracker(s, cl, cfg)
+}
+
+func runJob(s *sim.Sim, jt *JobTracker, job *Job) Stats {
+	var st Stats
+	s.Spawn("driver", func(p *sim.Proc) { st = jt.Run(p, job) })
+	s.Run()
+	return st
+}
+
+func TestEmptyFileTasksPayStartup(t *testing.T) {
+	s, jt := testTracker(2, Config{TaskStartup: 6 * sim.Second, JobStartup: sim.Second})
+	// 16 slots, 16 empty tasks: one round of pure startup.
+	var tasks []MapTask
+	for i := 0; i < 16; i++ {
+		tasks = append(tasks, MapTask{Node: i % 2})
+	}
+	st := runJob(s, jt, &Job{Name: "empties", MapTasks: tasks, MapOnly: true})
+	if st.MapPhase != 6*sim.Second {
+		t.Errorf("map phase = %v, want 6s (startup only)", st.MapPhase)
+	}
+}
+
+func TestMapRoundsEmergeFromSlots(t *testing.T) {
+	s, jt := testTracker(2, Config{TaskStartup: 6 * sim.Second, JobStartup: sim.Second})
+	// 2 nodes × 8 slots = 16 slots; 48 empty tasks = 3 rounds of 6 s.
+	var tasks []MapTask
+	for i := 0; i < 48; i++ {
+		tasks = append(tasks, MapTask{Node: i % 2})
+	}
+	st := runJob(s, jt, &Job{Name: "rounds", MapTasks: tasks, MapOnly: true})
+	if st.MapPhase != 18*sim.Second {
+		t.Errorf("map phase = %v, want 18s (3 rounds)", st.MapPhase)
+	}
+	if st.MapRounds != 3 {
+		t.Errorf("rounds = %d, want 3", st.MapRounds)
+	}
+}
+
+func TestMapTaskProcessingDominatedByData(t *testing.T) {
+	s, jt := testTracker(1, Config{TaskStartup: sim.Second, JobStartup: sim.Second, MapMBps: 10})
+	st := runJob(s, jt, &Job{
+		Name:     "data",
+		MapTasks: []MapTask{{Node: 0, InputBytes: 100 * 1000 * 1000}}, // 10 s at 10 MB/s
+		MapOnly:  true,
+	})
+	if st.MapPhase < 11*sim.Second {
+		t.Errorf("map phase = %v, want >= 11s (startup + CPU)", st.MapPhase)
+	}
+}
+
+func TestShuffleChargesNetwork(t *testing.T) {
+	s, jt := testTracker(2, Config{TaskStartup: sim.Second, JobStartup: sim.Second})
+	st := runJob(s, jt, &Job{
+		Name:         "shuffle",
+		MapTasks:     []MapTask{{Node: 0}},
+		Reducers:     2,
+		ShuffleBytes: 250 * 1000 * 1000, // 125 MB per node at 125 MB/s
+	})
+	if st.ShufflePhase < sim.Second {
+		t.Errorf("shuffle phase = %v, want >= 1s", st.ShufflePhase)
+	}
+}
+
+func TestReduceRoundsOneWhenTuned(t *testing.T) {
+	// The paper sets reducers == total reduce slots so one round
+	// suffices: 2 nodes × 8 = 16 reducers.
+	s, jt := testTracker(2, Config{TaskStartup: 2 * sim.Second, JobStartup: sim.Second})
+	st := runJob(s, jt, &Job{
+		Name:     "reduce",
+		MapTasks: []MapTask{{Node: 0}},
+		Reducers: 16,
+	})
+	// Map (2s startup) + reduce (2s startup), one round each.
+	want := sim.Duration(1+2+2) * sim.Second
+	if st.Total != want {
+		t.Errorf("total = %v, want %v", st.Total, want)
+	}
+}
+
+func TestCacheBytesChargePerTask(t *testing.T) {
+	cfg := Config{TaskStartup: sim.Second, JobStartup: sim.Second, ReduceMBps: 10}
+	s, jt := testTracker(1, cfg)
+	st := runJob(s, jt, &Job{
+		Name:     "mapjoin",
+		MapTasks: []MapTask{{Node: 0, InputBytes: 1, CacheBytes: 50 * 1000 * 1000}}, // 5 s hash build
+		MapOnly:  true,
+	})
+	if st.MapPhase < 6*sim.Second {
+		t.Errorf("map phase = %v, want >= 6s (startup + cache load)", st.MapPhase)
+	}
+}
+
+func TestTasksForFile(t *testing.T) {
+	tasks := TasksForFile(600<<20, 0, 4)
+	if len(tasks) != 3 {
+		t.Fatalf("600MB file tasks = %d, want 3", len(tasks))
+	}
+	var total int64
+	for _, mt := range tasks {
+		total += mt.InputBytes
+	}
+	if total != 600<<20 {
+		t.Errorf("task bytes = %d, want 600MB", total)
+	}
+	empty := TasksForFile(0, 2, 4)
+	if len(empty) != 1 || empty[0].InputBytes != 0 {
+		t.Errorf("empty file tasks = %+v, want one zero-byte task", empty)
+	}
+}
+
+func TestJobsRunCounter(t *testing.T) {
+	s, jt := testTracker(1, Config{TaskStartup: sim.Second, JobStartup: sim.Second})
+	s.Spawn("driver", func(p *sim.Proc) {
+		jt.Run(p, &Job{Name: "a", MapTasks: []MapTask{{}}, MapOnly: true})
+		jt.Run(p, &Job{Name: "b", MapTasks: []MapTask{{}}, MapOnly: true})
+	})
+	s.Run()
+	if jt.JobsRun() != 2 {
+		t.Errorf("jobs run = %d, want 2", jt.JobsRun())
+	}
+}

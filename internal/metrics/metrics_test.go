@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elephants/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0)
+	for _, ms := range []float64{1, 2, 3, 4, 5} {
+		h.ObserveMs(ms)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Errorf("mean = %g, want 3", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Errorf("min,max = %g,%g, want 1,5", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.ObserveMs(float64(i))
+	}
+	if p := h.Percentile(50); math.Abs(p-50.5) > 0.01 {
+		t.Errorf("p50 = %g, want 50.5", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Errorf("p100 = %g, want 100", p)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Errorf("p0 = %g, want 1", p)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(0)
+	h.Observe(5 * sim.Millisecond)
+	if h.Mean() != 5 {
+		t.Errorf("mean = %g ms, want 5", h.Mean())
+	}
+}
+
+func TestHistogramCapSubsampling(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 0; i < 1000; i++ {
+		h.ObserveMs(7)
+	}
+	if h.Count() != 1000 {
+		t.Errorf("count = %d, want 1000", h.Count())
+	}
+	if h.Percentile(50) != 7 {
+		t.Errorf("p50 = %g, want 7", h.Percentile(50))
+	}
+}
+
+func TestHistogramMeanIsBounded(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram(0)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			x := float64(v)
+			h.ObserveMs(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return h.Mean() >= lo-1e-9 && h.Mean() <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowSeries(t *testing.T) {
+	w := NewWindow(10 * sim.Second)
+	// 5 ops in the first window, 10 in the second.
+	for i := 0; i < 5; i++ {
+		w.Record(sim.Time(sim.Second))
+	}
+	for i := 0; i < 10; i++ {
+		w.Record(sim.Time(15 * sim.Second))
+	}
+	s := w.Series(0, sim.Time(20*sim.Second))
+	if len(s) != 2 {
+		t.Fatalf("len(series) = %d, want 2", len(s))
+	}
+	if s[0] != 0.5 || s[1] != 1.0 {
+		t.Errorf("series = %v, want [0.5 1.0]", s)
+	}
+}
+
+func TestWindowEmptyRange(t *testing.T) {
+	w := NewWindow(sim.Second)
+	if s := w.Series(10, 10); s != nil {
+		t.Errorf("empty range series = %v, want nil", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %g, want 5", s.Mean)
+	}
+	if s.N != 8 {
+		t.Errorf("n = %d, want 8", s.N)
+	}
+	// sample sd = sqrt(32/7) ≈ 2.138; stderr = sd/sqrt(8) ≈ 0.756
+	if math.Abs(s.StdErr-0.7559) > 0.001 {
+		t.Errorf("stderr = %g, want ≈0.756", s.StdErr)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Error("nil sample should summarize to zero")
+	}
+	if s := Summarize([]float64{3}); s.Mean != 3 || s.StdErr != 0 {
+		t.Errorf("single sample: %+v", s)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 10, 100}
+	if am := ArithmeticMean(xs); am != 37 {
+		t.Errorf("AM = %g, want 37", am)
+	}
+	if gm := GeometricMean(xs); math.Abs(gm-10) > 1e-9 {
+		t.Errorf("GM = %g, want 10", gm)
+	}
+	if GeometricMean([]float64{1, 0}) != 0 {
+		t.Error("GM with zero should be 0")
+	}
+	if ArithmeticMean(nil) != 0 || GeometricMean(nil) != 0 {
+		t.Error("empty means should be 0")
+	}
+}
+
+func TestGMLeqAM(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			xs = append(xs, float64(v)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeometricMean(xs) <= ArithmeticMean(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package pdw
+
+import (
+	"testing"
+
+	"elephants/internal/cluster"
+	"elephants/internal/sim"
+	"elephants/internal/tpch"
+)
+
+func testPDW(sf float64, cfg Config) (*sim.Sim, *PDW) {
+	s := sim.New()
+	cl := cluster.New(s, cluster.Default16())
+	db := tpch.Generate(tpch.GenConfig{SF: 0.002, Seed: 1, Random64: true})
+	if cfg.ScanMBps == 0 {
+		cfg = DefaultConfig()
+	}
+	return s, New(s, cl, db, sf, cfg)
+}
+
+func runQ(s *sim.Sim, w *PDW, id int) QueryStats {
+	var qs QueryStats
+	s.Spawn("driver", func(p *sim.Proc) { qs = w.RunQuery(p, id) })
+	s.Run()
+	return qs
+}
+
+func TestDistributionsMatchTable1(t *testing.T) {
+	if !TableDistributions["nation"].Replicated || !TableDistributions["region"].Replicated {
+		t.Error("nation and region must be replicated")
+	}
+	if TableDistributions["lineitem"].PartitionCol != "l_orderkey" {
+		t.Error("lineitem distributes on l_orderkey")
+	}
+	if TableDistributions["customer"].PartitionCol != "c_custkey" {
+		t.Error("customer distributes on c_custkey")
+	}
+}
+
+func TestQ19ReplicatesPart(t *testing.T) {
+	// The paper: "PDW first replicates the part table at all the nodes
+	// of the cluster ... then joins with lineitem locally".
+	s, w := testPDW(250, Config{})
+	qs := runQ(s, w, 19)
+	var sawReplicate bool
+	for _, st := range qs.Steps {
+		if st.Strategy == ReplicateSmall {
+			sawReplicate = true
+		}
+	}
+	if !sawReplicate {
+		t.Error("Q19 should replicate the small (part) side")
+	}
+}
+
+func TestQ5AvoidsShufflingLineitem(t *testing.T) {
+	// The paper: PDW's optimizer never shuffles the lineitem base
+	// table in Q5 — it shuffles orders and intermediates instead.
+	s, w := testPDW(250, Config{})
+	qs := runQ(s, w, 5)
+	lineitemBytes := w.tableBytes("lineitem")
+	for _, st := range qs.Steps {
+		if st.Strategy == ShuffleBoth && st.Bytes > lineitemBytes {
+			t.Errorf("Q5 shuffled %d bytes in one join (> lineitem), optimizer failed", st.Bytes)
+		}
+	}
+}
+
+func TestLocalJoinWithReplicatedDimension(t *testing.T) {
+	s, w := testPDW(250, Config{})
+	qs := runQ(s, w, 5)
+	var locals int
+	for _, st := range qs.Steps {
+		if st.Strategy == LocalJoin {
+			locals++
+		}
+	}
+	if locals == 0 {
+		t.Error("Q5 should contain local joins (replicated nation/region)")
+	}
+}
+
+func TestQueriesScaleWithSF(t *testing.T) {
+	s1, w1 := testPDW(250, Config{})
+	t250 := runQ(s1, w1, 1).Total
+	s2, w2 := testPDW(1000, Config{})
+	t1000 := runQ(s2, w2, 1).Total
+	ratio := float64(t1000) / float64(t250)
+	// Table 3: PDW scaling per 4× data is ~3.9 for most queries but
+	// exceeds 4 when the 250 GB point fit entirely in the aggregate
+	// buffer pool (the paper's Q8 scales 9.9× for this reason).
+	if ratio < 3.0 || ratio > 6.0 {
+		t.Errorf("PDW Q1 250→1000 scaling = %.2f, want 3.9–5", ratio)
+	}
+}
+
+func TestForceShuffleAblationSlower(t *testing.T) {
+	cfg := DefaultConfig()
+	s1, w1 := testPDW(1000, cfg)
+	smart := runQ(s1, w1, 19).Total
+	cfg.ForceShuffleJoins = true
+	s2, w2 := testPDW(1000, cfg)
+	dumb := runQ(s2, w2, 19).Total
+	if dumb <= smart {
+		t.Errorf("forcing shuffle joins (%v) should be slower than cost-based (%v)", dumb, smart)
+	}
+}
+
+func TestAnswerMatchesReference(t *testing.T) {
+	s, w := testPDW(250, Config{})
+	qs := runQ(s, w, 1)
+	ref, _ := tpch.RunQuery(1, w.db)
+	if qs.Answer.NumRows() != ref.NumRows() {
+		t.Error("PDW answer differs from reference")
+	}
+}
+
+func TestAllQueriesRunOnPDW(t *testing.T) {
+	s := sim.New()
+	cl := cluster.New(s, cluster.Default16())
+	db := tpch.Generate(tpch.GenConfig{SF: 0.002, Seed: 1, Random64: true})
+	w := New(s, cl, db, 250, DefaultConfig())
+	var totals []sim.Duration
+	s.Spawn("driver", func(p *sim.Proc) {
+		for _, q := range tpch.Queries {
+			qs := w.RunQuery(p, q.ID)
+			totals = append(totals, qs.Total)
+		}
+	})
+	s.Run()
+	if len(totals) != 22 {
+		t.Fatalf("ran %d queries, want 22", len(totals))
+	}
+	for i, d := range totals {
+		if d <= 0 {
+			t.Errorf("Q%d took %v, want positive", i+1, d)
+		}
+	}
+}
+
+func TestLoadTimeScales(t *testing.T) {
+	s1, w1 := testPDW(250, Config{})
+	var l250 sim.Duration
+	s1.Spawn("load", func(p *sim.Proc) { l250 = w1.LoadTime(p) })
+	s1.Run()
+	s2, w2 := testPDW(1000, Config{})
+	var l1000 sim.Duration
+	s2.Spawn("load", func(p *sim.Proc) { l1000 = w2.LoadTime(p) })
+	s2.Run()
+	ratio := float64(l1000) / float64(l250)
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("PDW load 250→1000 scaling = %.2f, want ≈4 (paper: 79→313 min)", ratio)
+	}
+}

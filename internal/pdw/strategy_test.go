@@ -1,0 +1,88 @@
+package pdw
+
+import "testing"
+
+func strategyPDW() *PDW {
+	_, w := testPDW(1000, Config{})
+	return w
+}
+
+func TestChooseLocalWhenReplicated(t *testing.T) {
+	w := strategyPDW()
+	got := w.chooseStrategy(sideState{replicated: true}, sideState{partKey: "orderkey"}, "custkey", 100, 200)
+	if got != LocalJoin {
+		t.Errorf("replicated side should force local join, got %s", got)
+	}
+}
+
+func TestChooseLocalWhenBothAligned(t *testing.T) {
+	w := strategyPDW()
+	got := w.chooseStrategy(sideState{partKey: "orderkey"}, sideState{partKey: "orderkey"}, "orderkey", 1e9, 1e9)
+	if got != LocalJoin {
+		t.Errorf("co-partitioned join should be local, got %s", got)
+	}
+}
+
+func TestChooseShuffleSmallerMisalignedSide(t *testing.T) {
+	w := strategyPDW()
+	// Right aligned, left not: shuffling left costs leftBytes; since
+	// left is big, compare with replicating the smaller right side.
+	got := w.chooseStrategy(sideState{partKey: "custkey"}, sideState{partKey: "orderkey"}, "orderkey", 1_000_000, 1_000_000_000)
+	if got != ShuffleLeft {
+		t.Errorf("small misaligned left should shuffle, got %s", got)
+	}
+}
+
+func TestChooseReplicateTinyTable(t *testing.T) {
+	w := strategyPDW()
+	// Neither aligned; tiny right side: replicating it (15× its size)
+	// beats shuffling both.
+	got := w.chooseStrategy(sideState{partKey: "custkey"}, sideState{partKey: "suppkey"}, "partkey", 1_000_000_000, 1_000)
+	if got != ReplicateSmall {
+		t.Errorf("tiny side should replicate, got %s", got)
+	}
+}
+
+func TestChooseShuffleBothWhenComparable(t *testing.T) {
+	w := strategyPDW()
+	// Neither aligned, sides comparable: replicate costs 15× small,
+	// shuffle-both costs left+right — shuffle-both wins.
+	got := w.chooseStrategy(sideState{partKey: "custkey"}, sideState{partKey: "suppkey"}, "partkey", 1_000_000, 1_000_000)
+	if got != ShuffleBoth {
+		t.Errorf("comparable misaligned sides should shuffle both, got %s", got)
+	}
+}
+
+func TestForceShuffleOverridesAll(t *testing.T) {
+	_, w := testPDW(1000, Config{})
+	w.cfg.ForceShuffleJoins = true
+	got := w.chooseStrategy(sideState{replicated: true}, sideState{}, "k", 1, 1)
+	if got != ShuffleBoth {
+		t.Errorf("ForceShuffleJoins must override, got %s", got)
+	}
+}
+
+func TestColSuffix(t *testing.T) {
+	cases := map[string]string{
+		"l_orderkey": "orderkey",
+		"o_orderkey": "orderkey",
+		"plain":      "plain",
+	}
+	for in, want := range cases {
+		if got := colSuffix(in); got != want {
+			t.Errorf("colSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCachedFractionBounds(t *testing.T) {
+	_, small := testPDW(250, Config{})
+	if f := small.cachedFraction(); f != 1 {
+		t.Errorf("SF 250 cached fraction = %g, want 1 (fits in 384 GB pool)", f)
+	}
+	_, big := testPDW(16000, Config{})
+	f := big.cachedFraction()
+	if f <= 0 || f >= 0.1 {
+		t.Errorf("SF 16000 cached fraction = %g, want small positive", f)
+	}
+}

@@ -1,0 +1,132 @@
+package rcfile
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"elephants/internal/relal"
+	"elephants/internal/tpch"
+)
+
+func sampleTable(rows int) *relal.Table {
+	t := &relal.Table{
+		Name: "t",
+		Schema: relal.Schema{
+			{Name: "k", Type: relal.Int},
+			{Name: "v", Type: relal.Float},
+			{Name: "s", Type: relal.Str},
+		},
+	}
+	for i := 0; i < rows; i++ {
+		t.Rows = append(t.Rows, relal.Row{int64(i), float64(i) * 1.5, fmt.Sprintf("row-%d", i)})
+	}
+	return t
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := sampleTable(1000)
+	data, err := NewWriter(128).Write(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(data, src.Schema, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != src.NumRows() {
+		t.Fatalf("rows = %d, want %d", got.NumRows(), src.NumRows())
+	}
+	for i := range src.Rows {
+		for c := range src.Rows[i] {
+			if got.Rows[i][c] != src.Rows[i][c] {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, c, got.Rows[i][c], src.Rows[i][c])
+			}
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	src := sampleTable(0)
+	data, err := NewWriter(0).Write(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(data, src.Schema, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 {
+		t.Errorf("rows = %d, want 0", got.NumRows())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := Read([]byte("nope"), nil, "t"); err == nil {
+		t.Error("bad magic should fail")
+	}
+	src := sampleTable(10)
+	data, _ := NewWriter(0).Write(src)
+	if _, err := Read(data, src.Schema[:2], "t"); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+	if _, err := Read(data[:len(data)-5], src.Schema, "t"); err == nil {
+		t.Error("truncated file should fail")
+	}
+}
+
+func TestCompressionOnTPCH(t *testing.T) {
+	db := tpch.Generate(tpch.GenConfig{SF: 0.002, Seed: 1, Random64: true})
+	ratio, err := CompressionRatio(db.Lineitem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columnar gzip on TPC-H achieves heavy compression; the Hive cost
+	// model assumes ~0.115. Accept a broad band, but it must compress.
+	if ratio >= 0.7 {
+		t.Errorf("lineitem compression ratio = %.3f, expected strong compression", ratio)
+	}
+	if ratio <= 0.01 {
+		t.Errorf("compression ratio = %.3f suspiciously low", ratio)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		src := &relal.Table{
+			Name:   "p",
+			Schema: relal.Schema{{Name: "x", Type: relal.Int}},
+		}
+		for _, v := range vals {
+			src.Rows = append(src.Rows, relal.Row{v})
+		}
+		data, err := NewWriter(7).Write(src)
+		if err != nil {
+			return false
+		}
+		got, err := Read(data, src.Schema, "p")
+		if err != nil || got.NumRows() != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if got.Rows[i][0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteRejectsWrongTypes(t *testing.T) {
+	bad := &relal.Table{
+		Name:   "b",
+		Schema: relal.Schema{{Name: "x", Type: relal.Int}},
+		Rows:   []relal.Row{{"not an int"}},
+	}
+	if _, err := NewWriter(0).Write(bad); err == nil {
+		t.Error("type mismatch should fail")
+	}
+}

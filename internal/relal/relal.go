@@ -1,0 +1,584 @@
+// Package relal provides the shared relational-algebra building blocks
+// used by the TPC-H side of the reproduction: typed tables, hash joins,
+// grouped aggregation, sorting, and filtering, all instrumented with a
+// step log.
+//
+// Each TPC-H query is written once as a small program over these
+// operators. Executing it yields (a) the correct answer (validated
+// against the reference), and (b) a StepLog recording the shape of the
+// work: which tables were scanned, join input/output cardinalities,
+// aggregation sizes. The Hive and PDW engines replay the log with their
+// own physical strategies and cost models, which is how one query
+// implementation produces two paper-faithful timings.
+package relal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Type is a column type.
+type Type int
+
+// Column types. Dates are ISO-8601 strings so lexicographic comparison
+// is date comparison.
+const (
+	Int Type = iota
+	Float
+	Str
+)
+
+// Column describes one column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered column list.
+type Schema []Column
+
+// Col returns the index of the named column, or panics (schema errors
+// are programming bugs in the hand-written queries).
+func (s Schema) Col(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("relal: no column %q in schema %v", name, s.Names()))
+}
+
+// Names returns the column names.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Row is one tuple; elements are int64, float64, or string per the
+// schema.
+type Row []interface{}
+
+// Table is a schema plus rows. Base names the base table whose
+// partitioning the rows still align with ("" for post-join/agg
+// intermediates); filters and projections preserve it.
+type Table struct {
+	Name   string
+	Schema Schema
+	Rows   []Row
+	Base   string
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// AvgRowBytes estimates the average encoded row width in bytes (8 per
+// numeric column, string length + 1 otherwise), used by the engines to
+// convert cardinalities into I/O and network bytes.
+func (t *Table) AvgRowBytes() int {
+	if len(t.Rows) == 0 {
+		return rowBytesFromSchema(t.Schema)
+	}
+	sample := len(t.Rows)
+	if sample > 256 {
+		sample = 256
+	}
+	var total int
+	for i := 0; i < sample; i++ {
+		total += rowBytes(t.Rows[i])
+	}
+	return total / sample
+}
+
+func rowBytes(r Row) int {
+	b := 0
+	for _, v := range r {
+		switch x := v.(type) {
+		case string:
+			b += len(x) + 1
+		default:
+			b += 8
+		}
+	}
+	return b
+}
+
+func rowBytesFromSchema(s Schema) int {
+	b := 0
+	for _, c := range s {
+		if c.Type == Str {
+			b += 16
+		} else {
+			b += 8
+		}
+	}
+	return b
+}
+
+// StepKind classifies a logged execution step.
+type StepKind int
+
+// Step kinds.
+const (
+	StepScan StepKind = iota
+	StepFilter
+	StepJoin
+	StepAgg
+	StepSort
+	StepLimit
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepScan:
+		return "scan"
+	case StepFilter:
+		return "filter"
+	case StepJoin:
+		return "join"
+	case StepAgg:
+		return "agg"
+	case StepSort:
+		return "sort"
+	case StepLimit:
+		return "limit"
+	}
+	return "?"
+}
+
+// Step records one operator execution: cardinalities and byte widths
+// that the engines' cost models consume.
+type Step struct {
+	Kind StepKind
+	// Table is the base-table name for scans; for joins, the two input
+	// names joined with "⋈".
+	Table string
+	// LeftRows/RightRows are input cardinalities (RightRows 0 except
+	// joins).
+	LeftRows, RightRows int
+	// LeftBytes/RightBytes are input widths in bytes per row.
+	LeftWidth, RightWidth int
+	// OutRows/OutWidth describe the output.
+	OutRows, OutWidth int
+	// JoinKey names the join column (joins only); engines use it to
+	// check bucketing/partitioning alignment.
+	JoinKey string
+	// LeftBase/RightBase name the base table an input derives from, ""
+	// for intermediates. Partitioning alignment survives filters and
+	// projections but not joins or aggregations.
+	LeftBase, RightBase string
+}
+
+// StepLog accumulates steps in execution order.
+type StepLog struct {
+	Steps []Step
+}
+
+// Add appends a step.
+func (l *StepLog) Add(s Step) { l.Steps = append(l.Steps, s) }
+
+// Exec is the execution context threading the log through operators.
+type Exec struct {
+	Log StepLog
+}
+
+// SetBase marks t's rows as originating from (and still partitioned
+// like) the named base table.
+func SetBase(t *Table, base string) { t.Base = base }
+
+// BaseOf returns the base-table annotation for t ("" if none).
+func BaseOf(t *Table) string { return t.Base }
+
+// Scan logs a base-table scan and returns the table itself.
+func (e *Exec) Scan(t *Table) *Table {
+	e.Log.Add(Step{
+		Kind: StepScan, Table: t.Name,
+		LeftRows: t.NumRows(), LeftWidth: t.AvgRowBytes(),
+		OutRows: t.NumRows(), OutWidth: t.AvgRowBytes(),
+		LeftBase: t.Name,
+	})
+	SetBase(t, t.Name)
+	return t
+}
+
+// Filter returns rows of t satisfying pred. The result keeps t's base
+// annotation (filtering preserves partitioning).
+func (e *Exec) Filter(t *Table, pred func(Row) bool) *Table {
+	out := &Table{Name: t.Name + "_f", Schema: t.Schema}
+	for _, r := range t.Rows {
+		if pred(r) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	e.Log.Add(Step{
+		Kind: StepFilter, Table: t.Name,
+		LeftRows: t.NumRows(), LeftWidth: t.AvgRowBytes(),
+		OutRows: out.NumRows(), OutWidth: out.AvgRowBytes(),
+		LeftBase: BaseOf(t),
+	})
+	SetBase(out, BaseOf(t))
+	return out
+}
+
+// Project returns a table with the named columns only, preserving the
+// base annotation. Projection is logged as part of downstream steps, not
+// separately (it is free in both engines' models).
+func (e *Exec) Project(t *Table, cols ...string) *Table {
+	idx := make([]int, len(cols))
+	sch := make(Schema, len(cols))
+	for i, c := range cols {
+		idx[i] = t.Schema.Col(c)
+		sch[i] = t.Schema[idx[i]]
+	}
+	out := &Table{Name: t.Name + "_p", Schema: sch, Rows: make([]Row, 0, len(t.Rows))}
+	for _, r := range t.Rows {
+		nr := make(Row, len(idx))
+		for i, j := range idx {
+			nr[i] = r[j]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	SetBase(out, BaseOf(t))
+	return out
+}
+
+// Join hash-joins left and right on leftKey = rightKey (inner join),
+// producing the concatenated schema with right's key column retained
+// (callers project as needed). joinName labels the step.
+func (e *Exec) Join(left, right *Table, leftKey, rightKey string) *Table {
+	li := left.Schema.Col(leftKey)
+	ri := right.Schema.Col(rightKey)
+	ht := make(map[interface{}][]Row, len(right.Rows))
+	for _, r := range right.Rows {
+		ht[r[ri]] = append(ht[r[ri]], r)
+	}
+	sch := make(Schema, 0, len(left.Schema)+len(right.Schema))
+	sch = append(sch, left.Schema...)
+	sch = append(sch, right.Schema...)
+	out := &Table{Name: left.Name + "⋈" + right.Name, Schema: sch}
+	for _, lr := range left.Rows {
+		for _, rr := range ht[lr[li]] {
+			nr := make(Row, 0, len(lr)+len(rr))
+			nr = append(nr, lr...)
+			nr = append(nr, rr...)
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	e.Log.Add(Step{
+		Kind: StepJoin, Table: out.Name,
+		LeftRows: left.NumRows(), LeftWidth: left.AvgRowBytes(),
+		RightRows: right.NumRows(), RightWidth: right.AvgRowBytes(),
+		OutRows: out.NumRows(), OutWidth: out.AvgRowBytes(),
+		JoinKey:  leftKey,
+		LeftBase: BaseOf(left), RightBase: BaseOf(right),
+	})
+	return out
+}
+
+// SemiJoin returns left rows whose key appears in right (IN subquery).
+func (e *Exec) SemiJoin(left, right *Table, leftKey, rightKey string) *Table {
+	ri := right.Schema.Col(rightKey)
+	set := make(map[interface{}]bool, len(right.Rows))
+	for _, r := range right.Rows {
+		set[r[ri]] = true
+	}
+	li := left.Schema.Col(leftKey)
+	out := &Table{Name: left.Name + "_semi", Schema: left.Schema}
+	for _, r := range left.Rows {
+		if set[r[li]] {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	e.Log.Add(Step{
+		Kind: StepJoin, Table: out.Name,
+		LeftRows: left.NumRows(), LeftWidth: left.AvgRowBytes(),
+		RightRows: right.NumRows(), RightWidth: right.AvgRowBytes(),
+		OutRows: out.NumRows(), OutWidth: out.AvgRowBytes(),
+		JoinKey:  leftKey,
+		LeftBase: BaseOf(left), RightBase: BaseOf(right),
+	})
+	SetBase(out, BaseOf(left))
+	return out
+}
+
+// AntiJoin returns left rows whose key does not appear in right (NOT IN
+// / NOT EXISTS).
+func (e *Exec) AntiJoin(left, right *Table, leftKey, rightKey string) *Table {
+	ri := right.Schema.Col(rightKey)
+	set := make(map[interface{}]bool, len(right.Rows))
+	for _, r := range right.Rows {
+		set[r[ri]] = true
+	}
+	li := left.Schema.Col(leftKey)
+	out := &Table{Name: left.Name + "_anti", Schema: left.Schema}
+	for _, r := range left.Rows {
+		if !set[r[li]] {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	e.Log.Add(Step{
+		Kind: StepJoin, Table: out.Name,
+		LeftRows: left.NumRows(), LeftWidth: left.AvgRowBytes(),
+		RightRows: right.NumRows(), RightWidth: right.AvgRowBytes(),
+		OutRows: out.NumRows(), OutWidth: out.AvgRowBytes(),
+		JoinKey:  leftKey,
+		LeftBase: BaseOf(left), RightBase: BaseOf(right),
+	})
+	SetBase(out, BaseOf(left))
+	return out
+}
+
+// AggSpec is one aggregate: Fn over the expression column Col (or "*"
+// for COUNT(*)), output-named As.
+type AggSpec struct {
+	Fn  string // "sum", "avg", "count", "min", "max"
+	Col string
+	As  string
+}
+
+// Aggregate groups t by the named columns and computes aggs, logging the
+// step. Group columns precede aggregates in the output schema.
+func (e *Exec) Aggregate(t *Table, groupBy []string, aggs []AggSpec) *Table {
+	gidx := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		gidx[i] = t.Schema.Col(g)
+	}
+	aidx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Col == "*" {
+			aidx[i] = -1
+		} else {
+			aidx[i] = t.Schema.Col(a.Col)
+		}
+	}
+	type accum struct {
+		key   Row
+		sums  []float64
+		mins  []float64
+		maxs  []float64
+		strs  []string // min/max over strings
+		count int64
+	}
+	groups := make(map[string]*accum)
+	order := []string{}
+	for _, r := range t.Rows {
+		kb := make([]byte, 0, 32)
+		for _, gi := range gidx {
+			kb = append(kb, fmt.Sprint(r[gi])...)
+			kb = append(kb, 0)
+		}
+		k := string(kb)
+		acc, ok := groups[k]
+		if !ok {
+			key := make(Row, len(gidx))
+			for i, gi := range gidx {
+				key[i] = r[gi]
+			}
+			acc = &accum{
+				key:  key,
+				sums: make([]float64, len(aggs)),
+				mins: make([]float64, len(aggs)),
+				maxs: make([]float64, len(aggs)),
+				strs: make([]string, len(aggs)),
+			}
+			for i := range acc.mins {
+				acc.mins[i] = 1e308
+				acc.maxs[i] = -1e308
+			}
+			groups[k] = acc
+			order = append(order, k)
+		}
+		acc.count++
+		for i, ai := range aidx {
+			if ai < 0 {
+				continue
+			}
+			switch v := r[ai].(type) {
+			case int64:
+				f := float64(v)
+				acc.sums[i] += f
+				if f < acc.mins[i] {
+					acc.mins[i] = f
+				}
+				if f > acc.maxs[i] {
+					acc.maxs[i] = f
+				}
+			case float64:
+				acc.sums[i] += v
+				if v < acc.mins[i] {
+					acc.mins[i] = v
+				}
+				if v > acc.maxs[i] {
+					acc.maxs[i] = v
+				}
+			case string:
+				if acc.strs[i] == "" || v < acc.strs[i] {
+					acc.strs[i] = v
+				}
+			}
+		}
+	}
+	sch := make(Schema, 0, len(groupBy)+len(aggs))
+	for _, g := range groupBy {
+		sch = append(sch, t.Schema[t.Schema.Col(g)])
+	}
+	for _, a := range aggs {
+		typ := Float
+		if a.Fn == "count" {
+			typ = Int
+		}
+		if a.Fn == "min" || a.Fn == "max" {
+			if a.Col != "*" && t.Schema[t.Schema.Col(a.Col)].Type == Str {
+				typ = Str
+			}
+		}
+		sch = append(sch, Column{Name: a.As, Type: typ})
+	}
+	out := &Table{Name: t.Name + "_agg", Schema: sch}
+	for _, k := range order {
+		acc := groups[k]
+		row := make(Row, 0, len(sch))
+		row = append(row, acc.key...)
+		for i, a := range aggs {
+			switch a.Fn {
+			case "sum":
+				row = append(row, acc.sums[i])
+			case "avg":
+				row = append(row, acc.sums[i]/float64(acc.count))
+			case "count":
+				row = append(row, acc.count)
+			case "min":
+				if a.Col != "*" && t.Schema[t.Schema.Col(a.Col)].Type == Str {
+					row = append(row, acc.strs[i])
+				} else {
+					row = append(row, acc.mins[i])
+				}
+			case "max":
+				row = append(row, acc.maxs[i])
+			default:
+				panic("relal: unknown aggregate " + a.Fn)
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	e.Log.Add(Step{
+		Kind: StepAgg, Table: t.Name,
+		LeftRows: t.NumRows(), LeftWidth: t.AvgRowBytes(),
+		OutRows: out.NumRows(), OutWidth: out.AvgRowBytes(),
+		LeftBase: BaseOf(t),
+	})
+	return out
+}
+
+// OrderSpec is one sort key.
+type OrderSpec struct {
+	Col  string
+	Desc bool
+}
+
+// Sort orders t by the given keys, logging the step.
+func (e *Exec) Sort(t *Table, keys ...OrderSpec) *Table {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		idx[i] = t.Schema.Col(k.Col)
+	}
+	out := &Table{Name: t.Name + "_s", Schema: t.Schema, Rows: append([]Row(nil), t.Rows...)}
+	sort.SliceStable(out.Rows, func(a, b int) bool {
+		for i, k := range keys {
+			c := compareVals(out.Rows[a][idx[i]], out.Rows[b][idx[i]])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	e.Log.Add(Step{
+		Kind: StepSort, Table: t.Name,
+		LeftRows: t.NumRows(), LeftWidth: t.AvgRowBytes(),
+		OutRows: out.NumRows(), OutWidth: out.AvgRowBytes(),
+		LeftBase: BaseOf(t),
+	})
+	SetBase(out, BaseOf(t))
+	return out
+}
+
+// Limit truncates t to n rows.
+func (e *Exec) Limit(t *Table, n int) *Table {
+	out := &Table{Name: t.Name, Schema: t.Schema, Rows: t.Rows}
+	if len(out.Rows) > n {
+		out.Rows = out.Rows[:n]
+	}
+	SetBase(out, BaseOf(t))
+	return out
+}
+
+func compareVals(a, b interface{}) int {
+	switch x := a.(type) {
+	case int64:
+		y := b.(int64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case float64:
+		y := b.(float64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case string:
+		y := b.(string)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+	panic(fmt.Sprintf("relal: cannot compare %T", a))
+}
+
+// F converts an int64/float64 cell to float64 (query arithmetic helper).
+func F(v interface{}) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	panic(fmt.Sprintf("relal: not numeric: %T", v))
+}
+
+// I returns the cell as int64.
+func I(v interface{}) int64 { return v.(int64) }
+
+// S returns the cell as string.
+func S(v interface{}) string { return v.(string) }
+
+// Extend appends a computed column to t (no step logged; expression
+// evaluation is costed with the surrounding operator).
+func Extend(t *Table, name string, typ Type, fn func(Row) interface{}) *Table {
+	sch := append(append(Schema{}, t.Schema...), Column{Name: name, Type: typ})
+	out := &Table{Name: t.Name, Schema: sch, Rows: make([]Row, 0, len(t.Rows))}
+	for _, r := range t.Rows {
+		nr := make(Row, 0, len(r)+1)
+		nr = append(nr, r...)
+		nr = append(nr, fn(r))
+		out.Rows = append(out.Rows, nr)
+	}
+	SetBase(out, BaseOf(t))
+	return out
+}

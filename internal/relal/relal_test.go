@@ -1,0 +1,264 @@
+package relal
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func numbers(n int) *Table {
+	t := &Table{
+		Name: "nums",
+		Schema: Schema{
+			{Name: "k", Type: Int},
+			{Name: "v", Type: Float},
+			{Name: "grp", Type: Str},
+		},
+	}
+	for i := 0; i < n; i++ {
+		t.Rows = append(t.Rows, Row{int64(i), float64(i) * 2, fmt.Sprintf("g%d", i%3)})
+	}
+	return t
+}
+
+func TestSchemaCol(t *testing.T) {
+	s := Schema{{Name: "a", Type: Int}, {Name: "b", Type: Str}}
+	if s.Col("b") != 1 {
+		t.Error("Col(b) != 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Col on missing column should panic")
+		}
+	}()
+	s.Col("zz")
+}
+
+func TestFilterKeepsBase(t *testing.T) {
+	e := &Exec{}
+	tb := e.Scan(numbers(10))
+	f := e.Filter(tb, func(r Row) bool { return I(r[0]) >= 5 })
+	if f.NumRows() != 5 {
+		t.Errorf("filtered rows = %d, want 5", f.NumRows())
+	}
+	if BaseOf(f) != "nums" {
+		t.Error("filter must preserve base annotation")
+	}
+}
+
+func TestProject(t *testing.T) {
+	e := &Exec{}
+	p := e.Project(numbers(3), "v", "k")
+	if len(p.Schema) != 2 || p.Schema[0].Name != "v" {
+		t.Errorf("schema = %v", p.Schema.Names())
+	}
+	if F(p.Rows[1][0]) != 2 || I(p.Rows[1][1]) != 1 {
+		t.Errorf("row = %v", p.Rows[1])
+	}
+}
+
+func TestJoinInner(t *testing.T) {
+	e := &Exec{}
+	left := &Table{Name: "l", Schema: Schema{{Name: "id", Type: Int}, {Name: "x", Type: Str}}}
+	right := &Table{Name: "r", Schema: Schema{{Name: "rid", Type: Int}, {Name: "y", Type: Str}}}
+	for i := 0; i < 4; i++ {
+		left.Rows = append(left.Rows, Row{int64(i), fmt.Sprintf("x%d", i)})
+	}
+	right.Rows = append(right.Rows, Row{int64(1), "a"}, Row{int64(1), "b"}, Row{int64(3), "c"})
+	out := e.Join(left, right, "id", "rid")
+	if out.NumRows() != 3 {
+		t.Fatalf("join rows = %d, want 3 (1×2 + 3×1)", out.NumRows())
+	}
+	if BaseOf(out) != "" {
+		t.Error("join output must lose base annotation")
+	}
+	// The join step must be logged with cardinalities.
+	st := e.Log.Steps[len(e.Log.Steps)-1]
+	if st.Kind != StepJoin || st.LeftRows != 4 || st.RightRows != 3 || st.OutRows != 3 {
+		t.Errorf("join step = %+v", st)
+	}
+}
+
+func TestSemiAntiJoinPartition(t *testing.T) {
+	e := &Exec{}
+	left := numbers(10)
+	right := &Table{Name: "r", Schema: Schema{{Name: "id", Type: Int}}}
+	for i := 0; i < 10; i += 2 {
+		right.Rows = append(right.Rows, Row{int64(i)})
+	}
+	semi := e.SemiJoin(left, right, "k", "id")
+	anti := e.AntiJoin(left, right, "k", "id")
+	if semi.NumRows()+anti.NumRows() != left.NumRows() {
+		t.Errorf("semi (%d) + anti (%d) != total (%d)", semi.NumRows(), anti.NumRows(), left.NumRows())
+	}
+	if semi.NumRows() != 5 {
+		t.Errorf("semi rows = %d, want 5", semi.NumRows())
+	}
+}
+
+func TestAggregateSumCountAvg(t *testing.T) {
+	e := &Exec{}
+	out := e.Aggregate(numbers(9), []string{"grp"}, []AggSpec{
+		{Fn: "sum", Col: "v", As: "sv"},
+		{Fn: "count", Col: "*", As: "n"},
+		{Fn: "avg", Col: "v", As: "av"},
+		{Fn: "min", Col: "v", As: "mn"},
+		{Fn: "max", Col: "v", As: "mx"},
+	})
+	if out.NumRows() != 3 {
+		t.Fatalf("groups = %d, want 3", out.NumRows())
+	}
+	// Group g0 holds k=0,3,6 → v=0,6,12.
+	for _, r := range out.Rows {
+		if S(r[0]) != "g0" {
+			continue
+		}
+		if F(r[1]) != 18 || I(r[2]) != 3 || F(r[3]) != 6 || F(r[4]) != 0 || F(r[5]) != 12 {
+			t.Errorf("g0 aggregates = %v", r)
+		}
+	}
+}
+
+func TestAggregateGlobal(t *testing.T) {
+	e := &Exec{}
+	out := e.Aggregate(numbers(4), nil, []AggSpec{{Fn: "sum", Col: "v", As: "s"}})
+	if out.NumRows() != 1 || F(out.Rows[0][0]) != 12 {
+		t.Errorf("global sum = %v", out.Rows)
+	}
+}
+
+func TestAggregateMinMaxString(t *testing.T) {
+	e := &Exec{}
+	out := e.Aggregate(numbers(5), nil, []AggSpec{{Fn: "min", Col: "grp", As: "m"}})
+	if S(out.Rows[0][0]) != "g0" {
+		t.Errorf("min string = %v", out.Rows[0][0])
+	}
+}
+
+func TestSortAscDesc(t *testing.T) {
+	e := &Exec{}
+	out := e.Sort(numbers(10), OrderSpec{Col: "grp"}, OrderSpec{Col: "k", Desc: true})
+	var lastG string
+	lastK := int64(1 << 62)
+	for _, r := range out.Rows {
+		g, k := S(r[2]), I(r[0])
+		if g < lastG {
+			t.Fatal("not sorted by grp")
+		}
+		if g != lastG {
+			lastG, lastK = g, 1<<62
+		}
+		if k > lastK {
+			t.Fatal("not sorted by k desc within group")
+		}
+		lastK = k
+	}
+}
+
+func TestSortDoesNotMutateInput(t *testing.T) {
+	e := &Exec{}
+	in := numbers(5)
+	first := I(in.Rows[0][0])
+	e.Sort(in, OrderSpec{Col: "k", Desc: true})
+	if I(in.Rows[0][0]) != first {
+		t.Error("sort mutated its input")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	e := &Exec{}
+	out := e.Limit(numbers(10), 3)
+	if out.NumRows() != 3 {
+		t.Errorf("limit rows = %d", out.NumRows())
+	}
+	if e.Limit(numbers(2), 5).NumRows() != 2 {
+		t.Error("limit beyond size should be identity")
+	}
+}
+
+func TestExtend(t *testing.T) {
+	tb := numbers(3)
+	out := Extend(tb, "double", Float, func(r Row) interface{} { return F(r[1]) * 2 })
+	if len(out.Schema) != 4 {
+		t.Fatal("extend did not add a column")
+	}
+	if F(out.Rows[2][3]) != 8 {
+		t.Errorf("extended value = %v", out.Rows[2][3])
+	}
+}
+
+func TestAvgRowBytes(t *testing.T) {
+	tb := numbers(10)
+	b := tb.AvgRowBytes()
+	// 2 numeric (8 each) + "gN" string (2+1).
+	if b != 19 {
+		t.Errorf("avg row bytes = %d, want 19", b)
+	}
+	empty := &Table{Schema: tb.Schema}
+	if empty.AvgRowBytes() <= 0 {
+		t.Error("empty table must estimate width from schema")
+	}
+}
+
+func TestJoinMatchesNestedLoopProperty(t *testing.T) {
+	f := func(lk, rk []uint8) bool {
+		e := &Exec{}
+		left := &Table{Name: "l", Schema: Schema{{Name: "a", Type: Int}}}
+		right := &Table{Name: "r", Schema: Schema{{Name: "b", Type: Int}}}
+		for _, k := range lk {
+			left.Rows = append(left.Rows, Row{int64(k % 8)})
+		}
+		for _, k := range rk {
+			right.Rows = append(right.Rows, Row{int64(k % 8)})
+		}
+		got := e.Join(left, right, "a", "b").NumRows()
+		want := 0
+		for _, l := range left.Rows {
+			for _, r := range right.Rows {
+				if l[0] == r[0] {
+					want++
+				}
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregatePreservesTotalCountProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		e := &Exec{}
+		tb := &Table{Name: "t", Schema: Schema{{Name: "g", Type: Int}}}
+		for _, v := range vals {
+			tb.Rows = append(tb.Rows, Row{int64(v % 5)})
+		}
+		out := e.Aggregate(tb, []string{"g"}, []AggSpec{{Fn: "count", Col: "*", As: "n"}})
+		var total int64
+		for _, r := range out.Rows {
+			total += I(r[1])
+		}
+		return total == int64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortIsStableOrdering(t *testing.T) {
+	e := &Exec{}
+	tb := numbers(50)
+	out := e.Sort(tb, OrderSpec{Col: "grp"})
+	// Within each group, original k order must be preserved (stable).
+	perGroup := map[string][]int64{}
+	for _, r := range out.Rows {
+		perGroup[S(r[2])] = append(perGroup[S(r[2])], I(r[0]))
+	}
+	for g, ks := range perGroup {
+		if !sort.SliceIsSorted(ks, func(i, j int) bool { return ks[i] < ks[j] }) {
+			t.Errorf("group %s not stable: %v", g, ks)
+		}
+	}
+}

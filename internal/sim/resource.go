@@ -1,0 +1,167 @@
+package sim
+
+// Resource is a FIFO-queued resource with fixed capacity (a counting
+// semaphore with queueing): disks, NICs, CPU cores, map slots, and locks
+// are all Resources. Waiting time in the queue is virtual time, which is
+// how contention turns into latency in the simulation.
+type Resource struct {
+	s        *Sim
+	name     string
+	capacity int
+	inUse    int
+	waiters  []chan struct{}
+
+	// Busy accounting for utilisation reports.
+	busy      Duration
+	lastEnter Time
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func (s *Sim) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{s: s, name: name, capacity: capacity}
+}
+
+// NewMutex returns a capacity-1 resource.
+func (s *Sim) NewMutex(name string) *Resource { return s.NewResource(name, 1) }
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire blocks the process until a unit of the resource is available.
+// Waiters are served in FIFO order.
+func (r *Resource) Acquire(p *Proc) {
+	s := r.s
+	s.mu.Lock()
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		if r.inUse == 0 {
+			r.lastEnter = s.now
+		}
+		r.inUse++
+		s.mu.Unlock()
+		return
+	}
+	ch := s.park()
+	r.waiters = append(r.waiters, ch)
+	s.mu.Unlock()
+	<-ch
+}
+
+// TryAcquire acquires a unit if one is immediately available and reports
+// whether it did.
+func (r *Resource) TryAcquire() bool {
+	s := r.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		if r.inUse == 0 {
+			r.lastEnter = s.now
+		}
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit of the resource, waking the oldest waiter if
+// any. It may be called from any process holding a unit.
+func (r *Resource) Release() {
+	s := r.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(r.waiters) > 0 {
+		// Hand the unit directly to the next waiter; inUse is unchanged.
+		ch := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		s.unpark(ch)
+		return
+	}
+	r.inUse--
+	if r.inUse < 0 {
+		panic("sim: Release without Acquire on " + r.name)
+	}
+	if r.inUse == 0 {
+		r.busy += Duration(s.now - r.lastEnter)
+	}
+}
+
+// Use acquires the resource, holds it for service time d, and releases it.
+// This is the building block for queueing delays: the caller's latency is
+// queue wait plus d.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// QueueLen reports the number of processes waiting (not served).
+func (r *Resource) QueueLen() int {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	return len(r.waiters)
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	return r.inUse
+}
+
+// BusyTime reports the cumulative virtual time during which at least one
+// unit of the resource was held.
+func (r *Resource) BusyTime() Duration {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	b := r.busy
+	if r.inUse > 0 {
+		b += Duration(r.s.now - r.lastEnter)
+	}
+	return b
+}
+
+// WaitGroup is the virtual-time analogue of sync.WaitGroup: processes
+// block in virtual time until the counter reaches zero.
+type WaitGroup struct {
+	s       *Sim
+	count   int
+	waiters []chan struct{}
+}
+
+// NewWaitGroup returns an empty wait group.
+func (s *Sim) NewWaitGroup() *WaitGroup { return &WaitGroup{s: s} }
+
+// Add adds delta to the counter.
+func (w *WaitGroup) Add(delta int) {
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.count == 0 {
+		for _, ch := range w.waiters {
+			w.s.unpark(ch)
+		}
+		w.waiters = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks the process until the counter is zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	s := w.s
+	s.mu.Lock()
+	if w.count == 0 {
+		s.mu.Unlock()
+		return
+	}
+	ch := s.park()
+	w.waiters = append(w.waiters, ch)
+	s.mu.Unlock()
+	<-ch
+}

@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+func TestRunUntilStopsClock(t *testing.T) {
+	s := New()
+	var ticks int
+	s.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(Second)
+			ticks++
+		}
+	})
+	end := s.RunUntil(Time(3500 * Millisecond))
+	if ticks != 3 {
+		t.Errorf("ticks = %d, want 3 (events past the horizon stay pending)", ticks)
+	}
+	if end > Time(3500*Millisecond) {
+		t.Errorf("clock = %v, want <= 3.5s", Duration(end))
+	}
+	// Resuming with Run drains the rest.
+	s.Run()
+	if ticks != 10 {
+		t.Errorf("after Run: ticks = %d, want 10", ticks)
+	}
+}
+
+func TestRunUntilNoEvents(t *testing.T) {
+	s := New()
+	if got := s.RunUntil(Time(Second)); got != 0 {
+		t.Errorf("RunUntil with no events = %v, want 0", Duration(got))
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+// RWLock is a reader-writer lock in virtual time with FIFO fairness:
+// a queued writer blocks later readers, so writers cannot starve. It
+// backs both the SQL engine's row locks (READ COMMITTED) and MongoDB's
+// per-process global write lock, whose contention behaviour drives the
+// paper's Workload A analysis.
+type RWLock struct {
+	s       *Sim
+	name    string
+	readers int
+	writer  bool
+	queue   []rwWaiter
+
+	// Contention accounting: cumulative virtual time with the write
+	// side held (the paper reports % time spent in the global lock).
+	writeBusy  Duration
+	writeSince Time
+}
+
+type rwWaiter struct {
+	write bool
+	ch    chan struct{}
+}
+
+// NewRWLock returns an unlocked reader-writer lock.
+func (s *Sim) NewRWLock(name string) *RWLock {
+	return &RWLock{s: s, name: name}
+}
+
+// AcquireRead blocks until the lock is readable (no writer holds it and
+// no writer is queued ahead).
+func (l *RWLock) AcquireRead(p *Proc) {
+	s := l.s
+	s.mu.Lock()
+	if !l.writer && len(l.queue) == 0 {
+		l.readers++
+		s.mu.Unlock()
+		return
+	}
+	ch := s.park()
+	l.queue = append(l.queue, rwWaiter{write: false, ch: ch})
+	s.mu.Unlock()
+	<-ch
+}
+
+// ReleaseRead releases a read hold.
+func (l *RWLock) ReleaseRead() {
+	s := l.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l.readers--
+	if l.readers < 0 {
+		panic("sim: ReleaseRead without AcquireRead on " + l.name)
+	}
+	l.dispatchLocked()
+}
+
+// AcquireWrite blocks until the lock is exclusively held.
+func (l *RWLock) AcquireWrite(p *Proc) {
+	s := l.s
+	s.mu.Lock()
+	if !l.writer && l.readers == 0 && len(l.queue) == 0 {
+		l.writer = true
+		l.writeSince = s.now
+		s.mu.Unlock()
+		return
+	}
+	ch := s.park()
+	l.queue = append(l.queue, rwWaiter{write: true, ch: ch})
+	s.mu.Unlock()
+	<-ch
+}
+
+// ReleaseWrite releases the exclusive hold.
+func (l *RWLock) ReleaseWrite() {
+	s := l.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !l.writer {
+		panic("sim: ReleaseWrite without AcquireWrite on " + l.name)
+	}
+	l.writer = false
+	l.writeBusy += Duration(s.now - l.writeSince)
+	l.dispatchLocked()
+}
+
+// dispatchLocked grants the lock to queued waiters in FIFO order: either
+// one writer, or every reader up to the next queued writer. Must be
+// called with s.mu held, with the lock in a grantable state.
+func (l *RWLock) dispatchLocked() {
+	if l.writer || len(l.queue) == 0 {
+		return
+	}
+	if l.queue[0].write {
+		if l.readers > 0 {
+			return
+		}
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		l.writer = true
+		l.writeSince = l.s.now
+		l.s.unpark(w.ch)
+		return
+	}
+	for len(l.queue) > 0 && !l.queue[0].write {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		l.readers++
+		l.s.unpark(w.ch)
+	}
+}
+
+// WriteBusy reports the cumulative virtual time the write side was held.
+func (l *RWLock) WriteBusy() Duration {
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	b := l.writeBusy
+	if l.writer {
+		b += Duration(l.s.now - l.writeSince)
+	}
+	return b
+}
+
+// QueueLen reports the number of parked waiters.
+func (l *RWLock) QueueLen() int {
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	return len(l.queue)
+}

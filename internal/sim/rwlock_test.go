@@ -1,0 +1,135 @@
+package sim
+
+import "testing"
+
+func TestRWLockConcurrentReaders(t *testing.T) {
+	s := New()
+	l := s.NewRWLock("l")
+	for i := 0; i < 5; i++ {
+		s.Spawn("r", func(p *Proc) {
+			l.AcquireRead(p)
+			p.Sleep(Second)
+			l.ReleaseRead()
+		})
+	}
+	if end := s.Run(); end != Time(Second) {
+		t.Errorf("5 concurrent readers took %v, want 1s", Duration(end))
+	}
+}
+
+func TestRWLockWriterExcludesReaders(t *testing.T) {
+	s := New()
+	l := s.NewRWLock("l")
+	var readerDone Time
+	s.Spawn("w", func(p *Proc) {
+		l.AcquireWrite(p)
+		p.Sleep(Second)
+		l.ReleaseWrite()
+	})
+	s.Spawn("r", func(p *Proc) {
+		p.Sleep(Millisecond) // arrive while writer holds
+		l.AcquireRead(p)
+		readerDone = p.Now()
+		l.ReleaseRead()
+	})
+	s.Run()
+	if readerDone != Time(Second) {
+		t.Errorf("reader proceeded at %v, want 1s (after writer)", Duration(readerDone))
+	}
+}
+
+func TestRWLockWritersSerialize(t *testing.T) {
+	s := New()
+	l := s.NewRWLock("l")
+	for i := 0; i < 3; i++ {
+		s.Spawn("w", func(p *Proc) {
+			l.AcquireWrite(p)
+			p.Sleep(Second)
+			l.ReleaseWrite()
+		})
+	}
+	if end := s.Run(); end != Time(3*Second) {
+		t.Errorf("3 writers took %v, want 3s", Duration(end))
+	}
+}
+
+func TestRWLockQueuedWriterBlocksLaterReaders(t *testing.T) {
+	s := New()
+	l := s.NewRWLock("l")
+	var lateReaderStart Time
+	s.Spawn("r1", func(p *Proc) {
+		l.AcquireRead(p)
+		p.Sleep(2 * Second)
+		l.ReleaseRead()
+	})
+	s.Spawn("w", func(p *Proc) {
+		p.Sleep(Millisecond)
+		l.AcquireWrite(p) // queued behind r1
+		p.Sleep(Second)
+		l.ReleaseWrite()
+	})
+	s.Spawn("r2", func(p *Proc) {
+		p.Sleep(2 * Millisecond)
+		l.AcquireRead(p) // must wait for queued writer (no starvation)
+		lateReaderStart = p.Now()
+		l.ReleaseRead()
+	})
+	s.Run()
+	if lateReaderStart != Time(3*Second) {
+		t.Errorf("late reader ran at %v, want 3s (after writer)", Duration(lateReaderStart))
+	}
+}
+
+func TestRWLockBatchWakesReaders(t *testing.T) {
+	s := New()
+	l := s.NewRWLock("l")
+	starts := make([]Time, 3)
+	s.Spawn("w", func(p *Proc) {
+		l.AcquireWrite(p)
+		p.Sleep(Second)
+		l.ReleaseWrite()
+	})
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn("r", func(p *Proc) {
+			p.Sleep(Millisecond)
+			l.AcquireRead(p)
+			starts[i] = p.Now()
+			p.Sleep(Second)
+			l.ReleaseRead()
+		})
+	}
+	if end := s.Run(); end != Time(2*Second) {
+		t.Errorf("end %v, want 2s (readers batched)", Duration(end))
+	}
+	for i, st := range starts {
+		if st != Time(Second) {
+			t.Errorf("reader %d started at %v, want 1s", i, Duration(st))
+		}
+	}
+}
+
+func TestRWLockWriteBusy(t *testing.T) {
+	s := New()
+	l := s.NewRWLock("l")
+	s.Spawn("w", func(p *Proc) {
+		l.AcquireWrite(p)
+		p.Sleep(3 * Second)
+		l.ReleaseWrite()
+	})
+	s.Run()
+	if got := l.WriteBusy(); got != 3*Second {
+		t.Errorf("write busy %v, want 3s", got)
+	}
+}
+
+func TestRWLockReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s := New()
+	l := s.NewRWLock("l")
+	l.ReleaseWrite()
+}

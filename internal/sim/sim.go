@@ -1,0 +1,250 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// with goroutine-backed processes and a virtual clock.
+//
+// Every timed interaction in the reproduction (disk reads, network
+// transfers, CPU work, lock waits) is expressed as a process blocking on
+// the simulator, so reported latencies and runtimes are virtual-clock
+// readings that are independent of host speed and scheduling.
+//
+// The kernel is conservative: exactly one process runs at a time, and the
+// clock only advances when every process is blocked. This makes runs
+// deterministic for a fixed spawn order and seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Seconds reports the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds reports the duration as a floating-point number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dns", int64(d))
+}
+
+// Seconds converts a floating-point number of seconds to a Duration.
+func Seconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// event is a scheduled wake-up for a blocked process.
+type event struct {
+	at  Time
+	seq int64 // tie-breaker for determinism
+	ch  chan struct{}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; call New.
+type Sim struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     Time
+	events  eventHeap
+	active  int   // processes currently runnable (not blocked)
+	blocked int   // processes blocked on resources (no scheduled event)
+	seq     int64 // monotonically increasing event sequence
+	done    bool
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Sim {
+	s := &Sim{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Proc is a simulated process. Each Proc is backed by one goroutine; Proc
+// methods must only be called from that goroutine.
+type Proc struct {
+	s    *Sim
+	name string
+}
+
+// Sim returns the simulator this process belongs to.
+func (p *Proc) Sim() *Sim { return p.s }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.s.Now() }
+
+// Spawn starts a new process running fn. It may be called before Run or
+// from within a running process. Processes are dispatched in spawn order
+// at the current virtual time, and exactly one process runs at a time, so
+// simulations are deterministic.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) {
+	s.mu.Lock()
+	ch := s.scheduleLocked(s.now)
+	s.mu.Unlock()
+	go func() {
+		<-ch
+		p := &Proc{s: s, name: name}
+		defer s.exit()
+		fn(p)
+	}()
+}
+
+// scheduleLocked registers a wake-up event at time t and returns the
+// channel that will be closed when the scheduler dispatches it.
+// Must be called with s.mu held.
+func (s *Sim) scheduleLocked(t Time) chan struct{} {
+	ch := make(chan struct{})
+	s.scheduleChLocked(t, ch)
+	return ch
+}
+
+// scheduleChLocked registers a wake-up event at time t that closes ch
+// when dispatched. Must be called with s.mu held.
+func (s *Sim) scheduleChLocked(t Time, ch chan struct{}) {
+	heap.Push(&s.events, &event{at: t, seq: s.seq, ch: ch})
+	s.seq++
+}
+
+// exit marks the calling process finished.
+func (s *Sim) exit() {
+	s.mu.Lock()
+	s.active--
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// Sleep blocks the process for d of virtual time. Negative durations are
+// treated as zero (the process yields to the scheduler).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.s
+	s.mu.Lock()
+	ch := s.scheduleLocked(s.now + Time(d))
+	s.active--
+	s.cond.Signal()
+	s.mu.Unlock()
+	<-ch
+}
+
+// park blocks the calling process with no scheduled wake-up; wake must be
+// paired with it from another (running) process via unpark.
+func (s *Sim) park() chan struct{} {
+	ch := make(chan struct{})
+	s.active--
+	s.blocked++
+	s.cond.Signal()
+	return ch
+}
+
+// unpark schedules a parked process to resume at the current virtual
+// time, after the currently running process next blocks. Wake order is
+// deterministic (event sequence order). Must be called with s.mu held.
+func (s *Sim) unpark(ch chan struct{}) {
+	s.blocked--
+	s.scheduleChLocked(s.now, ch)
+}
+
+// Run drives the simulation until no events remain and all processes have
+// finished or are permanently blocked. It returns the final virtual time.
+// Run panics if the simulation deadlocks (processes blocked on resources
+// with no pending events), since in this codebase that is always a bug.
+func (s *Sim) Run() Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for s.active > 0 {
+			s.cond.Wait()
+		}
+		if s.events.Len() == 0 {
+			if s.blocked > 0 {
+				panic(fmt.Sprintf("sim: deadlock at t=%v: %d processes blocked with no pending events", s.now, s.blocked))
+			}
+			s.done = true
+			return s.now
+		}
+		ev := heap.Pop(&s.events).(*event)
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		s.active++
+		close(ev.ch)
+	}
+}
+
+// RunUntil drives the simulation, but stops advancing the clock past t.
+// Processes with wake-ups after t remain scheduled; the clock is left at
+// the later of its current value and the last dispatched event (capped by
+// pending work), and t is returned as a convenience.
+func (s *Sim) RunUntil(t Time) Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for s.active > 0 {
+			s.cond.Wait()
+		}
+		if s.events.Len() == 0 || s.events[0].at > t {
+			if s.now < t && s.events.Len() > 0 {
+				s.now = t
+			}
+			return s.now
+		}
+		ev := heap.Pop(&s.events).(*event)
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		s.active++
+		close(ev.ch)
+	}
+}

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("new sim clock = %d, want 0", s.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	s := New()
+	var woke Time
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Second)
+		woke = p.Now()
+	})
+	end := s.Run()
+	if woke != Time(5*Second) {
+		t.Errorf("woke at %d, want %d", woke, 5*Second)
+	}
+	if end != Time(5*Second) {
+		t.Errorf("end time %d, want %d", end, 5*Second)
+	}
+}
+
+func TestParallelSleepsOverlap(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Spawn("p", func(p *Proc) { p.Sleep(3 * Second) })
+	}
+	if end := s.Run(); end != Time(3*Second) {
+		t.Errorf("10 parallel 3s sleeps ended at %v, want 3s", end)
+	}
+}
+
+func TestSequentialSleepsAccumulate(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(Second)
+		}
+	})
+	if end := s.Run(); end != Time(4*Second) {
+		t.Errorf("end %v, want 4s", end)
+	}
+}
+
+func TestZeroAndNegativeSleep(t *testing.T) {
+	s := New()
+	var ok bool
+	s.Spawn("p", func(p *Proc) {
+		p.Sleep(0)
+		p.Sleep(-5)
+		ok = true
+	})
+	if end := s.Run(); end != 0 {
+		t.Errorf("end %v, want 0", end)
+	}
+	if !ok {
+		t.Error("process did not complete")
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	s := New()
+	r := s.NewMutex("disk")
+	ends := make([]Time, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn("u", func(p *Proc) {
+			r.Use(p, Second)
+			ends[i] = p.Now()
+		})
+	}
+	if end := s.Run(); end != Time(3*Second) {
+		t.Fatalf("3 serialized 1s uses ended at %v, want 3s", end)
+	}
+	// FIFO: spawn order is service order.
+	for i, e := range ends {
+		want := Time(Duration(i+1) * Second)
+		if e != want {
+			t.Errorf("user %d finished at %v, want %v", i, e, want)
+		}
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	s := New()
+	r := s.NewResource("cpu", 2)
+	for i := 0; i < 4; i++ {
+		s.Spawn("u", func(p *Proc) { r.Use(p, Second) })
+	}
+	if end := s.Run(); end != Time(2*Second) {
+		t.Errorf("4 jobs on capacity-2 resource ended at %v, want 2s", end)
+	}
+}
+
+func TestResourceBusyTime(t *testing.T) {
+	s := New()
+	r := s.NewMutex("disk")
+	s.Spawn("a", func(p *Proc) { r.Use(p, Second) })
+	s.Spawn("b", func(p *Proc) {
+		p.Sleep(10 * Second)
+		r.Use(p, 2*Second)
+	})
+	s.Run()
+	if got := r.BusyTime(); got != 3*Second {
+		t.Errorf("busy time %v, want 3s", got)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	s := New()
+	r := s.NewMutex("m")
+	var first, second bool
+	s.Spawn("p", func(p *Proc) {
+		first = r.TryAcquire()
+		second = r.TryAcquire()
+		r.Release()
+	})
+	s.Run()
+	if !first || second {
+		t.Errorf("TryAcquire = %v,%v; want true,false", first, second)
+	}
+}
+
+func TestWaitGroupJoins(t *testing.T) {
+	s := New()
+	wg := s.NewWaitGroup()
+	wg.Add(3)
+	for i := 1; i <= 3; i++ {
+		d := Duration(i) * Second
+		s.Spawn("w", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	var joined Time
+	s.Spawn("joiner", func(p *Proc) {
+		wg.Wait(p)
+		joined = p.Now()
+	})
+	s.Run()
+	if joined != Time(3*Second) {
+		t.Errorf("joined at %v, want 3s", joined)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	s := New()
+	wg := s.NewWaitGroup()
+	var ran bool
+	s.Spawn("j", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	s.Run()
+	if !ran {
+		t.Error("Wait on zero counter should not block")
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	s := New()
+	var childEnd Time
+	s.Spawn("parent", func(p *Proc) {
+		p.Sleep(Second)
+		s.Spawn("child", func(c *Proc) {
+			c.Sleep(Second)
+			childEnd = c.Now()
+		})
+	})
+	s.Run()
+	if childEnd != Time(2*Second) {
+		t.Errorf("child ended at %v, want 2s", childEnd)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := New()
+		r := s.NewResource("r", 2)
+		out := make([]Time, 8)
+		for i := 0; i < 8; i++ {
+			i := i
+			s.Spawn("p", func(p *Proc) {
+				p.Sleep(Duration(i%3) * Millisecond)
+				r.Use(p, Duration(i+1)*Millisecond)
+				out[i] = p.Now()
+			})
+		}
+		s.Run()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected deadlock panic")
+		}
+	}()
+	s := New()
+	r := s.NewMutex("m")
+	s.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		// Never released; second acquirer blocks forever.
+		r.Acquire(p)
+	})
+	s.Run()
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{90 * Second, "90.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	f := func(ms uint16) bool {
+		d := Seconds(float64(ms) / 1000)
+		return d >= Duration(ms)*Millisecond-Microsecond && d <= Duration(ms)*Millisecond+Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceQueueLen(t *testing.T) {
+	s := New()
+	r := s.NewMutex("m")
+	var q int
+	s.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(Second)
+		q = r.QueueLen()
+		r.Release()
+	})
+	s.Spawn("waiter", func(p *Proc) {
+		p.Sleep(Millisecond)
+		r.Acquire(p)
+		r.Release()
+	})
+	s.Run()
+	if q != 1 {
+		t.Errorf("queue length seen by holder = %d, want 1", q)
+	}
+}

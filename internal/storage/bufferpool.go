@@ -1,0 +1,96 @@
+package storage
+
+import "container/list"
+
+// BufferPool models page residency with LRU replacement. It does not hold
+// page bytes (the functional layer does); it answers "was this page in
+// memory?" so the engine can charge simulated I/O for misses, and tracks
+// dirty pages so checkpoints can charge write I/O.
+type BufferPool struct {
+	capacity int
+	lru      *list.List // front = most recently used; values are PageID
+	pages    map[PageID]*list.Element
+	dirty    map[PageID]bool
+
+	hits   int64
+	misses int64
+}
+
+// NewBufferPool returns a pool that can hold capacity pages (>= 1).
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[PageID]*list.Element),
+		dirty:    make(map[PageID]bool),
+	}
+}
+
+// Capacity returns the pool capacity in pages.
+func (b *BufferPool) Capacity() int { return b.capacity }
+
+// Len returns the number of resident pages.
+func (b *BufferPool) Len() int { return b.lru.Len() }
+
+// Touch records an access to page id. It reports whether the page was
+// resident (hit) and, if bringing it in evicted a dirty page, the evicted
+// page's ID (evictedDirty=false means nothing dirty was written back).
+func (b *BufferPool) Touch(id PageID) (hit bool, evicted PageID, evictedDirty bool) {
+	if el, ok := b.pages[id]; ok {
+		b.lru.MoveToFront(el)
+		b.hits++
+		return true, 0, false
+	}
+	b.misses++
+	if b.lru.Len() >= b.capacity {
+		back := b.lru.Back()
+		victim := back.Value.(PageID)
+		b.lru.Remove(back)
+		delete(b.pages, victim)
+		evictedDirty = b.dirty[victim]
+		delete(b.dirty, victim)
+		evicted = victim
+	}
+	b.pages[id] = b.lru.PushFront(id)
+	return false, evicted, evictedDirty
+}
+
+// Contains reports whether the page is resident without touching it.
+func (b *BufferPool) Contains(id PageID) bool {
+	_, ok := b.pages[id]
+	return ok
+}
+
+// MarkDirty marks a resident page dirty. Marking a non-resident page is a
+// no-op (the write already went to simulated disk).
+func (b *BufferPool) MarkDirty(id PageID) {
+	if _, ok := b.pages[id]; ok {
+		b.dirty[id] = true
+	}
+}
+
+// DirtyCount returns the number of dirty resident pages.
+func (b *BufferPool) DirtyCount() int { return len(b.dirty) }
+
+// FlushAll marks all dirty pages clean and returns how many were flushed;
+// the caller charges the corresponding write I/O (checkpoint).
+func (b *BufferPool) FlushAll() int {
+	n := len(b.dirty)
+	b.dirty = make(map[PageID]bool)
+	return n
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (b *BufferPool) HitRate() float64 {
+	total := b.hits + b.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(total)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (b *BufferPool) Stats() (hits, misses int64) { return b.hits, b.misses }

@@ -1,0 +1,805 @@
+package tpch
+
+import (
+	"strings"
+
+	"elephants/internal/relal"
+)
+
+// Query is one of the 22 TPC-H queries, written once over the relal
+// operators. Running Fn yields the answer table plus a step log that the
+// Hive and PDW engines cost with their own physical strategies. The
+// step order is the "written order" of the HIVE-600 scripts, which is
+// what Hive executes literally (no cost-based reordering).
+type Query struct {
+	ID     int
+	Name   string
+	Tables []string // base tables referenced
+}
+
+// Queries lists all 22 queries in benchmark order.
+var Queries = []Query{
+	{1, "pricing summary report", []string{"lineitem"}},
+	{2, "minimum cost supplier", []string{"part", "supplier", "partsupp", "nation", "region"}},
+	{3, "shipping priority", []string{"customer", "orders", "lineitem"}},
+	{4, "order priority checking", []string{"orders", "lineitem"}},
+	{5, "local supplier volume", []string{"customer", "orders", "lineitem", "supplier", "nation", "region"}},
+	{6, "forecasting revenue change", []string{"lineitem"}},
+	{7, "volume shipping", []string{"supplier", "lineitem", "orders", "customer", "nation"}},
+	{8, "national market share", []string{"part", "supplier", "lineitem", "orders", "customer", "nation", "region"}},
+	{9, "product type profit", []string{"part", "supplier", "lineitem", "partsupp", "orders", "nation"}},
+	{10, "returned item reporting", []string{"customer", "orders", "lineitem", "nation"}},
+	{11, "important stock identification", []string{"partsupp", "supplier", "nation"}},
+	{12, "shipping modes and order priority", []string{"orders", "lineitem"}},
+	{13, "customer distribution", []string{"customer", "orders"}},
+	{14, "promotion effect", []string{"lineitem", "part"}},
+	{15, "top supplier", []string{"supplier", "lineitem"}},
+	{16, "parts/supplier relationship", []string{"partsupp", "part", "supplier"}},
+	{17, "small-quantity-order revenue", []string{"lineitem", "part"}},
+	{18, "large volume customer", []string{"customer", "orders", "lineitem"}},
+	{19, "discounted revenue", []string{"lineitem", "part"}},
+	{20, "potential part promotion", []string{"supplier", "nation", "partsupp", "part", "lineitem"}},
+	{21, "suppliers who kept orders waiting", []string{"supplier", "lineitem", "orders", "nation"}},
+	{22, "global sales opportunity", []string{"customer", "orders"}},
+}
+
+// RunQuery executes query id against db, returning the answer and the
+// step log. It panics on unknown ids (callers iterate Queries).
+func RunQuery(id int, db *DB) (*relal.Table, relal.StepLog) {
+	e := &relal.Exec{}
+	var out *relal.Table
+	switch id {
+	case 1:
+		out = q1(e, db)
+	case 2:
+		out = q2(e, db)
+	case 3:
+		out = q3(e, db)
+	case 4:
+		out = q4(e, db)
+	case 5:
+		out = q5(e, db)
+	case 6:
+		out = q6(e, db)
+	case 7:
+		out = q7(e, db)
+	case 8:
+		out = q8(e, db)
+	case 9:
+		out = q9(e, db)
+	case 10:
+		out = q10(e, db)
+	case 11:
+		out = q11(e, db)
+	case 12:
+		out = q12(e, db)
+	case 13:
+		out = q13(e, db)
+	case 14:
+		out = q14(e, db)
+	case 15:
+		out = q15(e, db)
+	case 16:
+		out = q16(e, db)
+	case 17:
+		out = q17(e, db)
+	case 18:
+		out = q18(e, db)
+	case 19:
+		out = q19(e, db)
+	case 20:
+		out = q20(e, db)
+	case 21:
+		out = q21(e, db)
+	case 22:
+		out = q22(e, db)
+	default:
+		panic("tpch: unknown query")
+	}
+	return out, e.Log
+}
+
+// q1: scan lineitem, filter by shipdate, wide aggregation, sort.
+func q1(e *relal.Exec, db *DB) *relal.Table {
+	li := e.Scan(db.Lineitem)
+	sd := li.Schema.Col("l_shipdate")
+	f := e.Filter(li, func(r relal.Row) bool { return relal.S(r[sd]) <= "1998-09-02" })
+	f = relal.Extend(f, "disc_price", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[f.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[f.Schema.Col("l_discount")]))
+	})
+	f = relal.Extend(f, "charge", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[f.Schema.Col("disc_price")]) * (1 + relal.F(r[f.Schema.Col("l_tax")]))
+	})
+	agg := e.Aggregate(f, []string{"l_returnflag", "l_linestatus"}, []relal.AggSpec{
+		{Fn: "sum", Col: "l_quantity", As: "sum_qty"},
+		{Fn: "sum", Col: "l_extendedprice", As: "sum_base_price"},
+		{Fn: "sum", Col: "disc_price", As: "sum_disc_price"},
+		{Fn: "sum", Col: "charge", As: "sum_charge"},
+		{Fn: "avg", Col: "l_quantity", As: "avg_qty"},
+		{Fn: "avg", Col: "l_extendedprice", As: "avg_price"},
+		{Fn: "avg", Col: "l_discount", As: "avg_disc"},
+		{Fn: "count", Col: "*", As: "count_order"},
+	})
+	return e.Sort(agg, relal.OrderSpec{Col: "l_returnflag"}, relal.OrderSpec{Col: "l_linestatus"})
+}
+
+// q2: min-cost supplier for size-15 BRASS parts in EUROPE.
+func q2(e *relal.Exec, db *DB) *relal.Table {
+	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
+		return relal.I(r[db.Part.Schema.Col("p_size")]) == 15 &&
+			strings.HasSuffix(relal.S(r[db.Part.Schema.Col("p_type")]), "BRASS")
+	})
+	region := e.Filter(e.Scan(db.Region), func(r relal.Row) bool {
+		return relal.S(r[db.Region.Schema.Col("r_name")]) == "EUROPE"
+	})
+	nation := e.Join(e.Scan(db.Nation), region, "n_regionkey", "r_regionkey")
+	supp := e.Join(e.Scan(db.Supplier), nation, "s_nationkey", "n_nationkey")
+	ps := e.Join(e.Scan(db.PartSupp), supp, "ps_suppkey", "s_suppkey")
+	psp := e.Join(ps, part, "ps_partkey", "p_partkey")
+	// Minimum supplycost per part (within EUROPE suppliers).
+	minCost := e.Aggregate(psp, []string{"p_partkey"}, []relal.AggSpec{
+		{Fn: "min", Col: "ps_supplycost", As: "min_cost"},
+	})
+	// Keep rows matching the per-part minimum.
+	minIdx := make(map[int64]float64, minCost.NumRows())
+	pk := minCost.Schema.Col("p_partkey")
+	mc := minCost.Schema.Col("min_cost")
+	for _, r := range minCost.Rows {
+		minIdx[relal.I(r[pk])] = relal.F(r[mc])
+	}
+	ppk := psp.Schema.Col("ps_partkey")
+	cost := psp.Schema.Col("ps_supplycost")
+	final := e.Filter(psp, func(r relal.Row) bool {
+		return relal.F(r[cost]) == minIdx[relal.I(r[ppk])]
+	})
+	proj := e.Project(final, "s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone", "s_comment")
+	sorted := e.Sort(proj,
+		relal.OrderSpec{Col: "s_acctbal", Desc: true},
+		relal.OrderSpec{Col: "n_name"},
+		relal.OrderSpec{Col: "s_name"},
+		relal.OrderSpec{Col: "p_partkey"},
+	)
+	return e.Limit(sorted, 100)
+}
+
+// q3: top unshipped orders for the BUILDING segment.
+func q3(e *relal.Exec, db *DB) *relal.Table {
+	cust := e.Filter(e.Scan(db.Customer), func(r relal.Row) bool {
+		return relal.S(r[db.Customer.Schema.Col("c_mktsegment")]) == "BUILDING"
+	})
+	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
+		return relal.S(r[db.Orders.Schema.Col("o_orderdate")]) < "1995-03-15"
+	})
+	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
+		return relal.S(r[db.Lineitem.Schema.Col("l_shipdate")]) > "1995-03-15"
+	})
+	co := e.Join(ord, cust, "o_custkey", "c_custkey")
+	col := e.Join(li, co, "l_orderkey", "o_orderkey")
+	col = relal.Extend(col, "revenue_item", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[col.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[col.Schema.Col("l_discount")]))
+	})
+	agg := e.Aggregate(col, []string{"l_orderkey", "o_orderdate", "o_shippriority"}, []relal.AggSpec{
+		{Fn: "sum", Col: "revenue_item", As: "revenue"},
+	})
+	sorted := e.Sort(agg,
+		relal.OrderSpec{Col: "revenue", Desc: true},
+		relal.OrderSpec{Col: "o_orderdate"},
+	)
+	return e.Limit(sorted, 10)
+}
+
+// q4: order priority with existing late lineitem.
+func q4(e *relal.Exec, db *DB) *relal.Table {
+	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
+		d := relal.S(r[db.Orders.Schema.Col("o_orderdate")])
+		return d >= "1993-07-01" && d < "1993-10-01"
+	})
+	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
+		return relal.S(r[db.Lineitem.Schema.Col("l_commitdate")]) < relal.S(r[db.Lineitem.Schema.Col("l_receiptdate")])
+	})
+	liKeys := e.Aggregate(li, []string{"l_orderkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n"}})
+	sj := e.SemiJoin(ord, liKeys, "o_orderkey", "l_orderkey")
+	agg := e.Aggregate(sj, []string{"o_orderpriority"}, []relal.AggSpec{
+		{Fn: "count", Col: "*", As: "order_count"},
+	})
+	return e.Sort(agg, relal.OrderSpec{Col: "o_orderpriority"})
+}
+
+// q5: local supplier volume in ASIA. Written order follows the HIVE-600
+// script the paper analyzes: nation⋈region, then supplier, then the big
+// lineitem common join, then orders, then customer.
+func q5(e *relal.Exec, db *DB) *relal.Table {
+	region := e.Filter(e.Scan(db.Region), func(r relal.Row) bool {
+		return relal.S(r[db.Region.Schema.Col("r_name")]) == "ASIA"
+	})
+	nr := e.Join(e.Scan(db.Nation), region, "n_regionkey", "r_regionkey")
+	snr := e.Join(e.Scan(db.Supplier), nr, "s_nationkey", "n_nationkey")
+	lsnr := e.Join(e.Scan(db.Lineitem), snr, "l_suppkey", "s_suppkey")
+	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
+		d := relal.S(r[db.Orders.Schema.Col("o_orderdate")])
+		return d >= "1994-01-01" && d < "1995-01-01"
+	})
+	lo := e.Join(lsnr, ord, "l_orderkey", "o_orderkey")
+	// Customer must be in the same nation as the supplier.
+	loc := e.Join(lo, e.Scan(db.Customer), "o_custkey", "c_custkey")
+	ck := loc.Schema.Col("c_nationkey")
+	sk := loc.Schema.Col("s_nationkey")
+	same := e.Filter(loc, func(r relal.Row) bool { return relal.I(r[ck]) == relal.I(r[sk]) })
+	same = relal.Extend(same, "rev", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[same.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[same.Schema.Col("l_discount")]))
+	})
+	agg := e.Aggregate(same, []string{"n_name"}, []relal.AggSpec{
+		{Fn: "sum", Col: "rev", As: "revenue"},
+	})
+	return e.Sort(agg, relal.OrderSpec{Col: "revenue", Desc: true})
+}
+
+// q6: single-table revenue forecast.
+func q6(e *relal.Exec, db *DB) *relal.Table {
+	li := e.Scan(db.Lineitem)
+	sd := li.Schema.Col("l_shipdate")
+	disc := li.Schema.Col("l_discount")
+	qty := li.Schema.Col("l_quantity")
+	f := e.Filter(li, func(r relal.Row) bool {
+		d := relal.S(r[sd])
+		dc := relal.F(r[disc])
+		return d >= "1994-01-01" && d < "1995-01-01" &&
+			dc >= 0.05-1e-9 && dc <= 0.07+1e-9 &&
+			relal.F(r[qty]) < 24
+	})
+	f = relal.Extend(f, "rev", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[f.Schema.Col("l_extendedprice")]) * relal.F(r[f.Schema.Col("l_discount")])
+	})
+	return e.Aggregate(f, nil, []relal.AggSpec{{Fn: "sum", Col: "rev", As: "revenue"}})
+}
+
+// q7: shipping volume between FRANCE and GERMANY.
+func q7(e *relal.Exec, db *DB) *relal.Table {
+	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
+		d := relal.S(r[db.Lineitem.Schema.Col("l_shipdate")])
+		return d >= "1995-01-01" && d <= "1996-12-31"
+	})
+	ls := e.Join(li, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
+	lso := e.Join(ls, e.Scan(db.Orders), "l_orderkey", "o_orderkey")
+	lsoc := e.Join(lso, e.Scan(db.Customer), "o_custkey", "c_custkey")
+	// Two nation joins: supplier nation and customer nation.
+	n1 := e.Join(lsoc, e.Scan(db.Nation), "s_nationkey", "n_nationkey")
+	// Rename nation columns for the second join by projecting first.
+	n1 = relal.Extend(n1, "supp_nation", relal.Str, func(r relal.Row) interface{} {
+		return r[n1.Schema.Col("n_name")]
+	})
+	custNation := e.Scan(db.Nation)
+	cn := &relal.Table{Name: "nation2", Schema: relal.Schema{
+		{Name: "n2_nationkey", Type: relal.Int},
+		{Name: "cust_nation", Type: relal.Str},
+	}, Base: "nation"}
+	for _, r := range custNation.Rows {
+		cn.Rows = append(cn.Rows, relal.Row{r[0], r[1]})
+	}
+	n2 := e.Join(n1, cn, "c_nationkey", "n2_nationkey")
+	sn := n2.Schema.Col("supp_nation")
+	cu := n2.Schema.Col("cust_nation")
+	f := e.Filter(n2, func(r relal.Row) bool {
+		a, b := relal.S(r[sn]), relal.S(r[cu])
+		return (a == "FRANCE" && b == "GERMANY") || (a == "GERMANY" && b == "FRANCE")
+	})
+	f = relal.Extend(f, "l_year", relal.Str, func(r relal.Row) interface{} {
+		return relal.S(r[f.Schema.Col("l_shipdate")])[:4]
+	})
+	f = relal.Extend(f, "volume", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[f.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[f.Schema.Col("l_discount")]))
+	})
+	agg := e.Aggregate(f, []string{"supp_nation", "cust_nation", "l_year"}, []relal.AggSpec{
+		{Fn: "sum", Col: "volume", As: "revenue"},
+	})
+	return e.Sort(agg,
+		relal.OrderSpec{Col: "supp_nation"},
+		relal.OrderSpec{Col: "cust_nation"},
+		relal.OrderSpec{Col: "l_year"},
+	)
+}
+
+// q8: BRAZIL's market share in AMERICA for a part type.
+func q8(e *relal.Exec, db *DB) *relal.Table {
+	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
+		return relal.S(r[db.Part.Schema.Col("p_type")]) == "ECONOMY ANODIZED STEEL"
+	})
+	lp := e.Join(e.Scan(db.Lineitem), part, "l_partkey", "p_partkey")
+	lps := e.Join(lp, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
+	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
+		d := relal.S(r[db.Orders.Schema.Col("o_orderdate")])
+		return d >= "1995-01-01" && d <= "1996-12-31"
+	})
+	lpso := e.Join(lps, ord, "l_orderkey", "o_orderkey")
+	lpsoc := e.Join(lpso, e.Scan(db.Customer), "o_custkey", "c_custkey")
+	// Customer nation must be in AMERICA.
+	region := e.Filter(e.Scan(db.Region), func(r relal.Row) bool {
+		return relal.S(r[db.Region.Schema.Col("r_name")]) == "AMERICA"
+	})
+	nr := e.Join(e.Scan(db.Nation), region, "n_regionkey", "r_regionkey")
+	custAm := e.Join(lpsoc, nr, "c_nationkey", "n_nationkey")
+	// Supplier nation name.
+	sn := &relal.Table{Name: "nation_s", Schema: relal.Schema{
+		{Name: "ns_nationkey", Type: relal.Int},
+		{Name: "supp_nation", Type: relal.Str},
+	}, Base: "nation"}
+	for _, r := range db.Nation.Rows {
+		sn.Rows = append(sn.Rows, relal.Row{r[0], r[1]})
+	}
+	all := e.Join(custAm, sn, "s_nationkey", "ns_nationkey")
+	all = relal.Extend(all, "o_year", relal.Str, func(r relal.Row) interface{} {
+		return relal.S(r[all.Schema.Col("o_orderdate")])[:4]
+	})
+	all = relal.Extend(all, "volume", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[all.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[all.Schema.Col("l_discount")]))
+	})
+	all = relal.Extend(all, "brazil_volume", relal.Float, func(r relal.Row) interface{} {
+		if relal.S(r[all.Schema.Col("supp_nation")]) == "BRAZIL" {
+			return relal.F(r[all.Schema.Col("volume")])
+		}
+		return 0.0
+	})
+	agg := e.Aggregate(all, []string{"o_year"}, []relal.AggSpec{
+		{Fn: "sum", Col: "brazil_volume", As: "brazil"},
+		{Fn: "sum", Col: "volume", As: "total"},
+	})
+	agg = relal.Extend(agg, "mkt_share", relal.Float, func(r relal.Row) interface{} {
+		t := relal.F(r[agg.Schema.Col("total")])
+		if t == 0 {
+			return 0.0
+		}
+		return relal.F(r[agg.Schema.Col("brazil")]) / t
+	})
+	out := e.Project(agg, "o_year", "mkt_share")
+	return e.Sort(out, relal.OrderSpec{Col: "o_year"})
+}
+
+// q9: profit by nation and year for green parts. The paper notes this
+// query ran out of disk in Hive at 16 TB.
+func q9(e *relal.Exec, db *DB) *relal.Table {
+	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
+		return strings.Contains(relal.S(r[db.Part.Schema.Col("p_name")]), "green")
+	})
+	lp := e.Join(e.Scan(db.Lineitem), part, "l_partkey", "p_partkey")
+	lps := e.Join(lp, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
+	// partsupp join on (partkey, suppkey): join on partkey then filter.
+	lpsps := e.Join(lps, e.Scan(db.PartSupp), "l_partkey", "ps_partkey")
+	sk := lpsps.Schema.Col("l_suppkey")
+	pssk := lpsps.Schema.Col("ps_suppkey")
+	match := e.Filter(lpsps, func(r relal.Row) bool { return relal.I(r[sk]) == relal.I(r[pssk]) })
+	mo := e.Join(match, e.Scan(db.Orders), "l_orderkey", "o_orderkey")
+	mon := e.Join(mo, e.Scan(db.Nation), "s_nationkey", "n_nationkey")
+	mon = relal.Extend(mon, "o_year", relal.Str, func(r relal.Row) interface{} {
+		return relal.S(r[mon.Schema.Col("o_orderdate")])[:4]
+	})
+	mon = relal.Extend(mon, "amount", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[mon.Schema.Col("l_extendedprice")])*(1-relal.F(r[mon.Schema.Col("l_discount")])) -
+			relal.F(r[mon.Schema.Col("ps_supplycost")])*relal.F(r[mon.Schema.Col("l_quantity")])
+	})
+	agg := e.Aggregate(mon, []string{"n_name", "o_year"}, []relal.AggSpec{
+		{Fn: "sum", Col: "amount", As: "sum_profit"},
+	})
+	return e.Sort(agg,
+		relal.OrderSpec{Col: "n_name"},
+		relal.OrderSpec{Col: "o_year", Desc: true},
+	)
+}
+
+// q10: customers who returned items.
+func q10(e *relal.Exec, db *DB) *relal.Table {
+	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
+		d := relal.S(r[db.Orders.Schema.Col("o_orderdate")])
+		return d >= "1993-10-01" && d < "1994-01-01"
+	})
+	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
+		return relal.S(r[db.Lineitem.Schema.Col("l_returnflag")]) == "R"
+	})
+	lo := e.Join(li, ord, "l_orderkey", "o_orderkey")
+	loc := e.Join(lo, e.Scan(db.Customer), "o_custkey", "c_custkey")
+	locn := e.Join(loc, e.Scan(db.Nation), "c_nationkey", "n_nationkey")
+	locn = relal.Extend(locn, "rev", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[locn.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[locn.Schema.Col("l_discount")]))
+	})
+	agg := e.Aggregate(locn, []string{"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment"}, []relal.AggSpec{
+		{Fn: "sum", Col: "rev", As: "revenue"},
+	})
+	sorted := e.Sort(agg, relal.OrderSpec{Col: "revenue", Desc: true})
+	return e.Limit(sorted, 20)
+}
+
+// q11: important stock in GERMANY.
+func q11(e *relal.Exec, db *DB) *relal.Table {
+	nation := e.Filter(e.Scan(db.Nation), func(r relal.Row) bool {
+		return relal.S(r[db.Nation.Schema.Col("n_name")]) == "GERMANY"
+	})
+	sn := e.Join(e.Scan(db.Supplier), nation, "s_nationkey", "n_nationkey")
+	ps := e.Join(e.Scan(db.PartSupp), sn, "ps_suppkey", "s_suppkey")
+	ps = relal.Extend(ps, "value", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[ps.Schema.Col("ps_supplycost")]) * relal.F(r[ps.Schema.Col("ps_availqty")])
+	})
+	total := e.Aggregate(ps, nil, []relal.AggSpec{{Fn: "sum", Col: "value", As: "total"}})
+	// The spec's fraction is 0.0001/SF, which scales so the query
+	// returns a similar-sized answer at every scale factor.
+	threshold := 0.0
+	if total.NumRows() > 0 {
+		threshold = relal.F(total.Rows[0][0]) * 0.0001 / db.SF
+	}
+	byPart := e.Aggregate(ps, []string{"ps_partkey"}, []relal.AggSpec{
+		{Fn: "sum", Col: "value", As: "value"},
+	})
+	vi := byPart.Schema.Col("value")
+	f := e.Filter(byPart, func(r relal.Row) bool { return relal.F(r[vi]) > threshold })
+	return e.Sort(f, relal.OrderSpec{Col: "value", Desc: true})
+}
+
+// q12: shipping modes and order priority.
+func q12(e *relal.Exec, db *DB) *relal.Table {
+	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
+		s := db.Lineitem.Schema
+		mode := relal.S(r[s.Col("l_shipmode")])
+		if mode != "MAIL" && mode != "SHIP" {
+			return false
+		}
+		commit := relal.S(r[s.Col("l_commitdate")])
+		receipt := relal.S(r[s.Col("l_receiptdate")])
+		ship := relal.S(r[s.Col("l_shipdate")])
+		return commit < receipt && ship < commit &&
+			receipt >= "1994-01-01" && receipt < "1995-01-01"
+	})
+	lo := e.Join(li, e.Scan(db.Orders), "l_orderkey", "o_orderkey")
+	lo = relal.Extend(lo, "high_line", relal.Int, func(r relal.Row) interface{} {
+		p := relal.S(r[lo.Schema.Col("o_orderpriority")])
+		if p == "1-URGENT" || p == "2-HIGH" {
+			return int64(1)
+		}
+		return int64(0)
+	})
+	lo = relal.Extend(lo, "low_line", relal.Int, func(r relal.Row) interface{} {
+		if relal.I(r[lo.Schema.Col("high_line")]) == 1 {
+			return int64(0)
+		}
+		return int64(1)
+	})
+	agg := e.Aggregate(lo, []string{"l_shipmode"}, []relal.AggSpec{
+		{Fn: "sum", Col: "high_line", As: "high_line_count"},
+		{Fn: "sum", Col: "low_line", As: "low_line_count"},
+	})
+	return e.Sort(agg, relal.OrderSpec{Col: "l_shipmode"})
+}
+
+// q13: distribution of customers by order count.
+func q13(e *relal.Exec, db *DB) *relal.Table {
+	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
+		c := relal.S(r[db.Orders.Schema.Col("o_comment")])
+		i := strings.Index(c, "special")
+		return i < 0 || !strings.Contains(c[i:], "requests")
+	})
+	perCust := e.Aggregate(ord, []string{"o_custkey"}, []relal.AggSpec{
+		{Fn: "count", Col: "*", As: "c_count"},
+	})
+	cust := e.Scan(db.Customer)
+	// Left join: customers with no orders count 0. Model as join plus
+	// the complement.
+	joined := e.Join(cust, perCust, "c_custkey", "o_custkey")
+	matched := e.Project(joined, "c_custkey", "c_count")
+	unmatched := e.AntiJoin(cust, perCust, "c_custkey", "o_custkey")
+	all := &relal.Table{Name: "cust_counts", Schema: relal.Schema{
+		{Name: "c_custkey", Type: relal.Int},
+		{Name: "c_count", Type: relal.Int},
+	}}
+	for _, r := range matched.Rows {
+		all.Rows = append(all.Rows, relal.Row{r[0], r[1]})
+	}
+	ck := cust.Schema.Col("c_custkey")
+	for _, r := range unmatched.Rows {
+		all.Rows = append(all.Rows, relal.Row{r[ck], int64(0)})
+	}
+	dist := e.Aggregate(all, []string{"c_count"}, []relal.AggSpec{
+		{Fn: "count", Col: "*", As: "custdist"},
+	})
+	return e.Sort(dist,
+		relal.OrderSpec{Col: "custdist", Desc: true},
+		relal.OrderSpec{Col: "c_count", Desc: true},
+	)
+}
+
+// q14: promotion effect for one month.
+func q14(e *relal.Exec, db *DB) *relal.Table {
+	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
+		d := relal.S(r[db.Lineitem.Schema.Col("l_shipdate")])
+		return d >= "1995-09-01" && d < "1995-10-01"
+	})
+	lp := e.Join(li, e.Scan(db.Part), "l_partkey", "p_partkey")
+	lp = relal.Extend(lp, "rev", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[lp.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[lp.Schema.Col("l_discount")]))
+	})
+	lp = relal.Extend(lp, "promo_rev", relal.Float, func(r relal.Row) interface{} {
+		if strings.HasPrefix(relal.S(r[lp.Schema.Col("p_type")]), "PROMO") {
+			return relal.F(r[lp.Schema.Col("rev")])
+		}
+		return 0.0
+	})
+	agg := e.Aggregate(lp, nil, []relal.AggSpec{
+		{Fn: "sum", Col: "promo_rev", As: "promo"},
+		{Fn: "sum", Col: "rev", As: "total"},
+	})
+	return relal.Extend(agg, "promo_revenue", relal.Float, func(r relal.Row) interface{} {
+		t := relal.F(r[agg.Schema.Col("total")])
+		if t == 0 {
+			return 0.0
+		}
+		return 100 * relal.F(r[agg.Schema.Col("promo")]) / t
+	})
+}
+
+// q15: top supplier by quarterly revenue.
+func q15(e *relal.Exec, db *DB) *relal.Table {
+	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
+		d := relal.S(r[db.Lineitem.Schema.Col("l_shipdate")])
+		return d >= "1996-01-01" && d < "1996-04-01"
+	})
+	li = relal.Extend(li, "rev", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[li.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[li.Schema.Col("l_discount")]))
+	})
+	revenue := e.Aggregate(li, []string{"l_suppkey"}, []relal.AggSpec{
+		{Fn: "sum", Col: "rev", As: "total_revenue"},
+	})
+	maxRev := e.Aggregate(revenue, nil, []relal.AggSpec{
+		{Fn: "max", Col: "total_revenue", As: "max_rev"},
+	})
+	mx := 0.0
+	if maxRev.NumRows() > 0 {
+		mx = relal.F(maxRev.Rows[0][0])
+	}
+	tr := revenue.Schema.Col("total_revenue")
+	top := e.Filter(revenue, func(r relal.Row) bool { return relal.F(r[tr]) >= mx-1e-6 })
+	st := e.Join(top, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
+	proj := e.Project(st, "s_suppkey", "s_name", "s_address", "s_phone", "total_revenue")
+	return e.Sort(proj, relal.OrderSpec{Col: "s_suppkey"})
+}
+
+// q16: supplier counts by part attributes, excluding complaint suppliers.
+func q16(e *relal.Exec, db *DB) *relal.Table {
+	sizes := map[int64]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}
+	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
+		s := db.Part.Schema
+		return relal.S(r[s.Col("p_brand")]) != "Brand#45" &&
+			!strings.HasPrefix(relal.S(r[s.Col("p_type")]), "MEDIUM POLISHED") &&
+			sizes[relal.I(r[s.Col("p_size")])]
+	})
+	complaints := e.Filter(e.Scan(db.Supplier), func(r relal.Row) bool {
+		c := relal.S(r[db.Supplier.Schema.Col("s_comment")])
+		i := strings.Index(c, "Customer")
+		return i >= 0 && strings.Contains(c[i:], "Complaints")
+	})
+	ps := e.AntiJoin(e.Scan(db.PartSupp), complaints, "ps_suppkey", "s_suppkey")
+	psp := e.Join(ps, part, "ps_partkey", "p_partkey")
+	// count(distinct ps_suppkey): dedup then count.
+	dedup := e.Aggregate(psp, []string{"p_brand", "p_type", "p_size", "ps_suppkey"}, []relal.AggSpec{
+		{Fn: "count", Col: "*", As: "n"},
+	})
+	agg := e.Aggregate(dedup, []string{"p_brand", "p_type", "p_size"}, []relal.AggSpec{
+		{Fn: "count", Col: "*", As: "supplier_cnt"},
+	})
+	return e.Sort(agg,
+		relal.OrderSpec{Col: "supplier_cnt", Desc: true},
+		relal.OrderSpec{Col: "p_brand"},
+		relal.OrderSpec{Col: "p_type"},
+		relal.OrderSpec{Col: "p_size"},
+	)
+}
+
+// q17: small-quantity-order revenue for one brand/container.
+func q17(e *relal.Exec, db *DB) *relal.Table {
+	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
+		s := db.Part.Schema
+		return relal.S(r[s.Col("p_brand")]) == "Brand#23" &&
+			relal.S(r[s.Col("p_container")]) == "MED BOX"
+	})
+	lp := e.Join(e.Scan(db.Lineitem), part, "l_partkey", "p_partkey")
+	avgQty := e.Aggregate(lp, []string{"p_partkey"}, []relal.AggSpec{
+		{Fn: "avg", Col: "l_quantity", As: "avg_qty"},
+	})
+	avgIdx := make(map[int64]float64, avgQty.NumRows())
+	pk := avgQty.Schema.Col("p_partkey")
+	aq := avgQty.Schema.Col("avg_qty")
+	for _, r := range avgQty.Rows {
+		avgIdx[relal.I(r[pk])] = relal.F(r[aq])
+	}
+	lpk := lp.Schema.Col("l_partkey")
+	qty := lp.Schema.Col("l_quantity")
+	f := e.Filter(lp, func(r relal.Row) bool {
+		return relal.F(r[qty]) < 0.2*avgIdx[relal.I(r[lpk])]
+	})
+	agg := e.Aggregate(f, nil, []relal.AggSpec{
+		{Fn: "sum", Col: "l_extendedprice", As: "sum_price"},
+	})
+	return relal.Extend(agg, "avg_yearly", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[agg.Schema.Col("sum_price")]) / 7.0
+	})
+}
+
+// q18: large-volume customers (sum qty > 300).
+func q18(e *relal.Exec, db *DB) *relal.Table {
+	li := e.Scan(db.Lineitem)
+	perOrder := e.Aggregate(li, []string{"l_orderkey"}, []relal.AggSpec{
+		{Fn: "sum", Col: "l_quantity", As: "sum_qty"},
+	})
+	sq := perOrder.Schema.Col("sum_qty")
+	big := e.Filter(perOrder, func(r relal.Row) bool { return relal.F(r[sq]) > 300 })
+	bo := e.Join(big, e.Scan(db.Orders), "l_orderkey", "o_orderkey")
+	boc := e.Join(bo, e.Scan(db.Customer), "o_custkey", "c_custkey")
+	proj := e.Project(boc, "c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty")
+	sorted := e.Sort(proj,
+		relal.OrderSpec{Col: "o_totalprice", Desc: true},
+		relal.OrderSpec{Col: "o_orderdate"},
+	)
+	return e.Limit(sorted, 100)
+}
+
+// q19: discounted revenue with the three-branch AND/OR predicate the
+// paper's §3.3.4.1 analysis discusses.
+func q19(e *relal.Exec, db *DB) *relal.Table {
+	lp := e.Join(e.Scan(db.Lineitem), e.Scan(db.Part), "l_partkey", "p_partkey")
+	s := lp.Schema
+	brand := s.Col("p_brand")
+	container := s.Col("p_container")
+	qty := s.Col("l_quantity")
+	size := s.Col("p_size")
+	mode := s.Col("l_shipmode")
+	instr := s.Col("l_shipinstruct")
+	sm := func(c string, set ...string) bool {
+		for _, x := range set {
+			if c == x {
+				return true
+			}
+		}
+		return false
+	}
+	f := e.Filter(lp, func(r relal.Row) bool {
+		if !(relal.S(r[mode]) == "AIR" || relal.S(r[mode]) == "REG AIR") {
+			return false
+		}
+		if relal.S(r[instr]) != "DELIVER IN PERSON" {
+			return false
+		}
+		b := relal.S(r[brand])
+		c := relal.S(r[container])
+		q := relal.F(r[qty])
+		sz := relal.I(r[size])
+		switch {
+		case b == "Brand#12" && sm(c, "SM CASE", "SM BOX", "SM PACK", "SM PKG") && q >= 1 && q <= 11 && sz >= 1 && sz <= 5:
+			return true
+		case b == "Brand#23" && sm(c, "MED BAG", "MED BOX", "MED PKG", "MED PACK") && q >= 10 && q <= 20 && sz >= 1 && sz <= 10:
+			return true
+		case b == "Brand#34" && sm(c, "LG CASE", "LG BOX", "LG PACK", "LG PKG") && q >= 20 && q <= 30 && sz >= 1 && sz <= 15:
+			return true
+		}
+		return false
+	})
+	f = relal.Extend(f, "rev", relal.Float, func(r relal.Row) interface{} {
+		return relal.F(r[f.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[f.Schema.Col("l_discount")]))
+	})
+	return e.Aggregate(f, nil, []relal.AggSpec{{Fn: "sum", Col: "rev", As: "revenue"}})
+}
+
+// q20: suppliers with surplus forest parts in CANADA.
+func q20(e *relal.Exec, db *DB) *relal.Table {
+	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
+		return strings.HasPrefix(relal.S(r[db.Part.Schema.Col("p_name")]), "forest")
+	})
+	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
+		d := relal.S(r[db.Lineitem.Schema.Col("l_shipdate")])
+		return d >= "1994-01-01" && d < "1995-01-01"
+	})
+	shipped := e.Aggregate(li, []string{"l_partkey", "l_suppkey"}, []relal.AggSpec{
+		{Fn: "sum", Col: "l_quantity", As: "sum_qty"},
+	})
+	shippedIdx := make(map[[2]int64]float64, shipped.NumRows())
+	pk := shipped.Schema.Col("l_partkey")
+	sk := shipped.Schema.Col("l_suppkey")
+	sq := shipped.Schema.Col("sum_qty")
+	for _, r := range shipped.Rows {
+		shippedIdx[[2]int64{relal.I(r[pk]), relal.I(r[sk])}] = relal.F(r[sq])
+	}
+	ps := e.SemiJoin(e.Scan(db.PartSupp), part, "ps_partkey", "p_partkey")
+	pspk := ps.Schema.Col("ps_partkey")
+	pssk := ps.Schema.Col("ps_suppkey")
+	avail := ps.Schema.Col("ps_availqty")
+	surplus := e.Filter(ps, func(r relal.Row) bool {
+		return relal.F(r[avail]) > 0.5*shippedIdx[[2]int64{relal.I(r[pspk]), relal.I(r[pssk])}]
+	})
+	nation := e.Filter(e.Scan(db.Nation), func(r relal.Row) bool {
+		return relal.S(r[db.Nation.Schema.Col("n_name")]) == "CANADA"
+	})
+	supp := e.Join(e.Scan(db.Supplier), nation, "s_nationkey", "n_nationkey")
+	final := e.SemiJoin(supp, surplus, "s_suppkey", "ps_suppkey")
+	proj := e.Project(final, "s_name", "s_address")
+	return e.Sort(proj, relal.OrderSpec{Col: "s_name"})
+}
+
+// q21: suppliers in SAUDI ARABIA who kept multi-supplier orders waiting.
+func q21(e *relal.Exec, db *DB) *relal.Table {
+	li := e.Scan(db.Lineitem)
+	s := li.Schema
+	// Suppliers per order, and late suppliers per order.
+	perOrder := e.Aggregate(
+		e.Aggregate(li, []string{"l_orderkey", "l_suppkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n"}}),
+		[]string{"l_orderkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n_supp"}})
+	late := e.Filter(li, func(r relal.Row) bool {
+		return relal.S(r[s.Col("l_receiptdate")]) > relal.S(r[s.Col("l_commitdate")])
+	})
+	latePerOrder := e.Aggregate(
+		e.Aggregate(late, []string{"l_orderkey", "l_suppkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n"}}),
+		[]string{"l_orderkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n_late"}})
+	nSupp := make(map[int64]int64, perOrder.NumRows())
+	for _, r := range perOrder.Rows {
+		nSupp[relal.I(r[0])] = relal.I(r[1])
+	}
+	nLate := make(map[int64]int64, latePerOrder.NumRows())
+	for _, r := range latePerOrder.Rows {
+		nLate[relal.I(r[0])] = relal.I(r[1])
+	}
+	// Candidate rows: this supplier was late, order has >1 suppliers,
+	// and exactly one late supplier (this one), on F orders.
+	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
+		return relal.S(r[db.Orders.Schema.Col("o_orderstatus")]) == "F"
+	})
+	lateRows := e.Filter(late, func(r relal.Row) bool {
+		ok := relal.I(r[s.Col("l_orderkey")])
+		return nSupp[ok] > 1 && nLate[ok] == 1
+	})
+	lo := e.SemiJoin(lateRows, ord, "l_orderkey", "o_orderkey")
+	ls := e.Join(lo, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
+	nation := e.Filter(e.Scan(db.Nation), func(r relal.Row) bool {
+		return relal.S(r[db.Nation.Schema.Col("n_name")]) == "SAUDI ARABIA"
+	})
+	lsn := e.Join(ls, nation, "s_nationkey", "n_nationkey")
+	// One row per (order, supplier) — dedup before counting.
+	dedup := e.Aggregate(lsn, []string{"s_name", "l_orderkey"}, []relal.AggSpec{
+		{Fn: "count", Col: "*", As: "n"},
+	})
+	agg := e.Aggregate(dedup, []string{"s_name"}, []relal.AggSpec{
+		{Fn: "count", Col: "*", As: "numwait"},
+	})
+	sorted := e.Sort(agg,
+		relal.OrderSpec{Col: "numwait", Desc: true},
+		relal.OrderSpec{Col: "s_name"},
+	)
+	return e.Limit(sorted, 100)
+}
+
+// q22: customers with above-average balances and no orders, by phone
+// country code. In Hive this runs as four sub-queries (the paper's
+// Table 5 breakdown).
+func q22(e *relal.Exec, db *DB) *relal.Table {
+	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true, "30": true, "18": true, "17": true}
+	cphone := db.Customer.Schema.Col("c_phone")
+	cbal := db.Customer.Schema.Col("c_acctbal")
+	// Sub-query 1: candidate customers by phone code.
+	cust := e.Filter(e.Scan(db.Customer), func(r relal.Row) bool {
+		return codes[relal.S(r[cphone])[:2]]
+	})
+	// Sub-query 2: average positive balance among them.
+	pos := e.Filter(cust, func(r relal.Row) bool { return relal.F(r[cbal]) > 0 })
+	avg := e.Aggregate(pos, nil, []relal.AggSpec{{Fn: "avg", Col: "c_acctbal", As: "avg_bal"}})
+	avgBal := 0.0
+	if avg.NumRows() > 0 {
+		avgBal = relal.F(avg.Rows[0][0])
+	}
+	// Sub-query 3: order keys (customers with orders).
+	ordCust := e.Aggregate(e.Scan(db.Orders), []string{"o_custkey"}, []relal.AggSpec{
+		{Fn: "count", Col: "*", As: "n"},
+	})
+	// Sub-query 4: join it all.
+	rich := e.Filter(cust, func(r relal.Row) bool { return relal.F(r[cbal]) > avgBal })
+	noOrders := e.AntiJoin(rich, ordCust, "c_custkey", "o_custkey")
+	noOrders = relal.Extend(noOrders, "cntrycode", relal.Str, func(r relal.Row) interface{} {
+		return relal.S(r[noOrders.Schema.Col("c_phone")])[:2]
+	})
+	agg := e.Aggregate(noOrders, []string{"cntrycode"}, []relal.AggSpec{
+		{Fn: "count", Col: "*", As: "numcust"},
+		{Fn: "sum", Col: "c_acctbal", As: "totacctbal"},
+	})
+	return e.Sort(agg, relal.OrderSpec{Col: "cntrycode"})
+}

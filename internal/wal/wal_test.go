@@ -1,0 +1,103 @@
+package wal
+
+import (
+	"testing"
+
+	"elephants/internal/cluster"
+	"elephants/internal/sim"
+)
+
+func testDisk(s *sim.Sim) *cluster.Disk {
+	cl := cluster.New(s, cluster.Config{Nodes: 1})
+	return cl.Nodes[0].Disks[0]
+}
+
+func TestAppendBlocksForFlush(t *testing.T) {
+	s := sim.New()
+	l := NewLog(s, testDisk(s), sim.Millisecond)
+	var elapsed sim.Duration
+	s.Spawn("c", func(p *sim.Proc) {
+		start := p.Now()
+		l.Append(p, 100)
+		elapsed = sim.Duration(p.Now() - start)
+	})
+	s.Run()
+	if elapsed < sim.Millisecond {
+		t.Errorf("append took %v, want >= group window 1ms", elapsed)
+	}
+}
+
+func TestGroupCommitShares(t *testing.T) {
+	s := sim.New()
+	l := NewLog(s, testDisk(s), sim.Millisecond)
+	for i := 0; i < 10; i++ {
+		s.Spawn("c", func(p *sim.Proc) { l.Append(p, 100) })
+	}
+	s.Run()
+	appends, flushes := l.Stats()
+	if appends != 10 {
+		t.Errorf("appends = %d, want 10", appends)
+	}
+	if flushes != 1 {
+		t.Errorf("flushes = %d, want 1 (group commit)", flushes)
+	}
+}
+
+func TestSeparatedAppendsFlushSeparately(t *testing.T) {
+	s := sim.New()
+	l := NewLog(s, testDisk(s), sim.Millisecond)
+	s.Spawn("c", func(p *sim.Proc) {
+		l.Append(p, 100)
+		p.Sleep(10 * sim.Millisecond)
+		l.Append(p, 100)
+	})
+	s.Run()
+	if _, flushes := l.Stats(); flushes != 2 {
+		t.Errorf("flushes = %d, want 2", flushes)
+	}
+}
+
+func TestCheckpointerRuns(t *testing.T) {
+	s := sim.New()
+	var calls int
+	c := NewCheckpointer(s, sim.Second, func(p *sim.Proc) int {
+		calls++
+		if calls >= 3 {
+			// Stop after the third round so the sim drains.
+			return 7
+		}
+		return 7
+	})
+	s.Spawn("stopper", func(p *sim.Proc) {
+		p.Sleep(3500 * sim.Millisecond)
+		c.Stop()
+	})
+	c.Start()
+	s.Run()
+	rounds, pages := c.Stats()
+	if rounds != 3 {
+		t.Errorf("rounds = %d, want 3", rounds)
+	}
+	if pages != 21 {
+		t.Errorf("pages = %d, want 21", pages)
+	}
+}
+
+func TestCheckpointerStopBeforeFirst(t *testing.T) {
+	s := sim.New()
+	c := NewCheckpointer(s, sim.Second, func(p *sim.Proc) int { return 1 })
+	c.Start()
+	c.Stop()
+	s.Run()
+	if rounds, _ := c.Stats(); rounds != 0 {
+		t.Errorf("rounds = %d, want 0", rounds)
+	}
+}
+
+func TestDefaultGroupWindowApplied(t *testing.T) {
+	s := sim.New()
+	l := NewLog(s, testDisk(s), 0)
+	if l.group != DefaultGroupWindow {
+		t.Errorf("group = %v, want default", l.group)
+	}
+}

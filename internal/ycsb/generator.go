@@ -1,0 +1,185 @@
+// Package ycsb implements the Yahoo! Cloud Serving Benchmark core used
+// in §3.4 of the paper: the five standard workloads (A–E), the request
+// distributions (uniform, zipfian, scrambled zipfian, latest), the
+// record layout (24-byte zero-padded integer keys, ten 100-byte string
+// fields), closed-loop clients with target-throughput throttling, and
+// the paper's measurement protocol (averages over the final window of
+// the run, reported with standard error across 10-second windows).
+package ycsb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// KeyLen is the paper's record key length: the string form of an integer
+// zero-padded to 24 bytes.
+const KeyLen = 24
+
+// FieldCount and FieldLen give the paper's record shape: ten 100-byte
+// string fields (1,024-byte records including the key).
+const (
+	FieldCount = 10
+	FieldLen   = 100
+)
+
+// Key formats a record number as the paper's 24-byte key.
+func Key(n int64) string { return fmt.Sprintf("%024d", n) }
+
+// MakeFields builds a deterministic set of field values for record n.
+func MakeFields(rng *rand.Rand) []string {
+	out := make([]string, FieldCount)
+	buf := make([]byte, FieldLen)
+	for i := range out {
+		for j := range buf {
+			buf[j] = byte('a' + rng.Intn(26))
+		}
+		out[i] = string(buf)
+	}
+	return out
+}
+
+// IntGenerator produces record indices under some request distribution.
+type IntGenerator interface {
+	// Next returns the next record index in [0, n) for the generator's
+	// current population.
+	Next(rng *rand.Rand) int64
+}
+
+// Uniform selects uniformly from [0, n).
+type Uniform struct{ N int64 }
+
+// Next implements IntGenerator.
+func (u Uniform) Next(rng *rand.Rand) int64 { return rng.Int63n(u.N) }
+
+// Zipfian implements the Gray et al. zipfian generator used by YCSB,
+// with incremental zeta maintenance so the population can grow.
+type Zipfian struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	zeta2 float64
+	eta   float64
+}
+
+// ZipfianConstant is YCSB's default skew.
+const ZipfianConstant = 0.99
+
+// NewZipfian returns a zipfian generator over [0, n).
+func NewZipfian(n int64, theta float64) *Zipfian {
+	if theta <= 0 {
+		theta = ZipfianConstant
+	}
+	z := &Zipfian{theta: theta, alpha: 1 / (1 - theta)}
+	z.zeta2 = zetaRange(0, 2, theta)
+	z.Grow(n)
+	return z
+}
+
+// zetaRange computes sum_{i=from+1..to} 1/i^theta.
+func zetaRange(from, to int64, theta float64) float64 {
+	var sum float64
+	for i := from + 1; i <= to; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Grow extends the population to n (no-op if n <= current), updating
+// zeta incrementally.
+func (z *Zipfian) Grow(n int64) {
+	if n <= z.n {
+		return
+	}
+	z.zetan += zetaRange(z.n, n, z.theta)
+	z.n = n
+	z.eta = (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+// N returns the current population size.
+func (z *Zipfian) N() int64 { return z.n }
+
+// Next implements IntGenerator: items near 0 are most popular.
+func (z *Zipfian) Next(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// ScrambledZipfian spreads zipfian popularity across the key space by
+// hashing, as YCSB does, so the hot set is not a contiguous key range.
+type ScrambledZipfian struct {
+	z *Zipfian
+	n int64
+}
+
+// NewScrambledZipfian returns a scrambled zipfian over [0, n).
+func NewScrambledZipfian(n int64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n, ZipfianConstant), n: n}
+}
+
+// Next implements IntGenerator.
+func (s *ScrambledZipfian) Next(rng *rand.Rand) int64 {
+	v := s.z.Next(rng)
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(v) >> (8 * i))
+	}
+	h.Write(buf[:])
+	return int64(h.Sum64() % uint64(s.n))
+}
+
+// Latest skews toward recently inserted records ("read latest"), the
+// Workload D distribution. The caller advances the population with Grow
+// as appends happen.
+type Latest struct {
+	z *Zipfian
+}
+
+// NewLatest returns a latest-skewed generator over an initial population
+// of n records.
+func NewLatest(n int64) *Latest {
+	return &Latest{z: NewZipfian(n, ZipfianConstant)}
+}
+
+// Grow extends the population after an insert.
+func (l *Latest) Grow(n int64) { l.z.Grow(n) }
+
+// Next implements IntGenerator: the most recent record is most popular.
+func (l *Latest) Next(rng *rand.Rand) int64 {
+	n := l.z.N()
+	v := n - 1 - l.z.Next(rng)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// UniformRange selects uniformly from [lo, hi] inclusive; used for scan
+// lengths.
+type UniformRange struct{ Lo, Hi int }
+
+// Next returns the next value.
+func (u UniformRange) Next(rng *rand.Rand) int {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + rng.Intn(u.Hi-u.Lo+1)
+}

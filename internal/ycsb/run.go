@@ -1,0 +1,275 @@
+package ycsb
+
+import (
+	"errors"
+	"math/rand"
+
+	"elephants/internal/metrics"
+	"elephants/internal/shard"
+	"elephants/internal/sim"
+)
+
+// RunConfig parameterizes one benchmark point: one system, one workload,
+// one target throughput.
+type RunConfig struct {
+	Workload Workload
+	// Records is the number of records already loaded (keys 0..Records-1).
+	Records int64
+	// Clients is the number of closed-loop client threads (the paper
+	// runs 800 across 8 client nodes; scale down with the dataset).
+	Clients int
+	// TargetOps is the aggregate target throughput in ops/sec; 0 means
+	// unthrottled.
+	TargetOps float64
+	// Warmup is discarded; Measure is the reported interval. The paper
+	// used 30-minute runs reporting the last 10 minutes.
+	Warmup  sim.Duration
+	Measure sim.Duration
+	// WindowSize is the throughput/latency window (paper: 10 s).
+	WindowSize sim.Duration
+	// Seed makes runs deterministic.
+	Seed int64
+	// Start/Stop hooks launch and halt background processes
+	// (checkpointers, flushers, balancer) inside the simulation.
+	Start func()
+	Stop  func()
+}
+
+// Result is one data point: achieved throughput and per-operation
+// latency (mean ± standard error across measurement windows), matching
+// what the paper plots in Figures 2–6.
+type Result struct {
+	System    string
+	Workload  string
+	TargetOps float64
+	// Throughput is achieved ops/sec over the measurement interval.
+	Throughput float64
+	// Latency maps operation kind to its windowed latency summary (ms).
+	Latency map[OpKind]metrics.Summary
+	// Ops counts completed operations by kind.
+	Ops map[OpKind]int64
+	// Errors counts failed operations.
+	Errors int64
+	// Crashed reports whether the system crashed during the run
+	// (Mongo-AS under Workload D overload).
+	Crashed bool
+}
+
+type latWindow struct {
+	sum   float64
+	count int64
+}
+
+// Run executes one benchmark point on an already-loaded store and
+// returns the measured result. It drives the simulator itself.
+func Run(s *sim.Sim, store shard.Store, cfg RunConfig) Result {
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 10 * sim.Second
+	}
+	if cfg.Measure <= 0 {
+		cfg.Measure = 60 * sim.Second
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	res := Result{
+		System:    store.Name(),
+		Workload:  cfg.Workload.Name,
+		TargetOps: cfg.TargetOps,
+		Latency:   make(map[OpKind]metrics.Summary),
+		Ops:       make(map[OpKind]int64),
+	}
+
+	// Shared generator state (processes are serialized by the sim
+	// kernel, so plain fields are safe).
+	insertCounter := cfg.Records
+	var keyGen IntGenerator
+	var latest *Latest
+	switch cfg.Workload.Dist {
+	case "latest":
+		latest = NewLatest(cfg.Records)
+		keyGen = latest
+	case "uniform":
+		keyGen = Uniform{N: cfg.Records}
+	default:
+		keyGen = NewScrambledZipfian(cfg.Records)
+	}
+	scanLen := UniformRange{Lo: 1, Hi: cfg.Workload.MaxScanLen}
+
+	measureStart := sim.Time(cfg.Warmup)
+	end := measureStart + sim.Time(cfg.Measure)
+	windows := make(map[OpKind]map[int64]*latWindow)
+	for _, k := range []OpKind{OpRead, OpUpdate, OpInsert, OpScan} {
+		windows[k] = make(map[int64]*latWindow)
+	}
+	opsWindow := metrics.NewWindow(cfg.WindowSize)
+
+	record := func(kind OpKind, t sim.Time, lat sim.Duration) {
+		if t < measureStart || t >= end {
+			return
+		}
+		res.Ops[kind]++
+		opsWindow.Record(t)
+		w := int64(t) / int64(cfg.WindowSize)
+		lw := windows[kind][w]
+		if lw == nil {
+			lw = &latWindow{}
+			windows[kind][w] = lw
+		}
+		lw.sum += lat.Milliseconds()
+		lw.count++
+	}
+
+	var opInterval sim.Duration
+	if cfg.TargetOps > 0 {
+		opInterval = sim.Seconds(float64(cfg.Clients) / cfg.TargetOps)
+	}
+
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		s.Spawn("ycsb-client", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+			// Stagger throttled clients across one interval.
+			next := sim.Time(sim.Duration(c) * opInterval / sim.Duration(cfg.Clients))
+			for {
+				now := p.Now()
+				if now >= end {
+					return
+				}
+				if opInterval > 0 {
+					if now < next {
+						p.Sleep(sim.Duration(next - now))
+					}
+					next += sim.Time(opInterval)
+				}
+				kind := pickOp(cfg.Workload, rng)
+				t0 := p.Now()
+				var err error
+				switch kind {
+				case OpRead:
+					err = store.Read(p, c, Key(keyGen.Next(rng)))
+				case OpUpdate:
+					err = store.Update(p, c, Key(keyGen.Next(rng)), rng.Intn(FieldCount), oneField(rng))
+				case OpInsert:
+					k := insertCounter
+					insertCounter++
+					err = store.Insert(p, c, Key(k), MakeFields(rng))
+					if err == nil {
+						if latest != nil {
+							latest.Grow(insertCounter)
+						}
+						if z, ok := keyGen.(*ScrambledZipfian); ok {
+							_ = z // scrambled zipfian stays over the initial population
+						}
+					}
+				case OpScan:
+					_, err = store.Scan(p, c, Key(keyGen.Next(rng)), scanLen.Next(rng))
+				}
+				if err != nil {
+					res.Errors++
+					if errors.Is(err, shard.ErrCrashed) {
+						res.Crashed = true
+						return
+					}
+					continue
+				}
+				record(kind, p.Now(), sim.Duration(p.Now()-t0))
+			}
+		})
+	}
+
+	if cfg.Start != nil {
+		cfg.Start()
+	}
+	// Stop background work once the run is over so the sim drains.
+	if cfg.Stop != nil {
+		s.Spawn("ycsb-stopper", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(end) + sim.Second)
+			cfg.Stop()
+		})
+	}
+	s.Run()
+
+	// Aggregate: per-window mean latency, then mean ± stderr across
+	// windows (the paper's 60-measurement protocol).
+	for kind, ws := range windows {
+		var means []float64
+		for _, lw := range ws {
+			if lw.count > 0 {
+				means = append(means, lw.sum/float64(lw.count))
+			}
+		}
+		if len(means) > 0 {
+			res.Latency[kind] = metrics.Summarize(means)
+		}
+	}
+	var total int64
+	for _, n := range res.Ops {
+		total += n
+	}
+	res.Throughput = float64(total) / cfg.Measure.Seconds()
+	return res
+}
+
+func pickOp(w Workload, rng *rand.Rand) OpKind {
+	r := rng.Float64()
+	switch {
+	case r < w.ReadPct:
+		return OpRead
+	case r < w.ReadPct+w.UpdatePct:
+		return OpUpdate
+	case r < w.ReadPct+w.UpdatePct+w.InsertPct:
+		return OpInsert
+	default:
+		return OpScan
+	}
+}
+
+func oneField(rng *rand.Rand) string {
+	buf := make([]byte, FieldLen)
+	for j := range buf {
+		buf[j] = byte('a' + rng.Intn(26))
+	}
+	return string(buf)
+}
+
+// LoadConfig parameterizes a timed load phase.
+type LoadConfig struct {
+	Records int64
+	Clients int
+	Seed    int64
+}
+
+// RunLoad inserts records 0..Records-1 through the store's timed insert
+// path, partitioned across clients, and returns the virtual load time.
+// This regenerates the §3.4.2 load-time comparison.
+func RunLoad(s *sim.Sim, store shard.Store, cfg LoadConfig) sim.Duration {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	per := cfg.Records / int64(cfg.Clients)
+	var loadEnd sim.Time
+	wg := s.NewWaitGroup()
+	wg.Add(cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		s.Spawn("loader", func(p *sim.Proc) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			lo := int64(c) * per
+			hi := lo + per
+			if c == cfg.Clients-1 {
+				hi = cfg.Records
+			}
+			for i := lo; i < hi; i++ {
+				store.Insert(p, c, Key(i), MakeFields(rng))
+			}
+			if p.Now() > loadEnd {
+				loadEnd = p.Now()
+			}
+		})
+	}
+	s.Spawn("load-joiner", func(p *sim.Proc) { wg.Wait(p) })
+	s.Run()
+	return sim.Duration(loadEnd)
+}

@@ -1,0 +1,69 @@
+package ycsb
+
+// OpKind is a YCSB operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert // append: key = next integer after the last loaded record
+	OpScan
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "append"
+	case OpScan:
+		return "scan"
+	}
+	return "unknown"
+}
+
+// Workload describes one of the five YCSB workloads (Table 6 of the
+// paper).
+type Workload struct {
+	Name        string
+	Description string
+	ReadPct     float64
+	UpdatePct   float64
+	InsertPct   float64
+	ScanPct     float64
+	// Dist selects the request distribution for reads/updates/scan
+	// starts: "zipfian", "latest", or "uniform".
+	Dist string
+	// MaxScanLen bounds scan lengths (uniform in [1, MaxScanLen]).
+	MaxScanLen int
+}
+
+// The five standard workloads as the paper ran them.
+var (
+	// WorkloadA is update-heavy: 50% reads, 50% updates.
+	WorkloadA = Workload{Name: "A", Description: "Update heavy", ReadPct: 0.5, UpdatePct: 0.5, Dist: "zipfian"}
+	// WorkloadB is read-heavy: 95% reads, 5% updates.
+	WorkloadB = Workload{Name: "B", Description: "Read heavy", ReadPct: 0.95, UpdatePct: 0.05, Dist: "zipfian"}
+	// WorkloadC is read-only.
+	WorkloadC = Workload{Name: "C", Description: "Read only", ReadPct: 1.0, Dist: "zipfian"}
+	// WorkloadD is read-latest: 95% reads skewed to new records, 5% appends.
+	WorkloadD = Workload{Name: "D", Description: "Read latest", ReadPct: 0.95, InsertPct: 0.05, Dist: "latest"}
+	// WorkloadE is short ranges: 95% scans, 5% appends.
+	WorkloadE = Workload{Name: "E", Description: "Short ranges", ScanPct: 0.95, InsertPct: 0.05, Dist: "zipfian", MaxScanLen: 100}
+)
+
+// Workloads lists all five in paper order.
+var Workloads = []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE}
+
+// ByName returns the workload with the given name (A–E).
+func ByName(name string) (Workload, bool) {
+	for _, w := range Workloads {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
