@@ -1,0 +1,32 @@
+# Build / test / bench entry points. Tier-1 verification is
+# `make check` (what CI runs); `make bench` regenerates BENCH_PR1.json.
+
+GO ?= go
+
+.PHONY: all build test vet fmt-check check bench bench-paper
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: fmt-check vet build test
+
+# Per-query TPC-H executor benchmarks → BENCH_PR1.json (row-at-a-time
+# baseline vs columnar). BENCHTIME=10x for steadier numbers.
+bench:
+	./scripts/bench.sh
+
+# The paper-artifact benches (Tables 2–5, Figures 1–6, ablations).
+bench-paper:
+	$(GO) test -bench . -benchmem

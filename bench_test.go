@@ -11,6 +11,7 @@
 package elephants
 
 import (
+	"fmt"
 	"testing"
 
 	"elephants/internal/cluster"
@@ -273,5 +274,20 @@ func BenchmarkQueryExecution(b *testing.B) {
 		for _, q := range tpch.Queries {
 			tpch.RunQuery(q.ID, db)
 		}
+	}
+}
+
+// BenchmarkTPCHQuery measures each of the 22 queries individually on the
+// in-memory relal executor (host time and allocations). These are the
+// numbers tracked in BENCH_PR1.json across the row→columnar refactor.
+func BenchmarkTPCHQuery(b *testing.B) {
+	db := tpch.Generate(tpch.GenConfig{SF: 0.005, Seed: 1, Random64: true})
+	for _, q := range tpch.Queries {
+		b.Run(fmt.Sprintf("Q%d", q.ID), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tpch.RunQuery(q.ID, db)
+			}
+		})
 	}
 }

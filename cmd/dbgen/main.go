@@ -61,7 +61,7 @@ func main() {
 }
 
 func writeTable(w io.Writer, t *relal.Table) error {
-	for _, row := range t.Rows {
+	for _, row := range relal.RowsOf(t) {
 		for i, v := range row {
 			if i > 0 {
 				if _, err := fmt.Fprint(w, "|"); err != nil {

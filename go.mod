@@ -1,0 +1,3 @@
+module elephants
+
+go 1.22

@@ -168,8 +168,9 @@ func TestAnswersMatchReference(t *testing.T) {
 	if qs.Answer.NumRows() != ref.NumRows() {
 		t.Fatal("Hive answer row count differs from reference")
 	}
-	if qs.Answer.Rows[0][0] != ref.Rows[0][0] {
-		t.Errorf("Hive Q6 answer %v != reference %v", qs.Answer.Rows[0][0], ref.Rows[0][0])
+	if qs.Answer.FloatCol("revenue").Get(0) != ref.FloatCol("revenue").Get(0) {
+		t.Errorf("Hive Q6 answer %v != reference %v",
+			qs.Answer.FloatCol("revenue").Get(0), ref.FloatCol("revenue").Get(0))
 	}
 }
 

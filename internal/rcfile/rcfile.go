@@ -9,6 +9,10 @@
 // observation ("the RCFile format is not a very efficient storage
 // layout... map tasks were CPU-bound at ~70 MB/s") appears in the cost
 // model as a per-byte decompression CPU charge.
+//
+// Since relal tables are themselves columnar, encoding and decoding
+// move cells straight between the typed column vectors and the on-disk
+// chunks — no row pivot, no boxed values.
 package rcfile
 
 import (
@@ -52,25 +56,25 @@ var magic = []byte("RCF1")
 
 // Write encodes t.
 func (w *Writer) Write(t *relal.Table) ([]byte, error) {
+	d := t.Compacted() // dense vectors; no-op unless t is a view
 	var out bytes.Buffer
 	out.Write(magic)
-	binary.Write(&out, binary.LittleEndian, uint32(len(t.Schema)))
-	numGroups := (len(t.Rows) + w.groupRows - 1) / w.groupRows
+	binary.Write(&out, binary.LittleEndian, uint32(len(d.Schema)))
+	n := d.NumRows()
+	numGroups := (n + w.groupRows - 1) / w.groupRows
 	binary.Write(&out, binary.LittleEndian, uint32(numGroups))
 	for g := 0; g < numGroups; g++ {
 		lo := g * w.groupRows
 		hi := lo + w.groupRows
-		if hi > len(t.Rows) {
-			hi = len(t.Rows)
+		if hi > n {
+			hi = n
 		}
 		binary.Write(&out, binary.LittleEndian, uint32(hi-lo))
-		for c := range t.Schema {
+		for c := range d.Schema {
 			var col bytes.Buffer
 			gz := gzip.NewWriter(&col)
-			for _, r := range t.Rows[lo:hi] {
-				if err := writeCell(gz, t.Schema[c].Type, r[c]); err != nil {
-					return nil, err
-				}
+			if err := writeChunk(gz, d.Cols[c], lo, hi); err != nil {
+				return nil, err
 			}
 			if err := gz.Close(); err != nil {
 				return nil, err
@@ -82,43 +86,43 @@ func (w *Writer) Write(t *relal.Table) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-func writeCell(w io.Writer, typ relal.Type, v interface{}) error {
-	switch typ {
-	case relal.Str:
-		s, ok := v.(string)
-		if !ok {
-			return fmt.Errorf("rcfile: expected string, got %T", v)
-		}
-		var lenBuf [4]byte
-		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
-		if _, err := w.Write(lenBuf[:]); err != nil {
-			return err
-		}
-		_, err := io.WriteString(w, s)
-		return err
+// writeChunk streams one column's cells in rows [lo, hi) straight from
+// the typed vector.
+func writeChunk(w io.Writer, v *relal.Vector, lo, hi int) error {
+	var buf [8]byte
+	switch v.Kind {
 	case relal.Int:
-		i, ok := v.(int64)
-		if !ok {
-			return fmt.Errorf("rcfile: expected int64, got %T", v)
+		for _, x := range v.Ints[lo:hi] {
+			binary.LittleEndian.PutUint64(buf[:], uint64(x))
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
 		}
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], uint64(i))
-		_, err := w.Write(buf[:])
-		return err
 	case relal.Float:
-		f, ok := v.(float64)
-		if !ok {
-			return fmt.Errorf("rcfile: expected float64, got %T", v)
+		for _, f := range v.Floats[lo:hi] {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
 		}
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
-		_, err := w.Write(buf[:])
-		return err
+	case relal.Str:
+		for _, s := range v.Strs[lo:hi] {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(len(s)))
+			if _, err := w.Write(buf[:4]); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, s); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("rcfile: unknown type %d", v.Kind)
 	}
-	return fmt.Errorf("rcfile: unknown type %d", typ)
+	return nil
 }
 
-// Read decodes an RCFile produced by Write, given the schema.
+// Read decodes an RCFile produced by Write, given the schema. Column
+// chunks are appended directly onto the table's typed vectors.
 func Read(data []byte, schema relal.Schema, name string) (*relal.Table, error) {
 	r := bytes.NewReader(data)
 	m := make([]byte, 4)
@@ -135,13 +139,12 @@ func Read(data []byte, schema relal.Schema, name string) (*relal.Table, error) {
 	if err := binary.Read(r, binary.LittleEndian, &numGroups); err != nil {
 		return nil, err
 	}
-	t := &relal.Table{Name: name, Schema: schema}
+	t := relal.NewTable(name, schema)
 	for g := uint32(0); g < numGroups; g++ {
 		var rows uint32
 		if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
 			return nil, err
 		}
-		cols := make([][]interface{}, numCols)
 		for c := uint32(0); c < numCols; c++ {
 			var compLen uint32
 			if err := binary.Read(r, binary.LittleEndian, &compLen); err != nil {
@@ -159,54 +162,52 @@ func Read(data []byte, schema relal.Schema, name string) (*relal.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			cells, err := readCells(raw, schema[c].Type, int(rows))
-			if err != nil {
+			if err := readChunk(raw, t.Cols[c], int(rows)); err != nil {
 				return nil, err
 			}
-			cols[c] = cells
-		}
-		for i := uint32(0); i < rows; i++ {
-			row := make(relal.Row, numCols)
-			for c := range cols {
-				row[c] = cols[c][i]
-			}
-			t.Rows = append(t.Rows, row)
 		}
 	}
 	return t, nil
 }
 
-func readCells(raw []byte, typ relal.Type, rows int) ([]interface{}, error) {
-	out := make([]interface{}, 0, rows)
+// readChunk decodes one column chunk of the given row count, appending
+// onto the typed vector.
+func readChunk(raw []byte, v *relal.Vector, rows int) error {
 	pos := 0
-	for i := 0; i < rows; i++ {
-		switch typ {
-		case relal.Str:
+	switch v.Kind {
+	case relal.Int:
+		if len(raw) < 8*rows {
+			return fmt.Errorf("rcfile: truncated int column")
+		}
+		for i := 0; i < rows; i++ {
+			v.Ints = append(v.Ints, int64(binary.LittleEndian.Uint64(raw[pos:])))
+			pos += 8
+		}
+	case relal.Float:
+		if len(raw) < 8*rows {
+			return fmt.Errorf("rcfile: truncated float column")
+		}
+		for i := 0; i < rows; i++ {
+			v.Floats = append(v.Floats, math.Float64frombits(binary.LittleEndian.Uint64(raw[pos:])))
+			pos += 8
+		}
+	case relal.Str:
+		for i := 0; i < rows; i++ {
 			if pos+4 > len(raw) {
-				return nil, fmt.Errorf("rcfile: truncated string column")
+				return fmt.Errorf("rcfile: truncated string column")
 			}
 			n := int(binary.LittleEndian.Uint32(raw[pos:]))
 			pos += 4
 			if pos+n > len(raw) {
-				return nil, fmt.Errorf("rcfile: truncated string cell")
+				return fmt.Errorf("rcfile: truncated string cell")
 			}
-			out = append(out, string(raw[pos:pos+n]))
+			v.Strs = append(v.Strs, string(raw[pos:pos+n]))
 			pos += n
-		case relal.Int:
-			if pos+8 > len(raw) {
-				return nil, fmt.Errorf("rcfile: truncated int column")
-			}
-			out = append(out, int64(binary.LittleEndian.Uint64(raw[pos:])))
-			pos += 8
-		case relal.Float:
-			if pos+8 > len(raw) {
-				return nil, fmt.Errorf("rcfile: truncated float column")
-			}
-			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(raw[pos:])))
-			pos += 8
 		}
+	default:
+		return fmt.Errorf("rcfile: unknown type %d", v.Kind)
 	}
-	return out, nil
+	return nil
 }
 
 // CompressionRatio encodes t and returns compressed/uncompressed size.

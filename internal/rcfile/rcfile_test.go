@@ -10,18 +10,19 @@ import (
 )
 
 func sampleTable(rows int) *relal.Table {
-	t := &relal.Table{
-		Name: "t",
-		Schema: relal.Schema{
-			{Name: "k", Type: relal.Int},
-			{Name: "v", Type: relal.Float},
-			{Name: "s", Type: relal.Str},
-		},
-	}
+	keys := make([]int64, 0, rows)
+	vals := make([]float64, 0, rows)
+	strs := make([]string, 0, rows)
 	for i := 0; i < rows; i++ {
-		t.Rows = append(t.Rows, relal.Row{int64(i), float64(i) * 1.5, fmt.Sprintf("row-%d", i)})
+		keys = append(keys, int64(i))
+		vals = append(vals, float64(i)*1.5)
+		strs = append(strs, fmt.Sprintf("row-%d", i))
 	}
-	return t
+	return relal.NewTable("t", relal.Schema{
+		{Name: "k", Type: relal.Int},
+		{Name: "v", Type: relal.Float},
+		{Name: "s", Type: relal.Str},
+	}, relal.IntsV(keys), relal.FloatsV(vals), relal.StrsV(strs))
 }
 
 func TestRoundTrip(t *testing.T) {
@@ -37,11 +38,38 @@ func TestRoundTrip(t *testing.T) {
 	if got.NumRows() != src.NumRows() {
 		t.Fatalf("rows = %d, want %d", got.NumRows(), src.NumRows())
 	}
-	for i := range src.Rows {
-		for c := range src.Rows[i] {
-			if got.Rows[i][c] != src.Rows[i][c] {
-				t.Fatalf("cell (%d,%d) = %v, want %v", i, c, got.Rows[i][c], src.Rows[i][c])
+	srcRows, gotRows := relal.RowsOf(src), relal.RowsOf(got)
+	for i := range srcRows {
+		for c := range srcRows[i] {
+			if gotRows[i][c] != srcRows[i][c] {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, c, gotRows[i][c], srcRows[i][c])
 			}
+		}
+	}
+}
+
+func TestRoundTripOfView(t *testing.T) {
+	// Writing a filtered view must serialize only the selected rows (the
+	// writer compacts internally).
+	src := sampleTable(100)
+	e := &relal.Exec{}
+	k := src.IntCol("k")
+	f := e.Filter(src, func(i int) bool { return k.Get(i)%10 == 0 })
+	data, err := NewWriter(4).Write(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(data, f.Schema, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 10 {
+		t.Fatalf("rows = %d, want 10", got.NumRows())
+	}
+	gk := got.IntCol("k")
+	for i := 0; i < got.NumRows(); i++ {
+		if gk.Get(i) != int64(i*10) {
+			t.Fatalf("row %d k = %d, want %d", i, gk.Get(i), i*10)
 		}
 	}
 }
@@ -93,13 +121,9 @@ func TestCompressionOnTPCH(t *testing.T) {
 
 func TestRoundTripProperty(t *testing.T) {
 	f := func(vals []int64) bool {
-		src := &relal.Table{
-			Name:   "p",
-			Schema: relal.Schema{{Name: "x", Type: relal.Int}},
-		}
-		for _, v := range vals {
-			src.Rows = append(src.Rows, relal.Row{v})
-		}
+		src := relal.NewTable("p",
+			relal.Schema{{Name: "x", Type: relal.Int}},
+			relal.IntsV(vals))
 		data, err := NewWriter(7).Write(src)
 		if err != nil {
 			return false
@@ -108,8 +132,9 @@ func TestRoundTripProperty(t *testing.T) {
 		if err != nil || got.NumRows() != len(vals) {
 			return false
 		}
+		gx := got.IntCol("x")
 		for i, v := range vals {
-			if got.Rows[i][0] != v {
+			if gx.Get(i) != v {
 				return false
 			}
 		}
@@ -120,13 +145,15 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
-func TestWriteRejectsWrongTypes(t *testing.T) {
-	bad := &relal.Table{
-		Name:   "b",
-		Schema: relal.Schema{{Name: "x", Type: relal.Int}},
-		Rows:   []relal.Row{{"not an int"}},
-	}
-	if _, err := NewWriter(0).Write(bad); err == nil {
-		t.Error("type mismatch should fail")
-	}
+func TestTypeMismatchRejectedAtConstruction(t *testing.T) {
+	// With typed columnar tables a mistyped cell can no longer reach the
+	// writer: AppendRow panics at construction time instead of Write
+	// returning an error later.
+	tb := relal.NewTable("b", relal.Schema{{Name: "x", Type: relal.Int}})
+	defer func() {
+		if recover() == nil {
+			t.Error("mistyped AppendRow should panic")
+		}
+	}()
+	relal.AppendRow(tb, relal.Row{"not an int"})
 }

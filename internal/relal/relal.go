@@ -1,7 +1,15 @@
 // Package relal provides the shared relational-algebra building blocks
-// used by the TPC-H side of the reproduction: typed tables, hash joins,
-// grouped aggregation, sorting, and filtering, all instrumented with a
-// step log.
+// used by the TPC-H side of the reproduction: typed columnar tables,
+// hash joins, grouped aggregation, sorting, and filtering, all
+// instrumented with a step log.
+//
+// Storage is columnar, mirroring the paper's RCFile insight: a Table
+// holds one typed vector per column ([]int64, []float64, or []string)
+// plus an optional selection vector. Filters, semi/anti joins, sorts,
+// and limits produce zero-copy views (shared column vectors + a
+// selection/permutation of physical row indices); joins and
+// aggregations materialize new dense vectors via typed gathers. No cell
+// is ever boxed into an interface{} on the hot path.
 //
 // Each TPC-H query is written once as a small program over these
 // operators. Executing it yields (a) the correct answer (validated
@@ -13,8 +21,10 @@
 package relal
 
 import (
+	"cmp"
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Type is a column type.
@@ -57,52 +67,210 @@ func (s Schema) Names() []string {
 	return out
 }
 
-// Row is one tuple; elements are int64, float64, or string per the
-// schema.
-type Row []interface{}
+// Vector is one typed column: exactly the slice matching Kind is
+// populated.
+type Vector struct {
+	Kind   Type
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
 
-// Table is a schema plus rows. Base names the base table whose
-// partitioning the rows still align with ("" for post-join/agg
+// NewVector returns an empty vector of the given type with capacity for
+// n cells.
+func NewVector(kind Type, n int) *Vector {
+	v := &Vector{Kind: kind}
+	switch kind {
+	case Int:
+		v.Ints = make([]int64, 0, n)
+	case Float:
+		v.Floats = make([]float64, 0, n)
+	case Str:
+		v.Strs = make([]string, 0, n)
+	}
+	return v
+}
+
+// IntsV wraps an int64 slice as a column vector (no copy).
+func IntsV(xs []int64) *Vector { return &Vector{Kind: Int, Ints: xs} }
+
+// FloatsV wraps a float64 slice as a column vector (no copy).
+func FloatsV(xs []float64) *Vector { return &Vector{Kind: Float, Floats: xs} }
+
+// StrsV wraps a string slice as a column vector (no copy).
+func StrsV(xs []string) *Vector { return &Vector{Kind: Str, Strs: xs} }
+
+// Len returns the number of cells.
+func (v *Vector) Len() int {
+	switch v.Kind {
+	case Int:
+		return len(v.Ints)
+	case Float:
+		return len(v.Floats)
+	}
+	return len(v.Strs)
+}
+
+// appendFrom appends src's cell at physical index p.
+func (v *Vector) appendFrom(src *Vector, p int32) {
+	switch v.Kind {
+	case Int:
+		v.Ints = append(v.Ints, src.Ints[p])
+	case Float:
+		v.Floats = append(v.Floats, src.Floats[p])
+	default:
+		v.Strs = append(v.Strs, src.Strs[p])
+	}
+}
+
+// gatherSlice returns xs's cells at the given physical indices, in
+// order.
+func gatherSlice[T any](xs []T, idx []int32) []T {
+	out := make([]T, len(idx))
+	for k, p := range idx {
+		out[k] = xs[p]
+	}
+	return out
+}
+
+// gather returns a dense vector holding v's cells at the given physical
+// indices, in order.
+func (v *Vector) gather(idx []int32) *Vector {
+	out := &Vector{Kind: v.Kind}
+	switch v.Kind {
+	case Int:
+		out.Ints = gatherSlice(v.Ints, idx)
+	case Float:
+		out.Floats = gatherSlice(v.Floats, idx)
+	default:
+		out.Strs = gatherSlice(v.Strs, idx)
+	}
+	return out
+}
+
+// Table is a schema plus column vectors. Base names the base table
+// whose partitioning the rows still align with ("" for post-join/agg
 // intermediates); filters and projections preserve it.
+//
+// sel, when non-nil, is a selection/permutation vector of physical row
+// indices: logical row i lives at physical position sel[i] in every
+// column. Filters, sorts, and limits return such views instead of
+// copying; Compacted materializes a view into dense vectors.
 type Table struct {
 	Name   string
 	Schema Schema
-	Rows   []Row
+	Cols   []*Vector
 	Base   string
+
+	sel      []int32
+	shared   bool // Cols aliased by another table (zero-copy views)
+	avgBytes int  // cached exact AvgRowBytes; 0 = not yet computed
 }
 
-// NumRows returns the row count.
-func (t *Table) NumRows() int { return len(t.Rows) }
-
-// AvgRowBytes estimates the average encoded row width in bytes (8 per
-// numeric column, string length + 1 otherwise), used by the engines to
-// convert cardinalities into I/O and network bytes.
-func (t *Table) AvgRowBytes() int {
-	if len(t.Rows) == 0 {
-		return rowBytesFromSchema(t.Schema)
+// NewTable builds a table. With no cols, empty vectors are allocated
+// per the schema; otherwise cols must match the schema's types and all
+// have equal lengths. Supplied vectors are adopted, not copied, and may
+// be aliased by another table (e.g. a renamed-column alias of a base
+// table), so the result is marked shared: AppendRow privatizes the
+// vectors before mutating them.
+func NewTable(name string, schema Schema, cols ...*Vector) *Table {
+	t := &Table{Name: name, Schema: schema}
+	if len(cols) == 0 {
+		t.Cols = make([]*Vector, len(schema))
+		for i, c := range schema {
+			t.Cols[i] = NewVector(c.Type, 0)
+		}
+		return t
 	}
-	sample := len(t.Rows)
-	if sample > 256 {
-		sample = 256
+	t.shared = true
+	if len(cols) != len(schema) {
+		panic(fmt.Sprintf("relal: %d vectors for %d columns", len(cols), len(schema)))
 	}
-	var total int
-	for i := 0; i < sample; i++ {
-		total += rowBytes(t.Rows[i])
-	}
-	return total / sample
-}
-
-func rowBytes(r Row) int {
-	b := 0
-	for _, v := range r {
-		switch x := v.(type) {
-		case string:
-			b += len(x) + 1
-		default:
-			b += 8
+	n := cols[0].Len()
+	for i, v := range cols {
+		if v.Kind != schema[i].Type {
+			panic(fmt.Sprintf("relal: column %q type mismatch", schema[i].Name))
+		}
+		if v.Len() != n {
+			panic(fmt.Sprintf("relal: column %q has %d cells, want %d", schema[i].Name, v.Len(), n))
 		}
 	}
-	return b
+	t.Cols = cols
+	return t
+}
+
+// view wraps t's columns under a new selection vector. Both the view
+// and the source are marked shared: their vectors are now aliased, so a
+// later AppendRow to either must privatize first.
+func view(t *Table, name string, sel []int32) *Table {
+	t.shared = true
+	return &Table{Name: name, Schema: t.Schema, Cols: t.Cols, sel: sel, shared: true}
+}
+
+// phys maps a logical row index to its physical position.
+func (t *Table) phys(i int) int32 {
+	if t.sel != nil {
+		return t.sel[i]
+	}
+	return int32(i)
+}
+
+// NumRows returns the logical row count.
+func (t *Table) NumRows() int {
+	if t.sel != nil {
+		return len(t.sel)
+	}
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].Len()
+}
+
+// Compacted returns a dense copy of t if it is a view (materializing
+// the selection vector), or t itself if it is already dense.
+func (t *Table) Compacted() *Table {
+	if t.sel == nil {
+		return t
+	}
+	cols := make([]*Vector, len(t.Cols))
+	for i, v := range t.Cols {
+		cols[i] = v.gather(t.sel)
+	}
+	return &Table{Name: t.Name, Schema: t.Schema, Cols: cols, Base: t.Base}
+}
+
+// AvgRowBytes returns the exact average encoded row width in bytes
+// (8 per numeric column, string length + 1 otherwise), used by the
+// engines to convert cardinalities into I/O and network bytes. Unlike
+// the old row-at-a-time sampling estimate, this is computed from the
+// full column data.
+func (t *Table) AvgRowBytes() int {
+	n := t.NumRows()
+	if n == 0 {
+		return rowBytesFromSchema(t.Schema)
+	}
+	if t.avgBytes > 0 {
+		return t.avgBytes
+	}
+	total := 0
+	for ci, c := range t.Schema {
+		if c.Type != Str {
+			total += 8 * n
+			continue
+		}
+		strs := t.Cols[ci].Strs
+		if t.sel == nil {
+			for _, s := range strs {
+				total += len(s) + 1
+			}
+		} else {
+			for _, p := range t.sel {
+				total += len(strs[p]) + 1
+			}
+		}
+	}
+	t.avgBytes = total / n
+	return t.avgBytes
 }
 
 func rowBytesFromSchema(s Schema) int {
@@ -115,6 +283,179 @@ func rowBytesFromSchema(s Schema) int {
 		}
 	}
 	return b
+}
+
+// IntVec is a read accessor for an Int column, selection-aware: Get
+// takes logical row indices.
+type IntVec struct {
+	data []int64
+	sel  []int32
+}
+
+// Get returns the cell at logical row i.
+func (v IntVec) Get(i int) int64 {
+	if v.sel != nil {
+		i = int(v.sel[i])
+	}
+	return v.data[i]
+}
+
+// Len returns the logical row count.
+func (v IntVec) Len() int {
+	if v.sel != nil {
+		return len(v.sel)
+	}
+	return len(v.data)
+}
+
+// FloatVec is a read accessor for a Float column.
+type FloatVec struct {
+	data []float64
+	sel  []int32
+}
+
+// Get returns the cell at logical row i.
+func (v FloatVec) Get(i int) float64 {
+	if v.sel != nil {
+		i = int(v.sel[i])
+	}
+	return v.data[i]
+}
+
+// Len returns the logical row count.
+func (v FloatVec) Len() int {
+	if v.sel != nil {
+		return len(v.sel)
+	}
+	return len(v.data)
+}
+
+// StrVec is a read accessor for a Str column.
+type StrVec struct {
+	data []string
+	sel  []int32
+}
+
+// Get returns the cell at logical row i.
+func (v StrVec) Get(i int) string {
+	if v.sel != nil {
+		i = int(v.sel[i])
+	}
+	return v.data[i]
+}
+
+// Len returns the logical row count.
+func (v StrVec) Len() int {
+	if v.sel != nil {
+		return len(v.sel)
+	}
+	return len(v.data)
+}
+
+// IntCol returns a typed accessor for the named Int column (panics on
+// missing column or type mismatch — schema errors are programming bugs
+// in the hand-written queries).
+func (t *Table) IntCol(name string) IntVec {
+	c := t.Schema.Col(name)
+	if t.Schema[c].Type != Int {
+		panic(fmt.Sprintf("relal: column %q is not Int", name))
+	}
+	return IntVec{data: t.Cols[c].Ints, sel: t.sel}
+}
+
+// FloatCol returns a typed accessor for the named Float column.
+func (t *Table) FloatCol(name string) FloatVec {
+	c := t.Schema.Col(name)
+	if t.Schema[c].Type != Float {
+		panic(fmt.Sprintf("relal: column %q is not Float", name))
+	}
+	return FloatVec{data: t.Cols[c].Floats, sel: t.sel}
+}
+
+// StrCol returns a typed accessor for the named Str column.
+func (t *Table) StrCol(name string) StrVec {
+	c := t.Schema.Col(name)
+	if t.Schema[c].Type != Str {
+		panic(fmt.Sprintf("relal: column %q is not Str", name))
+	}
+	return StrVec{data: t.Cols[c].Strs, sel: t.sel}
+}
+
+// Row is one boxed tuple; elements are int64, float64, or string per
+// the schema. It survives only as the compatibility interchange format
+// (RowsOf/AppendRow) — the execution core never materializes rows.
+type Row []interface{}
+
+// RowsOf materializes t as boxed rows (compatibility shim for tests and
+// row-oriented consumers such as the text dumper).
+func RowsOf(t *Table) []Row {
+	n := t.NumRows()
+	rows := make([]Row, n)
+	for i := 0; i < n; i++ {
+		p := t.phys(i)
+		r := make(Row, len(t.Cols))
+		for c, v := range t.Cols {
+			switch v.Kind {
+			case Int:
+				r[c] = v.Ints[p]
+			case Float:
+				r[c] = v.Floats[p]
+			default:
+				r[c] = v.Strs[p]
+			}
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// AppendRow appends one boxed row to t (compatibility shim). Cell types
+// must match the schema exactly (int64/float64/string) or it panics. If
+// t is a view, or its vectors are aliased by a zero-copy sibling
+// (Project/Limit output), t is compacted onto private vectors first so
+// the append can never desynchronize another table.
+func AppendRow(t *Table, r Row) {
+	if t.sel != nil || t.shared {
+		sel := t.sel
+		if sel == nil {
+			sel = make([]int32, t.NumRows())
+			for i := range sel {
+				sel[i] = int32(i)
+			}
+		}
+		cols := make([]*Vector, len(t.Cols))
+		for i, v := range t.Cols {
+			cols[i] = v.gather(sel)
+		}
+		t.Cols, t.sel, t.shared = cols, nil, false
+	}
+	if len(r) != len(t.Cols) {
+		panic(fmt.Sprintf("relal: row has %d cells, schema has %d", len(r), len(t.Cols)))
+	}
+	for c, cell := range r {
+		col := t.Cols[c]
+		switch col.Kind {
+		case Int:
+			x, ok := cell.(int64)
+			if !ok {
+				panic(fmt.Sprintf("relal: column %q expects int64, got %T", t.Schema[c].Name, cell))
+			}
+			col.Ints = append(col.Ints, x)
+		case Float:
+			x, ok := cell.(float64)
+			if !ok {
+				panic(fmt.Sprintf("relal: column %q expects float64, got %T", t.Schema[c].Name, cell))
+			}
+			col.Floats = append(col.Floats, x)
+		default:
+			x, ok := cell.(string)
+			if !ok {
+				panic(fmt.Sprintf("relal: column %q expects string, got %T", t.Schema[c].Name, cell))
+			}
+			col.Strs = append(col.Strs, x)
+		}
+	}
+	t.avgBytes = 0
 }
 
 // StepKind classifies a logged execution step.
@@ -203,15 +544,27 @@ func (e *Exec) Scan(t *Table) *Table {
 	return t
 }
 
-// Filter returns rows of t satisfying pred. The result keeps t's base
-// annotation (filtering preserves partitioning).
-func (e *Exec) Filter(t *Table, pred func(Row) bool) *Table {
-	out := &Table{Name: t.Name + "_f", Schema: t.Schema}
-	for _, r := range t.Rows {
-		if pred(r) {
-			out.Rows = append(out.Rows, r)
+// Filter returns the rows of t satisfying pred as a zero-copy view:
+// pred is evaluated per logical row index into a new selection vector;
+// no cells move. The result keeps t's base annotation (filtering
+// preserves partitioning).
+func (e *Exec) Filter(t *Table, pred func(i int) bool) *Table {
+	n := t.NumRows()
+	sel := []int32{}
+	if t.sel != nil {
+		for i, p := range t.sel {
+			if pred(i) {
+				sel = append(sel, p)
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				sel = append(sel, int32(i))
+			}
 		}
 	}
+	out := view(t, t.Name+"_f", sel)
 	e.Log.Add(Step{
 		Kind: StepFilter, Table: t.Name,
 		LeftRows: t.NumRows(), LeftWidth: t.AvgRowBytes(),
@@ -223,49 +576,90 @@ func (e *Exec) Filter(t *Table, pred func(Row) bool) *Table {
 }
 
 // Project returns a table with the named columns only, preserving the
-// base annotation. Projection is logged as part of downstream steps, not
-// separately (it is free in both engines' models).
+// base annotation. Column vectors are shared (zero-copy). Projection is
+// logged as part of downstream steps, not separately (it is free in
+// both engines' models).
 func (e *Exec) Project(t *Table, cols ...string) *Table {
-	idx := make([]int, len(cols))
 	sch := make(Schema, len(cols))
+	vecs := make([]*Vector, len(cols))
 	for i, c := range cols {
-		idx[i] = t.Schema.Col(c)
-		sch[i] = t.Schema[idx[i]]
+		j := t.Schema.Col(c)
+		sch[i] = t.Schema[j]
+		vecs[i] = t.Cols[j]
 	}
-	out := &Table{Name: t.Name + "_p", Schema: sch, Rows: make([]Row, 0, len(t.Rows))}
-	for _, r := range t.Rows {
-		nr := make(Row, len(idx))
-		for i, j := range idx {
-			nr[i] = r[j]
-		}
-		out.Rows = append(out.Rows, nr)
-	}
+	t.shared = true
+	out := &Table{Name: t.Name + "_p", Schema: sch, Cols: vecs, sel: t.sel, shared: true}
 	SetBase(out, BaseOf(t))
 	return out
 }
 
+// keyAt reads the key at logical row i of a selection-aware key column.
+func keyAt[K comparable](data []K, sel []int32, i int) K {
+	if sel != nil {
+		i = int(sel[i])
+	}
+	return data[i]
+}
+
+// matchTyped is the hash-join build/probe kernel for one key type: it
+// builds a hash table on the right key column and returns parallel
+// slices of matching physical row indices (left-major, preserving left
+// row order and right insertion order within a key).
+func matchTyped[K comparable](left, right *Table, lKeys, rKeys []K) (lIdx, rIdx []int32) {
+	ln, rn := left.NumRows(), right.NumRows()
+	ht := make(map[K][]int32, rn)
+	for j := 0; j < rn; j++ {
+		k := keyAt(rKeys, right.sel, j)
+		ht[k] = append(ht[k], right.phys(j))
+	}
+	for i := 0; i < ln; i++ {
+		if b := ht[keyAt(lKeys, left.sel, i)]; len(b) > 0 {
+			p := left.phys(i)
+			for _, rp := range b {
+				lIdx = append(lIdx, p)
+				rIdx = append(rIdx, rp)
+			}
+		}
+	}
+	return lIdx, rIdx
+}
+
+// matchIndices dispatches the typed hash-join probe on the key column
+// type. Keys must have identical types on both sides.
+func matchIndices(left, right *Table, li, ri int) (lIdx, rIdx []int32) {
+	if left.Schema[li].Type != right.Schema[ri].Type {
+		panic(fmt.Sprintf("relal: join key type mismatch: %q vs %q",
+			left.Schema[li].Name, right.Schema[ri].Name))
+	}
+	switch left.Schema[li].Type {
+	case Int:
+		return matchTyped(left, right, left.Cols[li].Ints, right.Cols[ri].Ints)
+	case Float:
+		return matchTyped(left, right, left.Cols[li].Floats, right.Cols[ri].Floats)
+	default:
+		return matchTyped(left, right, left.Cols[li].Strs, right.Cols[ri].Strs)
+	}
+}
+
 // Join hash-joins left and right on leftKey = rightKey (inner join),
 // producing the concatenated schema with right's key column retained
-// (callers project as needed). joinName labels the step.
+// (callers project as needed). The output is materialized with typed
+// per-column gathers — no boxing.
 func (e *Exec) Join(left, right *Table, leftKey, rightKey string) *Table {
 	li := left.Schema.Col(leftKey)
 	ri := right.Schema.Col(rightKey)
-	ht := make(map[interface{}][]Row, len(right.Rows))
-	for _, r := range right.Rows {
-		ht[r[ri]] = append(ht[r[ri]], r)
-	}
+	lIdx, rIdx := matchIndices(left, right, li, ri)
 	sch := make(Schema, 0, len(left.Schema)+len(right.Schema))
 	sch = append(sch, left.Schema...)
 	sch = append(sch, right.Schema...)
-	out := &Table{Name: left.Name + "⋈" + right.Name, Schema: sch}
-	for _, lr := range left.Rows {
-		for _, rr := range ht[lr[li]] {
-			nr := make(Row, 0, len(lr)+len(rr))
-			nr = append(nr, lr...)
-			nr = append(nr, rr...)
-			out.Rows = append(out.Rows, nr)
-		}
+	cols := make([]*Vector, 0, len(sch))
+	for _, v := range left.Cols {
+		cols = append(cols, v.gather(lIdx))
 	}
+	for _, v := range right.Cols {
+		cols = append(cols, v.gather(rIdx))
+	}
+	out := &Table{Name: left.Name + "⋈" + right.Name, Schema: sch, Cols: cols}
 	e.Log.Add(Step{
 		Kind: StepJoin, Table: out.Name,
 		LeftRows: left.NumRows(), LeftWidth: left.AvgRowBytes(),
@@ -274,60 +668,75 @@ func (e *Exec) Join(left, right *Table, leftKey, rightKey string) *Table {
 		JoinKey:  leftKey,
 		LeftBase: BaseOf(left), RightBase: BaseOf(right),
 	})
+	return out
+}
+
+// memberTyped is the semi/anti-join kernel for one key type: per
+// logical left row, whether its key appears in the right key column.
+func memberTyped[K comparable](left, right *Table, lKeys, rKeys []K) []bool {
+	ln, rn := left.NumRows(), right.NumRows()
+	set := make(map[K]struct{}, rn)
+	for j := 0; j < rn; j++ {
+		set[keyAt(rKeys, right.sel, j)] = struct{}{}
+	}
+	hit := make([]bool, ln)
+	for i := 0; i < ln; i++ {
+		_, hit[i] = set[keyAt(lKeys, left.sel, i)]
+	}
+	return hit
+}
+
+// keyMembership dispatches the typed semi/anti-join kernel — the shared
+// core of SemiJoin and AntiJoin — on the key column type.
+func keyMembership(left, right *Table, li, ri int) []bool {
+	if left.Schema[li].Type != right.Schema[ri].Type {
+		panic(fmt.Sprintf("relal: join key type mismatch: %q vs %q",
+			left.Schema[li].Name, right.Schema[ri].Name))
+	}
+	switch left.Schema[li].Type {
+	case Int:
+		return memberTyped(left, right, left.Cols[li].Ints, right.Cols[ri].Ints)
+	case Float:
+		return memberTyped(left, right, left.Cols[li].Floats, right.Cols[ri].Floats)
+	default:
+		return memberTyped(left, right, left.Cols[li].Strs, right.Cols[ri].Strs)
+	}
+}
+
+// semiAnti implements SemiJoin (keep=true) and AntiJoin (keep=false) as
+// zero-copy views over left.
+func (e *Exec) semiAnti(left, right *Table, leftKey, rightKey, suffix string, keep bool) *Table {
+	li := left.Schema.Col(leftKey)
+	ri := right.Schema.Col(rightKey)
+	hit := keyMembership(left, right, li, ri)
+	sel := make([]int32, 0, len(hit))
+	for i, h := range hit {
+		if h == keep {
+			sel = append(sel, left.phys(i))
+		}
+	}
+	out := view(left, left.Name+suffix, sel)
+	e.Log.Add(Step{
+		Kind: StepJoin, Table: out.Name,
+		LeftRows: left.NumRows(), LeftWidth: left.AvgRowBytes(),
+		RightRows: right.NumRows(), RightWidth: right.AvgRowBytes(),
+		OutRows: out.NumRows(), OutWidth: out.AvgRowBytes(),
+		JoinKey:  leftKey,
+		LeftBase: BaseOf(left), RightBase: BaseOf(right),
+	})
+	SetBase(out, BaseOf(left))
 	return out
 }
 
 // SemiJoin returns left rows whose key appears in right (IN subquery).
 func (e *Exec) SemiJoin(left, right *Table, leftKey, rightKey string) *Table {
-	ri := right.Schema.Col(rightKey)
-	set := make(map[interface{}]bool, len(right.Rows))
-	for _, r := range right.Rows {
-		set[r[ri]] = true
-	}
-	li := left.Schema.Col(leftKey)
-	out := &Table{Name: left.Name + "_semi", Schema: left.Schema}
-	for _, r := range left.Rows {
-		if set[r[li]] {
-			out.Rows = append(out.Rows, r)
-		}
-	}
-	e.Log.Add(Step{
-		Kind: StepJoin, Table: out.Name,
-		LeftRows: left.NumRows(), LeftWidth: left.AvgRowBytes(),
-		RightRows: right.NumRows(), RightWidth: right.AvgRowBytes(),
-		OutRows: out.NumRows(), OutWidth: out.AvgRowBytes(),
-		JoinKey:  leftKey,
-		LeftBase: BaseOf(left), RightBase: BaseOf(right),
-	})
-	SetBase(out, BaseOf(left))
-	return out
+	return e.semiAnti(left, right, leftKey, rightKey, "_semi", true)
 }
 
 // AntiJoin returns left rows whose key does not appear in right (NOT IN
 // / NOT EXISTS).
 func (e *Exec) AntiJoin(left, right *Table, leftKey, rightKey string) *Table {
-	ri := right.Schema.Col(rightKey)
-	set := make(map[interface{}]bool, len(right.Rows))
-	for _, r := range right.Rows {
-		set[r[ri]] = true
-	}
-	li := left.Schema.Col(leftKey)
-	out := &Table{Name: left.Name + "_anti", Schema: left.Schema}
-	for _, r := range left.Rows {
-		if !set[r[li]] {
-			out.Rows = append(out.Rows, r)
-		}
-	}
-	e.Log.Add(Step{
-		Kind: StepJoin, Table: out.Name,
-		LeftRows: left.NumRows(), LeftWidth: left.AvgRowBytes(),
-		RightRows: right.NumRows(), RightWidth: right.AvgRowBytes(),
-		OutRows: out.NumRows(), OutWidth: out.AvgRowBytes(),
-		JoinKey:  leftKey,
-		LeftBase: BaseOf(left), RightBase: BaseOf(right),
-	})
-	SetBase(out, BaseOf(left))
-	return out
+	return e.semiAnti(left, right, leftKey, rightKey, "_anti", false)
 }
 
 // AggSpec is one aggregate: Fn over the expression column Col (or "*"
@@ -338,8 +747,21 @@ type AggSpec struct {
 	As  string
 }
 
-// Aggregate groups t by the named columns and computes aggs, logging the
-// step. Group columns precede aggregates in the output schema.
+// accum is the typed per-group aggregation state.
+type accum struct {
+	firstRow int32 // physical index of the group's first row
+	sums     []float64
+	mins     []float64
+	maxs     []float64
+	strMins  []string
+	strMaxs  []string
+	count    int64
+}
+
+// Aggregate groups t by the named columns and computes aggs, logging
+// the step. Group columns precede aggregates in the output schema.
+// Accumulation is typed (float64 state for numeric columns, strings for
+// min/max over Str) and groups are emitted in first-seen order.
 func (e *Exec) Aggregate(t *Table, groupBy []string, aggs []AggSpec) *Table {
 	gidx := make([]int, len(groupBy))
 	for i, g := range groupBy {
@@ -353,69 +775,100 @@ func (e *Exec) Aggregate(t *Table, groupBy []string, aggs []AggSpec) *Table {
 			aidx[i] = t.Schema.Col(a.Col)
 		}
 	}
-	type accum struct {
-		key   Row
-		sums  []float64
-		mins  []float64
-		maxs  []float64
-		strs  []string // min/max over strings
-		count int64
-	}
-	groups := make(map[string]*accum)
-	order := []string{}
-	for _, r := range t.Rows {
-		kb := make([]byte, 0, 32)
-		for _, gi := range gidx {
-			kb = append(kb, fmt.Sprint(r[gi])...)
-			kb = append(kb, 0)
+	// needNum/needStr size the per-group state: count-only aggregations
+	// (the common case for the dedup/per-key sub-aggregates) allocate no
+	// accumulator slices at all.
+	needNum, needStr := false, false
+	for _, ci := range aidx {
+		if ci < 0 {
+			continue
 		}
-		k := string(kb)
-		acc, ok := groups[k]
+		if t.Schema[ci].Type == Str {
+			needStr = true
+		} else {
+			needNum = true
+		}
+	}
+	newAccum := func(p int32) *accum {
+		acc := &accum{firstRow: p}
+		if needNum {
+			state := make([]float64, 3*len(aggs))
+			acc.sums = state[:len(aggs)]
+			acc.mins = state[len(aggs) : 2*len(aggs)]
+			acc.maxs = state[2*len(aggs):]
+			for k := range acc.mins {
+				acc.mins[k] = 1e308
+				acc.maxs[k] = -1e308
+			}
+		}
+		if needStr {
+			state := make([]string, 2*len(aggs))
+			acc.strMins = state[:len(aggs)]
+			acc.strMaxs = state[len(aggs):]
+		}
+		return acc
+	}
+	n := t.NumRows()
+	groups := make(map[string]*accum)
+	var order []*accum
+	key := make([]byte, 0, 64)
+	for i := 0; i < n; i++ {
+		p := t.phys(i)
+		key = key[:0]
+		for _, gi := range gidx {
+			col := t.Cols[gi]
+			switch col.Kind {
+			case Int:
+				key = strconv.AppendInt(key, col.Ints[p], 10)
+			case Float:
+				key = strconv.AppendFloat(key, col.Floats[p], 'g', -1, 64)
+			default:
+				key = append(key, col.Strs[p]...)
+			}
+			key = append(key, 0)
+		}
+		acc, ok := groups[string(key)]
 		if !ok {
-			key := make(Row, len(gidx))
-			for i, gi := range gidx {
-				key[i] = r[gi]
-			}
-			acc = &accum{
-				key:  key,
-				sums: make([]float64, len(aggs)),
-				mins: make([]float64, len(aggs)),
-				maxs: make([]float64, len(aggs)),
-				strs: make([]string, len(aggs)),
-			}
-			for i := range acc.mins {
-				acc.mins[i] = 1e308
-				acc.maxs[i] = -1e308
-			}
-			groups[k] = acc
-			order = append(order, k)
+			acc = newAccum(p)
+			groups[string(key)] = acc
+			order = append(order, acc)
 		}
 		acc.count++
-		for i, ai := range aidx {
-			if ai < 0 {
+		for ai, ci := range aidx {
+			if ci < 0 {
 				continue
 			}
-			switch v := r[ai].(type) {
-			case int64:
-				f := float64(v)
-				acc.sums[i] += f
-				if f < acc.mins[i] {
-					acc.mins[i] = f
+			col := t.Cols[ci]
+			switch col.Kind {
+			case Int:
+				f := float64(col.Ints[p])
+				acc.sums[ai] += f
+				if f < acc.mins[ai] {
+					acc.mins[ai] = f
 				}
-				if f > acc.maxs[i] {
-					acc.maxs[i] = f
+				if f > acc.maxs[ai] {
+					acc.maxs[ai] = f
 				}
-			case float64:
-				acc.sums[i] += v
-				if v < acc.mins[i] {
-					acc.mins[i] = v
+			case Float:
+				f := col.Floats[p]
+				acc.sums[ai] += f
+				if f < acc.mins[ai] {
+					acc.mins[ai] = f
 				}
-				if v > acc.maxs[i] {
-					acc.maxs[i] = v
+				if f > acc.maxs[ai] {
+					acc.maxs[ai] = f
 				}
-			case string:
-				if acc.strs[i] == "" || v < acc.strs[i] {
-					acc.strs[i] = v
+			default:
+				s := col.Strs[p]
+				// count was already incremented for this row, so
+				// count==1 marks the group's first accumulation (the
+				// zero value "" is a legitimate minimum, not a
+				// sentinel).
+				if acc.count == 1 || s < acc.strMins[ai] {
+					acc.strMins[ai] = s
+				}
+				if s > acc.strMaxs[ai] {
+					acc.strMaxs[ai] = s
 				}
 			}
 		}
@@ -424,7 +877,8 @@ func (e *Exec) Aggregate(t *Table, groupBy []string, aggs []AggSpec) *Table {
 	for _, g := range groupBy {
 		sch = append(sch, t.Schema[t.Schema.Col(g)])
 	}
-	for _, a := range aggs {
+	strAgg := make([]bool, len(aggs))
+	for i, a := range aggs {
 		typ := Float
 		if a.Fn == "count" {
 			typ = Int
@@ -432,36 +886,41 @@ func (e *Exec) Aggregate(t *Table, groupBy []string, aggs []AggSpec) *Table {
 		if a.Fn == "min" || a.Fn == "max" {
 			if a.Col != "*" && t.Schema[t.Schema.Col(a.Col)].Type == Str {
 				typ = Str
+				strAgg[i] = true
 			}
 		}
 		sch = append(sch, Column{Name: a.As, Type: typ})
 	}
-	out := &Table{Name: t.Name + "_agg", Schema: sch}
-	for _, k := range order {
-		acc := groups[k]
-		row := make(Row, 0, len(sch))
-		row = append(row, acc.key...)
+	out := NewTable(t.Name+"_agg", sch)
+	for _, acc := range order {
+		for k, gi := range gidx {
+			out.Cols[k].appendFrom(t.Cols[gi], acc.firstRow)
+		}
 		for i, a := range aggs {
+			col := out.Cols[len(gidx)+i]
 			switch a.Fn {
 			case "sum":
-				row = append(row, acc.sums[i])
+				col.Floats = append(col.Floats, acc.sums[i])
 			case "avg":
-				row = append(row, acc.sums[i]/float64(acc.count))
+				col.Floats = append(col.Floats, acc.sums[i]/float64(acc.count))
 			case "count":
-				row = append(row, acc.count)
+				col.Ints = append(col.Ints, acc.count)
 			case "min":
-				if a.Col != "*" && t.Schema[t.Schema.Col(a.Col)].Type == Str {
-					row = append(row, acc.strs[i])
+				if strAgg[i] {
+					col.Strs = append(col.Strs, acc.strMins[i])
 				} else {
-					row = append(row, acc.mins[i])
+					col.Floats = append(col.Floats, acc.mins[i])
 				}
 			case "max":
-				row = append(row, acc.maxs[i])
+				if strAgg[i] {
+					col.Strs = append(col.Strs, acc.strMaxs[i])
+				} else {
+					col.Floats = append(col.Floats, acc.maxs[i])
+				}
 			default:
 				panic("relal: unknown aggregate " + a.Fn)
 			}
 		}
-		out.Rows = append(out.Rows, row)
 	}
 	e.Log.Add(Step{
 		Kind: StepAgg, Table: t.Name,
@@ -478,26 +937,54 @@ type OrderSpec struct {
 	Desc bool
 }
 
-// Sort orders t by the given keys, logging the step.
-func (e *Exec) Sort(t *Table, keys ...OrderSpec) *Table {
-	idx := make([]int, len(keys))
-	for i, k := range keys {
-		idx[i] = t.Schema.Col(k.Col)
+// cmpFn returns a physical-index comparator over one typed key column;
+// neg is -1 for descending keys.
+func cmpFn[K cmp.Ordered](xs []K, neg int) func(a, b int32) int {
+	return func(a, b int32) int {
+		switch x, y := xs[a], xs[b]; {
+		case x < y:
+			return -neg
+		case x > y:
+			return neg
+		}
+		return 0
 	}
-	out := &Table{Name: t.Name + "_s", Schema: t.Schema, Rows: append([]Row(nil), t.Rows...)}
-	sort.SliceStable(out.Rows, func(a, b int) bool {
-		for i, k := range keys {
-			c := compareVals(out.Rows[a][idx[i]], out.Rows[b][idx[i]])
-			if c == 0 {
-				continue
+}
+
+// Sort orders t by the given keys, logging the step. The sort permutes
+// an index slice over the shared column vectors — no row is copied.
+func (e *Exec) Sort(t *Table, keys ...OrderSpec) *Table {
+	n := t.NumRows()
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = t.phys(i)
+	}
+	cmps := make([]func(a, b int32) int, len(keys))
+	for k, spec := range keys {
+		ci := t.Schema.Col(spec.Col)
+		col := t.Cols[ci]
+		neg := 1
+		if spec.Desc {
+			neg = -1
+		}
+		switch col.Kind {
+		case Int:
+			cmps[k] = cmpFn(col.Ints, neg)
+		case Float:
+			cmps[k] = cmpFn(col.Floats, neg)
+		default:
+			cmps[k] = cmpFn(col.Strs, neg)
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for _, c := range cmps {
+			if r := c(idx[a], idx[b]); r != 0 {
+				return r < 0
 			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
 		}
 		return false
 	})
+	out := view(t, t.Name+"_s", idx)
 	e.Log.Add(Step{
 		Kind: StepSort, Table: t.Name,
 		LeftRows: t.NumRows(), LeftWidth: t.AvgRowBytes(),
@@ -508,50 +995,28 @@ func (e *Exec) Sort(t *Table, keys ...OrderSpec) *Table {
 	return out
 }
 
-// Limit truncates t to n rows.
+// Limit truncates t to n rows (zero-copy: the selection vector is
+// truncated, or synthesized for a dense input).
 func (e *Exec) Limit(t *Table, n int) *Table {
-	out := &Table{Name: t.Name, Schema: t.Schema, Rows: t.Rows}
-	if len(out.Rows) > n {
-		out.Rows = out.Rows[:n]
+	t.shared = true
+	out := &Table{Name: t.Name, Schema: t.Schema, Cols: t.Cols, sel: t.sel, shared: true}
+	if t.NumRows() > n {
+		if t.sel != nil {
+			out.sel = t.sel[:n]
+		} else {
+			sel := make([]int32, n)
+			for i := range sel {
+				sel[i] = int32(i)
+			}
+			out.sel = sel
+		}
 	}
 	SetBase(out, BaseOf(t))
 	return out
 }
 
-func compareVals(a, b interface{}) int {
-	switch x := a.(type) {
-	case int64:
-		y := b.(int64)
-		switch {
-		case x < y:
-			return -1
-		case x > y:
-			return 1
-		}
-		return 0
-	case float64:
-		y := b.(float64)
-		switch {
-		case x < y:
-			return -1
-		case x > y:
-			return 1
-		}
-		return 0
-	case string:
-		y := b.(string)
-		switch {
-		case x < y:
-			return -1
-		case x > y:
-			return 1
-		}
-		return 0
-	}
-	panic(fmt.Sprintf("relal: cannot compare %T", a))
-}
-
-// F converts an int64/float64 cell to float64 (query arithmetic helper).
+// F converts an int64/float64 cell to float64 (arithmetic helper for
+// code working over RowsOf output).
 func F(v interface{}) float64 {
 	switch x := v.(type) {
 	case int64:
@@ -568,17 +1033,53 @@ func I(v interface{}) int64 { return v.(int64) }
 // S returns the cell as string.
 func S(v interface{}) string { return v.(string) }
 
-// Extend appends a computed column to t (no step logged; expression
-// evaluation is costed with the surrounding operator).
-func Extend(t *Table, name string, typ Type, fn func(Row) interface{}) *Table {
-	sch := append(append(Schema{}, t.Schema...), Column{Name: name, Type: typ})
-	out := &Table{Name: t.Name, Schema: sch, Rows: make([]Row, 0, len(t.Rows))}
-	for _, r := range t.Rows {
-		nr := make(Row, 0, len(r)+1)
-		nr = append(nr, r...)
-		nr = append(nr, fn(r))
-		out.Rows = append(out.Rows, nr)
+// ExtendInt appends a computed Int column to t (no step logged;
+// expression evaluation is costed with the surrounding operator). fn
+// receives logical row indices of t; views are compacted so the output
+// is dense.
+func ExtendInt(t *Table, name string, fn func(i int) int64) *Table {
+	n := t.NumRows()
+	xs := make([]int64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = fn(i)
 	}
+	return extendWith(t, name, IntsV(xs))
+}
+
+// ExtendFloat appends a computed Float column to t.
+func ExtendFloat(t *Table, name string, fn func(i int) float64) *Table {
+	n := t.NumRows()
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = fn(i)
+	}
+	return extendWith(t, name, FloatsV(xs))
+}
+
+// ExtendStr appends a computed Str column to t.
+func ExtendStr(t *Table, name string, fn func(i int) string) *Table {
+	n := t.NumRows()
+	xs := make([]string, n)
+	for i := 0; i < n; i++ {
+		xs[i] = fn(i)
+	}
+	return extendWith(t, name, StrsV(xs))
+}
+
+func extendWith(t *Table, name string, col *Vector) *Table {
+	d := t.Compacted()
+	if d == t {
+		// Dense input: the output aliases t's vectors directly.
+		t.shared = true
+	}
+	cols := make([]*Vector, 0, len(d.Cols)+1)
+	cols = append(cols, d.Cols...)
+	cols = append(cols, col)
+	sch := make(Schema, 0, len(t.Schema)+1)
+	sch = append(sch, t.Schema...)
+	sch = append(sch, Column{Name: name, Type: col.Kind})
+	// The first len(d.Cols) vectors alias the (compacted) input.
+	out := &Table{Name: t.Name, Schema: sch, Cols: cols, shared: true}
 	SetBase(out, BaseOf(t))
 	return out
 }

@@ -4,6 +4,12 @@
 // RANDOM64 fix), the twenty-two benchmark queries written once over the
 // relal operators, and scale-factor arithmetic used by the engines to
 // extrapolate laptop-scale runs to the paper's 250 GB–16 TB points.
+//
+// The generator emits typed column vectors directly — each table is
+// built as parallel []int64/[]float64/[]string slices and handed to
+// relal without ever boxing a cell. The random-draw order per row is
+// fixed (it defines the deterministic dataset for a given seed) and
+// matches the original row-at-a-time generator exactly.
 package tpch
 
 import (
@@ -242,50 +248,49 @@ func comment(rng *rand.Rand, words int) string {
 }
 
 func genRegion() *relal.Table {
-	t := &relal.Table{
-		Name: "region",
-		Schema: relal.Schema{
-			{Name: "r_regionkey", Type: relal.Int},
-			{Name: "r_name", Type: relal.Str},
-			{Name: "r_comment", Type: relal.Str},
-		},
-	}
+	keys := make([]int64, 0, RegionRows)
+	names := make([]string, 0, RegionRows)
+	comments := make([]string, 0, RegionRows)
 	for i, r := range regions {
-		t.Rows = append(t.Rows, relal.Row{int64(i), r, "region comment"})
+		keys = append(keys, int64(i))
+		names = append(names, r)
+		comments = append(comments, "region comment")
 	}
-	return t
+	return relal.NewTable("region", relal.Schema{
+		{Name: "r_regionkey", Type: relal.Int},
+		{Name: "r_name", Type: relal.Str},
+		{Name: "r_comment", Type: relal.Str},
+	}, relal.IntsV(keys), relal.StrsV(names), relal.StrsV(comments))
 }
 
 func genNation() *relal.Table {
-	t := &relal.Table{
-		Name: "nation",
-		Schema: relal.Schema{
-			{Name: "n_nationkey", Type: relal.Int},
-			{Name: "n_name", Type: relal.Str},
-			{Name: "n_regionkey", Type: relal.Int},
-			{Name: "n_comment", Type: relal.Str},
-		},
-	}
+	keys := make([]int64, 0, NationRows)
+	names := make([]string, 0, NationRows)
+	regionKeys := make([]int64, 0, NationRows)
+	comments := make([]string, 0, NationRows)
 	for i, n := range nations {
-		t.Rows = append(t.Rows, relal.Row{int64(i), n.name, n.region, "nation comment"})
+		keys = append(keys, int64(i))
+		names = append(names, n.name)
+		regionKeys = append(regionKeys, n.region)
+		comments = append(comments, "nation comment")
 	}
-	return t
+	return relal.NewTable("nation", relal.Schema{
+		{Name: "n_nationkey", Type: relal.Int},
+		{Name: "n_name", Type: relal.Str},
+		{Name: "n_regionkey", Type: relal.Int},
+		{Name: "n_comment", Type: relal.Str},
+	}, relal.IntsV(keys), relal.StrsV(names), relal.IntsV(regionKeys), relal.StrsV(comments))
 }
 
 func genSupplier(cfg GenConfig, rng *rand.Rand) *relal.Table {
 	n := Rows("supplier", cfg.SF)
-	t := &relal.Table{
-		Name: "supplier",
-		Schema: relal.Schema{
-			{Name: "s_suppkey", Type: relal.Int},
-			{Name: "s_name", Type: relal.Str},
-			{Name: "s_address", Type: relal.Str},
-			{Name: "s_nationkey", Type: relal.Int},
-			{Name: "s_phone", Type: relal.Str},
-			{Name: "s_acctbal", Type: relal.Float},
-			{Name: "s_comment", Type: relal.Str},
-		},
-	}
+	suppkey := make([]int64, 0, n)
+	name := make([]string, 0, n)
+	address := make([]string, 0, n)
+	nationkey := make([]int64, 0, n)
+	phones := make([]string, 0, n)
+	acctbal := make([]float64, 0, n)
+	comments := make([]string, 0, n)
 	for i := int64(1); i <= n; i++ {
 		nk := int64(rng.Intn(NationRows))
 		com := comment(rng, 5)
@@ -296,17 +301,25 @@ func genSupplier(cfg GenConfig, rng *rand.Rand) *relal.Table {
 		if rng.Intn(200) == 0 {
 			com = "Customer " + com + " Complaints"
 		}
-		t.Rows = append(t.Rows, relal.Row{
-			i,
-			fmt.Sprintf("Supplier#%09d", i),
-			comment(rng, 2),
-			nk,
-			phone(nk, rng),
-			float64(rng.Intn(2000000))/100 - 999.99,
-			com,
-		})
+		suppkey = append(suppkey, i)
+		name = append(name, fmt.Sprintf("Supplier#%09d", i))
+		address = append(address, comment(rng, 2))
+		nationkey = append(nationkey, nk)
+		phones = append(phones, phone(nk, rng))
+		acctbal = append(acctbal, float64(rng.Intn(2000000))/100-999.99)
+		comments = append(comments, com)
 	}
-	return t
+	return relal.NewTable("supplier", relal.Schema{
+		{Name: "s_suppkey", Type: relal.Int},
+		{Name: "s_name", Type: relal.Str},
+		{Name: "s_address", Type: relal.Str},
+		{Name: "s_nationkey", Type: relal.Int},
+		{Name: "s_phone", Type: relal.Str},
+		{Name: "s_acctbal", Type: relal.Float},
+		{Name: "s_comment", Type: relal.Str},
+	}, relal.IntsV(suppkey), relal.StrsV(name), relal.StrsV(address),
+		relal.IntsV(nationkey), relal.StrsV(phones), relal.FloatsV(acctbal),
+		relal.StrsV(comments))
 }
 
 func phone(nationkey int64, rng *rand.Rand) string {
@@ -315,71 +328,80 @@ func phone(nationkey int64, rng *rand.Rand) string {
 
 func genCustomer(cfg GenConfig, rng *rand.Rand) *relal.Table {
 	n := Rows("customer", cfg.SF)
-	t := &relal.Table{
-		Name: "customer",
-		Schema: relal.Schema{
-			{Name: "c_custkey", Type: relal.Int},
-			{Name: "c_name", Type: relal.Str},
-			{Name: "c_address", Type: relal.Str},
-			{Name: "c_nationkey", Type: relal.Int},
-			{Name: "c_phone", Type: relal.Str},
-			{Name: "c_acctbal", Type: relal.Float},
-			{Name: "c_mktsegment", Type: relal.Str},
-			{Name: "c_comment", Type: relal.Str},
-		},
-	}
+	custkey := make([]int64, 0, n)
+	name := make([]string, 0, n)
+	address := make([]string, 0, n)
+	nationkey := make([]int64, 0, n)
+	phones := make([]string, 0, n)
+	acctbal := make([]float64, 0, n)
+	mktsegment := make([]string, 0, n)
+	comments := make([]string, 0, n)
 	for i := int64(1); i <= n; i++ {
 		nk := int64(rng.Intn(NationRows))
 		com := comment(rng, 6)
 		if rng.Intn(50) == 0 {
 			com = "special " + com + " requests" // Q13 anti-pattern
 		}
-		t.Rows = append(t.Rows, relal.Row{
-			i,
-			fmt.Sprintf("Customer#%09d", i),
-			comment(rng, 2),
-			nk,
-			phone(nk, rng),
-			float64(rng.Intn(2000000))/100 - 999.99,
-			segments[rng.Intn(len(segments))],
-			com,
-		})
+		custkey = append(custkey, i)
+		name = append(name, fmt.Sprintf("Customer#%09d", i))
+		address = append(address, comment(rng, 2))
+		nationkey = append(nationkey, nk)
+		phones = append(phones, phone(nk, rng))
+		acctbal = append(acctbal, float64(rng.Intn(2000000))/100-999.99)
+		mktsegment = append(mktsegment, segments[rng.Intn(len(segments))])
+		comments = append(comments, com)
 	}
-	return t
+	return relal.NewTable("customer", relal.Schema{
+		{Name: "c_custkey", Type: relal.Int},
+		{Name: "c_name", Type: relal.Str},
+		{Name: "c_address", Type: relal.Str},
+		{Name: "c_nationkey", Type: relal.Int},
+		{Name: "c_phone", Type: relal.Str},
+		{Name: "c_acctbal", Type: relal.Float},
+		{Name: "c_mktsegment", Type: relal.Str},
+		{Name: "c_comment", Type: relal.Str},
+	}, relal.IntsV(custkey), relal.StrsV(name), relal.StrsV(address),
+		relal.IntsV(nationkey), relal.StrsV(phones), relal.FloatsV(acctbal),
+		relal.StrsV(mktsegment), relal.StrsV(comments))
 }
 
 func genPart(cfg GenConfig, rng *rand.Rand) *relal.Table {
 	n := Rows("part", cfg.SF)
-	t := &relal.Table{
-		Name: "part",
-		Schema: relal.Schema{
-			{Name: "p_partkey", Type: relal.Int},
-			{Name: "p_name", Type: relal.Str},
-			{Name: "p_mfgr", Type: relal.Str},
-			{Name: "p_brand", Type: relal.Str},
-			{Name: "p_type", Type: relal.Str},
-			{Name: "p_size", Type: relal.Int},
-			{Name: "p_container", Type: relal.Str},
-			{Name: "p_retailprice", Type: relal.Float},
-			{Name: "p_comment", Type: relal.Str},
-		},
-	}
+	partkey := make([]int64, 0, n)
+	name := make([]string, 0, n)
+	mfgr := make([]string, 0, n)
+	brand := make([]string, 0, n)
+	ptype := make([]string, 0, n)
+	size := make([]int64, 0, n)
+	container := make([]string, 0, n)
+	retailprice := make([]float64, 0, n)
+	comments := make([]string, 0, n)
 	for i := int64(1); i <= n; i++ {
 		m := rng.Intn(5) + 1
 		b := rng.Intn(5) + 1
-		t.Rows = append(t.Rows, relal.Row{
-			i,
-			comment(rng, 5), // five color words, as the spec's p_name
-			fmt.Sprintf("Manufacturer#%d", m),
-			fmt.Sprintf("Brand#%d%d", m, b),
-			typeSyl1[rng.Intn(6)] + " " + typeSyl2[rng.Intn(5)] + " " + typeSyl3[rng.Intn(5)],
-			int64(rng.Intn(50) + 1),
-			containers1[rng.Intn(5)] + " " + containers2[rng.Intn(8)],
-			90000.0/100 + float64((i/10)%20001)/100 + 100*float64(i%1000)/100,
-			comment(rng, 3),
-		})
+		partkey = append(partkey, i)
+		name = append(name, comment(rng, 5)) // five color words, as the spec's p_name
+		mfgr = append(mfgr, fmt.Sprintf("Manufacturer#%d", m))
+		brand = append(brand, fmt.Sprintf("Brand#%d%d", m, b))
+		ptype = append(ptype, typeSyl1[rng.Intn(6)]+" "+typeSyl2[rng.Intn(5)]+" "+typeSyl3[rng.Intn(5)])
+		size = append(size, int64(rng.Intn(50)+1))
+		container = append(container, containers1[rng.Intn(5)]+" "+containers2[rng.Intn(8)])
+		retailprice = append(retailprice, 90000.0/100+float64((i/10)%20001)/100+100*float64(i%1000)/100)
+		comments = append(comments, comment(rng, 3))
 	}
-	return t
+	return relal.NewTable("part", relal.Schema{
+		{Name: "p_partkey", Type: relal.Int},
+		{Name: "p_name", Type: relal.Str},
+		{Name: "p_mfgr", Type: relal.Str},
+		{Name: "p_brand", Type: relal.Str},
+		{Name: "p_type", Type: relal.Str},
+		{Name: "p_size", Type: relal.Int},
+		{Name: "p_container", Type: relal.Str},
+		{Name: "p_retailprice", Type: relal.Float},
+		{Name: "p_comment", Type: relal.Str},
+	}, relal.IntsV(partkey), relal.StrsV(name), relal.StrsV(mfgr),
+		relal.StrsV(brand), relal.StrsV(ptype), relal.IntsV(size),
+		relal.StrsV(container), relal.FloatsV(retailprice), relal.StrsV(comments))
 }
 
 func genPartSupp(cfg GenConfig, rng *rand.Rand) *relal.Table {
@@ -388,30 +410,30 @@ func genPartSupp(cfg GenConfig, rng *rand.Rand) *relal.Table {
 	if nSupp < 1 {
 		nSupp = 1
 	}
-	t := &relal.Table{
-		Name: "partsupp",
-		Schema: relal.Schema{
-			{Name: "ps_partkey", Type: relal.Int},
-			{Name: "ps_suppkey", Type: relal.Int},
-			{Name: "ps_availqty", Type: relal.Int},
-			{Name: "ps_supplycost", Type: relal.Float},
-			{Name: "ps_comment", Type: relal.Str},
-		},
-	}
+	partkey := make([]int64, 0, nPart*4)
+	suppkey := make([]int64, 0, nPart*4)
+	availqty := make([]int64, 0, nPart*4)
+	supplycost := make([]float64, 0, nPart*4)
+	comments := make([]string, 0, nPart*4)
 	for p := int64(1); p <= nPart; p++ {
 		for j := int64(0); j < 4; j++ {
 			// Spec formula spreads the four suppliers of a part.
 			s := (p+j*(nSupp/4+(p-1)/nSupp))%nSupp + 1
-			t.Rows = append(t.Rows, relal.Row{
-				p,
-				s,
-				int64(rng.Intn(9999) + 1),
-				float64(rng.Intn(100000)) / 100,
-				comment(rng, 4),
-			})
+			partkey = append(partkey, p)
+			suppkey = append(suppkey, s)
+			availqty = append(availqty, int64(rng.Intn(9999)+1))
+			supplycost = append(supplycost, float64(rng.Intn(100000))/100)
+			comments = append(comments, comment(rng, 4))
 		}
 	}
-	return t
+	return relal.NewTable("partsupp", relal.Schema{
+		{Name: "ps_partkey", Type: relal.Int},
+		{Name: "ps_suppkey", Type: relal.Int},
+		{Name: "ps_availqty", Type: relal.Int},
+		{Name: "ps_supplycost", Type: relal.Float},
+		{Name: "ps_comment", Type: relal.Str},
+	}, relal.IntsV(partkey), relal.IntsV(suppkey), relal.IntsV(availqty),
+		relal.FloatsV(supplycost), relal.StrsV(comments))
 }
 
 // OrderKey maps a dense order index (0-based) to the sparse o_orderkey:
@@ -421,6 +443,39 @@ func genPartSupp(cfg GenConfig, rng *rand.Rand) *relal.Table {
 func OrderKey(i int64) int64 {
 	group, offset := i/8, i%8
 	return group*32 + offset + 1
+}
+
+// ordersCols / lineitemCols accumulate the two tables' column slices
+// during the interleaved orders+lineitem generation pass.
+type ordersCols struct {
+	orderkey      []int64
+	custkey       []int64
+	orderstatus   []string
+	totalprice    []float64
+	orderdate     []string
+	orderpriority []string
+	clerk         []string
+	shippriority  []int64
+	comment       []string
+}
+
+type lineitemCols struct {
+	orderkey      []int64
+	partkey       []int64
+	suppkey       []int64
+	linenumber    []int64
+	quantity      []float64
+	extendedprice []float64
+	discount      []float64
+	tax           []float64
+	returnflag    []string
+	linestatus    []string
+	shipdate      []string
+	commitdate    []string
+	receiptdate   []string
+	shipinstruct  []string
+	shipmode      []string
+	comment       []string
 }
 
 func genOrdersLineitem(cfg GenConfig, rng *rand.Rand) (*relal.Table, *relal.Table) {
@@ -437,41 +492,8 @@ func genOrdersLineitem(cfg GenConfig, rng *rand.Rand) (*relal.Table, *relal.Tabl
 	if nSupp < 1 {
 		nSupp = 1
 	}
-	orders := &relal.Table{
-		Name: "orders",
-		Schema: relal.Schema{
-			{Name: "o_orderkey", Type: relal.Int},
-			{Name: "o_custkey", Type: relal.Int},
-			{Name: "o_orderstatus", Type: relal.Str},
-			{Name: "o_totalprice", Type: relal.Float},
-			{Name: "o_orderdate", Type: relal.Str},
-			{Name: "o_orderpriority", Type: relal.Str},
-			{Name: "o_clerk", Type: relal.Str},
-			{Name: "o_shippriority", Type: relal.Int},
-			{Name: "o_comment", Type: relal.Str},
-		},
-	}
-	lineitem := &relal.Table{
-		Name: "lineitem",
-		Schema: relal.Schema{
-			{Name: "l_orderkey", Type: relal.Int},
-			{Name: "l_partkey", Type: relal.Int},
-			{Name: "l_suppkey", Type: relal.Int},
-			{Name: "l_linenumber", Type: relal.Int},
-			{Name: "l_quantity", Type: relal.Float},
-			{Name: "l_extendedprice", Type: relal.Float},
-			{Name: "l_discount", Type: relal.Float},
-			{Name: "l_tax", Type: relal.Float},
-			{Name: "l_returnflag", Type: relal.Str},
-			{Name: "l_linestatus", Type: relal.Str},
-			{Name: "l_shipdate", Type: relal.Str},
-			{Name: "l_commitdate", Type: relal.Str},
-			{Name: "l_receiptdate", Type: relal.Str},
-			{Name: "l_shipinstruct", Type: relal.Str},
-			{Name: "l_shipmode", Type: relal.Str},
-			{Name: "l_comment", Type: relal.Str},
-		},
-	}
+	var oc ordersCols
+	var lc lineitemCols
 	for i := int64(0); i < nOrders; i++ {
 		okey := OrderKey(i)
 		// mk_order uses RANDOM for custkey (and for lineitem partkey);
@@ -523,28 +545,73 @@ func genOrdersLineitem(cfg GenConfig, rng *rand.Rand) (*relal.Table, *relal.Tabl
 				ls = "F"
 			}
 			total += price * (1 + tax) * (1 - disc)
-			lineitem.Rows = append(lineitem.Rows, relal.Row{
-				okey, pkey, skey, int64(ln + 1),
-				qty, price, disc, tax,
-				rf, ls,
-				dateString(shipOff), dateString(commitOff), dateString(receiptOff),
-				shipInstructs[rng.Intn(4)], shipModes[rng.Intn(7)],
-				comment(rng, 4),
-			})
+			lc.orderkey = append(lc.orderkey, okey)
+			lc.partkey = append(lc.partkey, pkey)
+			lc.suppkey = append(lc.suppkey, skey)
+			lc.linenumber = append(lc.linenumber, int64(ln+1))
+			lc.quantity = append(lc.quantity, qty)
+			lc.extendedprice = append(lc.extendedprice, price)
+			lc.discount = append(lc.discount, disc)
+			lc.tax = append(lc.tax, tax)
+			lc.returnflag = append(lc.returnflag, rf)
+			lc.linestatus = append(lc.linestatus, ls)
+			lc.shipdate = append(lc.shipdate, dateString(shipOff))
+			lc.commitdate = append(lc.commitdate, dateString(commitOff))
+			lc.receiptdate = append(lc.receiptdate, dateString(receiptOff))
+			lc.shipinstruct = append(lc.shipinstruct, shipInstructs[rng.Intn(4)])
+			lc.shipmode = append(lc.shipmode, shipModes[rng.Intn(7)])
+			lc.comment = append(lc.comment, comment(rng, 4))
 		}
 		status := "O"
 		if rng.Intn(2) == 0 {
 			status = []string{"F", "P"}[rng.Intn(2)]
 		}
-		orders.Rows = append(orders.Rows, relal.Row{
-			okey, ckey, status,
-			math.Round(total*100) / 100, odate,
-			priorities[rng.Intn(5)],
-			fmt.Sprintf("Clerk#%09d", rng.Intn(1000)+1),
-			int64(0),
-			comment(rng, 5),
-		})
+		oc.orderkey = append(oc.orderkey, okey)
+		oc.custkey = append(oc.custkey, ckey)
+		oc.orderstatus = append(oc.orderstatus, status)
+		oc.totalprice = append(oc.totalprice, math.Round(total*100)/100)
+		oc.orderdate = append(oc.orderdate, odate)
+		oc.orderpriority = append(oc.orderpriority, priorities[rng.Intn(5)])
+		oc.clerk = append(oc.clerk, fmt.Sprintf("Clerk#%09d", rng.Intn(1000)+1))
+		oc.shippriority = append(oc.shippriority, 0)
+		oc.comment = append(oc.comment, comment(rng, 5))
 	}
+	orders := relal.NewTable("orders", relal.Schema{
+		{Name: "o_orderkey", Type: relal.Int},
+		{Name: "o_custkey", Type: relal.Int},
+		{Name: "o_orderstatus", Type: relal.Str},
+		{Name: "o_totalprice", Type: relal.Float},
+		{Name: "o_orderdate", Type: relal.Str},
+		{Name: "o_orderpriority", Type: relal.Str},
+		{Name: "o_clerk", Type: relal.Str},
+		{Name: "o_shippriority", Type: relal.Int},
+		{Name: "o_comment", Type: relal.Str},
+	}, relal.IntsV(oc.orderkey), relal.IntsV(oc.custkey), relal.StrsV(oc.orderstatus),
+		relal.FloatsV(oc.totalprice), relal.StrsV(oc.orderdate), relal.StrsV(oc.orderpriority),
+		relal.StrsV(oc.clerk), relal.IntsV(oc.shippriority), relal.StrsV(oc.comment))
+	lineitem := relal.NewTable("lineitem", relal.Schema{
+		{Name: "l_orderkey", Type: relal.Int},
+		{Name: "l_partkey", Type: relal.Int},
+		{Name: "l_suppkey", Type: relal.Int},
+		{Name: "l_linenumber", Type: relal.Int},
+		{Name: "l_quantity", Type: relal.Float},
+		{Name: "l_extendedprice", Type: relal.Float},
+		{Name: "l_discount", Type: relal.Float},
+		{Name: "l_tax", Type: relal.Float},
+		{Name: "l_returnflag", Type: relal.Str},
+		{Name: "l_linestatus", Type: relal.Str},
+		{Name: "l_shipdate", Type: relal.Str},
+		{Name: "l_commitdate", Type: relal.Str},
+		{Name: "l_receiptdate", Type: relal.Str},
+		{Name: "l_shipinstruct", Type: relal.Str},
+		{Name: "l_shipmode", Type: relal.Str},
+		{Name: "l_comment", Type: relal.Str},
+	}, relal.IntsV(lc.orderkey), relal.IntsV(lc.partkey), relal.IntsV(lc.suppkey),
+		relal.IntsV(lc.linenumber), relal.FloatsV(lc.quantity), relal.FloatsV(lc.extendedprice),
+		relal.FloatsV(lc.discount), relal.FloatsV(lc.tax), relal.StrsV(lc.returnflag),
+		relal.StrsV(lc.linestatus), relal.StrsV(lc.shipdate), relal.StrsV(lc.commitdate),
+		relal.StrsV(lc.receiptdate), relal.StrsV(lc.shipinstruct), relal.StrsV(lc.shipmode),
+		relal.StrsV(lc.comment))
 	return orders, lineitem
 }
 

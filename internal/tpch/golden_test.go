@@ -1,0 +1,82 @@
+package tpch
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"elephants/internal/relal"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/tpch_golden.txt from the current engine")
+
+// goldenSF is deliberately tiny so the snapshot stays small and the test
+// fast; every query still exercises its full operator tree.
+const goldenSF = 0.005
+
+// formatAnswer renders an answer table in an engine-independent text
+// form: schema line, then one pipe-joined line per row. Floats use %v
+// (shortest exact representation) so any change in accumulation order or
+// arithmetic shows up as a diff.
+func formatAnswer(id int, t *relal.Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Q%d rows=%d\n", id, t.NumRows())
+	names := make([]string, len(t.Schema))
+	for i, c := range t.Schema {
+		names[i] = fmt.Sprintf("%s:%d", c.Name, c.Type)
+	}
+	fmt.Fprintf(&b, "schema %s\n", strings.Join(names, "|"))
+	for _, row := range relal.RowsOf(t) {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%v", v)
+		}
+		b.WriteString(strings.Join(parts, "|"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func goldenSnapshot() string {
+	db := Generate(GenConfig{SF: goldenSF, Seed: 1, Random64: true})
+	var b strings.Builder
+	for _, q := range Queries {
+		out, _ := RunQuery(q.ID, db)
+		b.WriteString(formatAnswer(q.ID, out))
+	}
+	return b.String()
+}
+
+// TestGoldenAnswers locks all 22 query answers against the committed
+// snapshot. The snapshot was produced by the original row-at-a-time
+// executor, so this is the proof that the columnar engine is
+// answer-preserving.
+func TestGoldenAnswers(t *testing.T) {
+	got := goldenSnapshot()
+	const path = "testdata/tpch_golden.txt"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("answer drift at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("answer drift: got %d lines, want %d", len(gl), len(wl))
+	}
+}

@@ -11,6 +11,11 @@ import (
 // Hive and PDW engines cost with their own physical strategies. The
 // step order is the "written order" of the HIVE-600 scripts, which is
 // what Hive executes literally (no cost-based reordering).
+//
+// Predicates and computed columns use the columnar accessor API: a
+// query binds typed column accessors (IntCol/FloatCol/StrCol) once,
+// then filters and extensions evaluate them per row index — no boxed
+// cells, no per-row type switches.
 type Query struct {
 	ID     int
 	Name   string
@@ -99,16 +104,26 @@ func RunQuery(id int, db *DB) (*relal.Table, relal.StepLog) {
 	return out, e.Log
 }
 
+// discPrice appends the ubiquitous l_extendedprice*(1-l_discount)
+// column under the given name.
+func discPrice(t *relal.Table, name string) *relal.Table {
+	ep := t.FloatCol("l_extendedprice")
+	dc := t.FloatCol("l_discount")
+	return relal.ExtendFloat(t, name, func(i int) float64 {
+		return ep.Get(i) * (1 - dc.Get(i))
+	})
+}
+
 // q1: scan lineitem, filter by shipdate, wide aggregation, sort.
 func q1(e *relal.Exec, db *DB) *relal.Table {
 	li := e.Scan(db.Lineitem)
-	sd := li.Schema.Col("l_shipdate")
-	f := e.Filter(li, func(r relal.Row) bool { return relal.S(r[sd]) <= "1998-09-02" })
-	f = relal.Extend(f, "disc_price", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[f.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[f.Schema.Col("l_discount")]))
-	})
-	f = relal.Extend(f, "charge", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[f.Schema.Col("disc_price")]) * (1 + relal.F(r[f.Schema.Col("l_tax")]))
+	sd := li.StrCol("l_shipdate")
+	f := e.Filter(li, func(i int) bool { return sd.Get(i) <= "1998-09-02" })
+	f = discPrice(f, "disc_price")
+	dp := f.FloatCol("disc_price")
+	tax := f.FloatCol("l_tax")
+	f = relal.ExtendFloat(f, "charge", func(i int) float64 {
+		return dp.Get(i) * (1 + tax.Get(i))
 	})
 	agg := e.Aggregate(f, []string{"l_returnflag", "l_linestatus"}, []relal.AggSpec{
 		{Fn: "sum", Col: "l_quantity", As: "sum_qty"},
@@ -125,13 +140,15 @@ func q1(e *relal.Exec, db *DB) *relal.Table {
 
 // q2: min-cost supplier for size-15 BRASS parts in EUROPE.
 func q2(e *relal.Exec, db *DB) *relal.Table {
-	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
-		return relal.I(r[db.Part.Schema.Col("p_size")]) == 15 &&
-			strings.HasSuffix(relal.S(r[db.Part.Schema.Col("p_type")]), "BRASS")
+	pt := e.Scan(db.Part)
+	psize := pt.IntCol("p_size")
+	ptype := pt.StrCol("p_type")
+	part := e.Filter(pt, func(i int) bool {
+		return psize.Get(i) == 15 && strings.HasSuffix(ptype.Get(i), "BRASS")
 	})
-	region := e.Filter(e.Scan(db.Region), func(r relal.Row) bool {
-		return relal.S(r[db.Region.Schema.Col("r_name")]) == "EUROPE"
-	})
+	rt := e.Scan(db.Region)
+	rname := rt.StrCol("r_name")
+	region := e.Filter(rt, func(i int) bool { return rname.Get(i) == "EUROPE" })
 	nation := e.Join(e.Scan(db.Nation), region, "n_regionkey", "r_regionkey")
 	supp := e.Join(e.Scan(db.Supplier), nation, "s_nationkey", "n_nationkey")
 	ps := e.Join(e.Scan(db.PartSupp), supp, "ps_suppkey", "s_suppkey")
@@ -142,15 +159,15 @@ func q2(e *relal.Exec, db *DB) *relal.Table {
 	})
 	// Keep rows matching the per-part minimum.
 	minIdx := make(map[int64]float64, minCost.NumRows())
-	pk := minCost.Schema.Col("p_partkey")
-	mc := minCost.Schema.Col("min_cost")
-	for _, r := range minCost.Rows {
-		minIdx[relal.I(r[pk])] = relal.F(r[mc])
+	pk := minCost.IntCol("p_partkey")
+	mc := minCost.FloatCol("min_cost")
+	for i := 0; i < minCost.NumRows(); i++ {
+		minIdx[pk.Get(i)] = mc.Get(i)
 	}
-	ppk := psp.Schema.Col("ps_partkey")
-	cost := psp.Schema.Col("ps_supplycost")
-	final := e.Filter(psp, func(r relal.Row) bool {
-		return relal.F(r[cost]) == minIdx[relal.I(r[ppk])]
+	ppk := psp.IntCol("ps_partkey")
+	cost := psp.FloatCol("ps_supplycost")
+	final := e.Filter(psp, func(i int) bool {
+		return cost.Get(i) == minIdx[ppk.Get(i)]
 	})
 	proj := e.Project(final, "s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone", "s_comment")
 	sorted := e.Sort(proj,
@@ -164,20 +181,18 @@ func q2(e *relal.Exec, db *DB) *relal.Table {
 
 // q3: top unshipped orders for the BUILDING segment.
 func q3(e *relal.Exec, db *DB) *relal.Table {
-	cust := e.Filter(e.Scan(db.Customer), func(r relal.Row) bool {
-		return relal.S(r[db.Customer.Schema.Col("c_mktsegment")]) == "BUILDING"
-	})
-	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
-		return relal.S(r[db.Orders.Schema.Col("o_orderdate")]) < "1995-03-15"
-	})
-	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
-		return relal.S(r[db.Lineitem.Schema.Col("l_shipdate")]) > "1995-03-15"
-	})
+	ct := e.Scan(db.Customer)
+	seg := ct.StrCol("c_mktsegment")
+	cust := e.Filter(ct, func(i int) bool { return seg.Get(i) == "BUILDING" })
+	ot := e.Scan(db.Orders)
+	odate := ot.StrCol("o_orderdate")
+	ord := e.Filter(ot, func(i int) bool { return odate.Get(i) < "1995-03-15" })
+	lt := e.Scan(db.Lineitem)
+	sdate := lt.StrCol("l_shipdate")
+	li := e.Filter(lt, func(i int) bool { return sdate.Get(i) > "1995-03-15" })
 	co := e.Join(ord, cust, "o_custkey", "c_custkey")
 	col := e.Join(li, co, "l_orderkey", "o_orderkey")
-	col = relal.Extend(col, "revenue_item", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[col.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[col.Schema.Col("l_discount")]))
-	})
+	col = discPrice(col, "revenue_item")
 	agg := e.Aggregate(col, []string{"l_orderkey", "o_orderdate", "o_shippriority"}, []relal.AggSpec{
 		{Fn: "sum", Col: "revenue_item", As: "revenue"},
 	})
@@ -190,13 +205,16 @@ func q3(e *relal.Exec, db *DB) *relal.Table {
 
 // q4: order priority with existing late lineitem.
 func q4(e *relal.Exec, db *DB) *relal.Table {
-	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
-		d := relal.S(r[db.Orders.Schema.Col("o_orderdate")])
+	ot := e.Scan(db.Orders)
+	odate := ot.StrCol("o_orderdate")
+	ord := e.Filter(ot, func(i int) bool {
+		d := odate.Get(i)
 		return d >= "1993-07-01" && d < "1993-10-01"
 	})
-	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
-		return relal.S(r[db.Lineitem.Schema.Col("l_commitdate")]) < relal.S(r[db.Lineitem.Schema.Col("l_receiptdate")])
-	})
+	lt := e.Scan(db.Lineitem)
+	cdate := lt.StrCol("l_commitdate")
+	rdate := lt.StrCol("l_receiptdate")
+	li := e.Filter(lt, func(i int) bool { return cdate.Get(i) < rdate.Get(i) })
 	liKeys := e.Aggregate(li, []string{"l_orderkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n"}})
 	sj := e.SemiJoin(ord, liKeys, "o_orderkey", "l_orderkey")
 	agg := e.Aggregate(sj, []string{"o_orderpriority"}, []relal.AggSpec{
@@ -209,25 +227,25 @@ func q4(e *relal.Exec, db *DB) *relal.Table {
 // script the paper analyzes: nation⋈region, then supplier, then the big
 // lineitem common join, then orders, then customer.
 func q5(e *relal.Exec, db *DB) *relal.Table {
-	region := e.Filter(e.Scan(db.Region), func(r relal.Row) bool {
-		return relal.S(r[db.Region.Schema.Col("r_name")]) == "ASIA"
-	})
+	rt := e.Scan(db.Region)
+	rname := rt.StrCol("r_name")
+	region := e.Filter(rt, func(i int) bool { return rname.Get(i) == "ASIA" })
 	nr := e.Join(e.Scan(db.Nation), region, "n_regionkey", "r_regionkey")
 	snr := e.Join(e.Scan(db.Supplier), nr, "s_nationkey", "n_nationkey")
 	lsnr := e.Join(e.Scan(db.Lineitem), snr, "l_suppkey", "s_suppkey")
-	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
-		d := relal.S(r[db.Orders.Schema.Col("o_orderdate")])
+	ot := e.Scan(db.Orders)
+	odate := ot.StrCol("o_orderdate")
+	ord := e.Filter(ot, func(i int) bool {
+		d := odate.Get(i)
 		return d >= "1994-01-01" && d < "1995-01-01"
 	})
 	lo := e.Join(lsnr, ord, "l_orderkey", "o_orderkey")
 	// Customer must be in the same nation as the supplier.
 	loc := e.Join(lo, e.Scan(db.Customer), "o_custkey", "c_custkey")
-	ck := loc.Schema.Col("c_nationkey")
-	sk := loc.Schema.Col("s_nationkey")
-	same := e.Filter(loc, func(r relal.Row) bool { return relal.I(r[ck]) == relal.I(r[sk]) })
-	same = relal.Extend(same, "rev", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[same.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[same.Schema.Col("l_discount")]))
-	})
+	ck := loc.IntCol("c_nationkey")
+	sk := loc.IntCol("s_nationkey")
+	same := e.Filter(loc, func(i int) bool { return ck.Get(i) == sk.Get(i) })
+	same = discPrice(same, "rev")
 	agg := e.Aggregate(same, []string{"n_name"}, []relal.AggSpec{
 		{Fn: "sum", Col: "rev", As: "revenue"},
 	})
@@ -237,26 +255,30 @@ func q5(e *relal.Exec, db *DB) *relal.Table {
 // q6: single-table revenue forecast.
 func q6(e *relal.Exec, db *DB) *relal.Table {
 	li := e.Scan(db.Lineitem)
-	sd := li.Schema.Col("l_shipdate")
-	disc := li.Schema.Col("l_discount")
-	qty := li.Schema.Col("l_quantity")
-	f := e.Filter(li, func(r relal.Row) bool {
-		d := relal.S(r[sd])
-		dc := relal.F(r[disc])
+	sd := li.StrCol("l_shipdate")
+	disc := li.FloatCol("l_discount")
+	qty := li.FloatCol("l_quantity")
+	f := e.Filter(li, func(i int) bool {
+		d := sd.Get(i)
+		dc := disc.Get(i)
 		return d >= "1994-01-01" && d < "1995-01-01" &&
 			dc >= 0.05-1e-9 && dc <= 0.07+1e-9 &&
-			relal.F(r[qty]) < 24
+			qty.Get(i) < 24
 	})
-	f = relal.Extend(f, "rev", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[f.Schema.Col("l_extendedprice")]) * relal.F(r[f.Schema.Col("l_discount")])
+	ep := f.FloatCol("l_extendedprice")
+	fdc := f.FloatCol("l_discount")
+	f = relal.ExtendFloat(f, "rev", func(i int) float64 {
+		return ep.Get(i) * fdc.Get(i)
 	})
 	return e.Aggregate(f, nil, []relal.AggSpec{{Fn: "sum", Col: "rev", As: "revenue"}})
 }
 
 // q7: shipping volume between FRANCE and GERMANY.
 func q7(e *relal.Exec, db *DB) *relal.Table {
-	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
-		d := relal.S(r[db.Lineitem.Schema.Col("l_shipdate")])
+	lt := e.Scan(db.Lineitem)
+	sdate := lt.StrCol("l_shipdate")
+	li := e.Filter(lt, func(i int) bool {
+		d := sdate.Get(i)
 		return d >= "1995-01-01" && d <= "1996-12-31"
 	})
 	ls := e.Join(li, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
@@ -264,31 +286,26 @@ func q7(e *relal.Exec, db *DB) *relal.Table {
 	lsoc := e.Join(lso, e.Scan(db.Customer), "o_custkey", "c_custkey")
 	// Two nation joins: supplier nation and customer nation.
 	n1 := e.Join(lsoc, e.Scan(db.Nation), "s_nationkey", "n_nationkey")
-	// Rename nation columns for the second join by projecting first.
-	n1 = relal.Extend(n1, "supp_nation", relal.Str, func(r relal.Row) interface{} {
-		return r[n1.Schema.Col("n_name")]
-	})
+	// Rename nation columns for the second join by extending first.
+	nname := n1.StrCol("n_name")
+	n1 = relal.ExtendStr(n1, "supp_nation", func(i int) string { return nname.Get(i) })
 	custNation := e.Scan(db.Nation)
-	cn := &relal.Table{Name: "nation2", Schema: relal.Schema{
+	// nation2 shares the nation table's key/name vectors (zero copy).
+	cn := relal.NewTable("nation2", relal.Schema{
 		{Name: "n2_nationkey", Type: relal.Int},
 		{Name: "cust_nation", Type: relal.Str},
-	}, Base: "nation"}
-	for _, r := range custNation.Rows {
-		cn.Rows = append(cn.Rows, relal.Row{r[0], r[1]})
-	}
+	}, custNation.Cols[0], custNation.Cols[1])
+	relal.SetBase(cn, "nation")
 	n2 := e.Join(n1, cn, "c_nationkey", "n2_nationkey")
-	sn := n2.Schema.Col("supp_nation")
-	cu := n2.Schema.Col("cust_nation")
-	f := e.Filter(n2, func(r relal.Row) bool {
-		a, b := relal.S(r[sn]), relal.S(r[cu])
+	sn := n2.StrCol("supp_nation")
+	cu := n2.StrCol("cust_nation")
+	f := e.Filter(n2, func(i int) bool {
+		a, b := sn.Get(i), cu.Get(i)
 		return (a == "FRANCE" && b == "GERMANY") || (a == "GERMANY" && b == "FRANCE")
 	})
-	f = relal.Extend(f, "l_year", relal.Str, func(r relal.Row) interface{} {
-		return relal.S(r[f.Schema.Col("l_shipdate")])[:4]
-	})
-	f = relal.Extend(f, "volume", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[f.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[f.Schema.Col("l_discount")]))
-	})
+	fsd := f.StrCol("l_shipdate")
+	f = relal.ExtendStr(f, "l_year", func(i int) string { return fsd.Get(i)[:4] })
+	f = discPrice(f, "volume")
 	agg := e.Aggregate(f, []string{"supp_nation", "cust_nation", "l_year"}, []relal.AggSpec{
 		{Fn: "sum", Col: "volume", As: "revenue"},
 	})
@@ -301,41 +318,40 @@ func q7(e *relal.Exec, db *DB) *relal.Table {
 
 // q8: BRAZIL's market share in AMERICA for a part type.
 func q8(e *relal.Exec, db *DB) *relal.Table {
-	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
-		return relal.S(r[db.Part.Schema.Col("p_type")]) == "ECONOMY ANODIZED STEEL"
-	})
+	pt := e.Scan(db.Part)
+	ptype := pt.StrCol("p_type")
+	part := e.Filter(pt, func(i int) bool { return ptype.Get(i) == "ECONOMY ANODIZED STEEL" })
 	lp := e.Join(e.Scan(db.Lineitem), part, "l_partkey", "p_partkey")
 	lps := e.Join(lp, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
-	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
-		d := relal.S(r[db.Orders.Schema.Col("o_orderdate")])
+	ot := e.Scan(db.Orders)
+	odate := ot.StrCol("o_orderdate")
+	ord := e.Filter(ot, func(i int) bool {
+		d := odate.Get(i)
 		return d >= "1995-01-01" && d <= "1996-12-31"
 	})
 	lpso := e.Join(lps, ord, "l_orderkey", "o_orderkey")
 	lpsoc := e.Join(lpso, e.Scan(db.Customer), "o_custkey", "c_custkey")
 	// Customer nation must be in AMERICA.
-	region := e.Filter(e.Scan(db.Region), func(r relal.Row) bool {
-		return relal.S(r[db.Region.Schema.Col("r_name")]) == "AMERICA"
-	})
+	rt := e.Scan(db.Region)
+	rname := rt.StrCol("r_name")
+	region := e.Filter(rt, func(i int) bool { return rname.Get(i) == "AMERICA" })
 	nr := e.Join(e.Scan(db.Nation), region, "n_regionkey", "r_regionkey")
 	custAm := e.Join(lpsoc, nr, "c_nationkey", "n_nationkey")
-	// Supplier nation name.
-	sn := &relal.Table{Name: "nation_s", Schema: relal.Schema{
+	// Supplier nation name (shares the nation table's vectors).
+	sn := relal.NewTable("nation_s", relal.Schema{
 		{Name: "ns_nationkey", Type: relal.Int},
 		{Name: "supp_nation", Type: relal.Str},
-	}, Base: "nation"}
-	for _, r := range db.Nation.Rows {
-		sn.Rows = append(sn.Rows, relal.Row{r[0], r[1]})
-	}
+	}, db.Nation.Cols[0], db.Nation.Cols[1])
+	relal.SetBase(sn, "nation")
 	all := e.Join(custAm, sn, "s_nationkey", "ns_nationkey")
-	all = relal.Extend(all, "o_year", relal.Str, func(r relal.Row) interface{} {
-		return relal.S(r[all.Schema.Col("o_orderdate")])[:4]
-	})
-	all = relal.Extend(all, "volume", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[all.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[all.Schema.Col("l_discount")]))
-	})
-	all = relal.Extend(all, "brazil_volume", relal.Float, func(r relal.Row) interface{} {
-		if relal.S(r[all.Schema.Col("supp_nation")]) == "BRAZIL" {
-			return relal.F(r[all.Schema.Col("volume")])
+	aod := all.StrCol("o_orderdate")
+	all = relal.ExtendStr(all, "o_year", func(i int) string { return aod.Get(i)[:4] })
+	all = discPrice(all, "volume")
+	asn := all.StrCol("supp_nation")
+	avol := all.FloatCol("volume")
+	all = relal.ExtendFloat(all, "brazil_volume", func(i int) float64 {
+		if asn.Get(i) == "BRAZIL" {
+			return avol.Get(i)
 		}
 		return 0.0
 	})
@@ -343,12 +359,14 @@ func q8(e *relal.Exec, db *DB) *relal.Table {
 		{Fn: "sum", Col: "brazil_volume", As: "brazil"},
 		{Fn: "sum", Col: "volume", As: "total"},
 	})
-	agg = relal.Extend(agg, "mkt_share", relal.Float, func(r relal.Row) interface{} {
-		t := relal.F(r[agg.Schema.Col("total")])
+	tot := agg.FloatCol("total")
+	bra := agg.FloatCol("brazil")
+	agg = relal.ExtendFloat(agg, "mkt_share", func(i int) float64 {
+		t := tot.Get(i)
 		if t == 0 {
 			return 0.0
 		}
-		return relal.F(r[agg.Schema.Col("brazil")]) / t
+		return bra.Get(i) / t
 	})
 	out := e.Project(agg, "o_year", "mkt_share")
 	return e.Sort(out, relal.OrderSpec{Col: "o_year"})
@@ -357,24 +375,26 @@ func q8(e *relal.Exec, db *DB) *relal.Table {
 // q9: profit by nation and year for green parts. The paper notes this
 // query ran out of disk in Hive at 16 TB.
 func q9(e *relal.Exec, db *DB) *relal.Table {
-	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
-		return strings.Contains(relal.S(r[db.Part.Schema.Col("p_name")]), "green")
-	})
+	pt := e.Scan(db.Part)
+	pname := pt.StrCol("p_name")
+	part := e.Filter(pt, func(i int) bool { return strings.Contains(pname.Get(i), "green") })
 	lp := e.Join(e.Scan(db.Lineitem), part, "l_partkey", "p_partkey")
 	lps := e.Join(lp, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
 	// partsupp join on (partkey, suppkey): join on partkey then filter.
 	lpsps := e.Join(lps, e.Scan(db.PartSupp), "l_partkey", "ps_partkey")
-	sk := lpsps.Schema.Col("l_suppkey")
-	pssk := lpsps.Schema.Col("ps_suppkey")
-	match := e.Filter(lpsps, func(r relal.Row) bool { return relal.I(r[sk]) == relal.I(r[pssk]) })
+	sk := lpsps.IntCol("l_suppkey")
+	pssk := lpsps.IntCol("ps_suppkey")
+	match := e.Filter(lpsps, func(i int) bool { return sk.Get(i) == pssk.Get(i) })
 	mo := e.Join(match, e.Scan(db.Orders), "l_orderkey", "o_orderkey")
 	mon := e.Join(mo, e.Scan(db.Nation), "s_nationkey", "n_nationkey")
-	mon = relal.Extend(mon, "o_year", relal.Str, func(r relal.Row) interface{} {
-		return relal.S(r[mon.Schema.Col("o_orderdate")])[:4]
-	})
-	mon = relal.Extend(mon, "amount", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[mon.Schema.Col("l_extendedprice")])*(1-relal.F(r[mon.Schema.Col("l_discount")])) -
-			relal.F(r[mon.Schema.Col("ps_supplycost")])*relal.F(r[mon.Schema.Col("l_quantity")])
+	mod := mon.StrCol("o_orderdate")
+	mon = relal.ExtendStr(mon, "o_year", func(i int) string { return mod.Get(i)[:4] })
+	ep := mon.FloatCol("l_extendedprice")
+	dc := mon.FloatCol("l_discount")
+	sc := mon.FloatCol("ps_supplycost")
+	qty := mon.FloatCol("l_quantity")
+	mon = relal.ExtendFloat(mon, "amount", func(i int) float64 {
+		return ep.Get(i)*(1-dc.Get(i)) - sc.Get(i)*qty.Get(i)
 	})
 	agg := e.Aggregate(mon, []string{"n_name", "o_year"}, []relal.AggSpec{
 		{Fn: "sum", Col: "amount", As: "sum_profit"},
@@ -387,19 +407,19 @@ func q9(e *relal.Exec, db *DB) *relal.Table {
 
 // q10: customers who returned items.
 func q10(e *relal.Exec, db *DB) *relal.Table {
-	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
-		d := relal.S(r[db.Orders.Schema.Col("o_orderdate")])
+	ot := e.Scan(db.Orders)
+	odate := ot.StrCol("o_orderdate")
+	ord := e.Filter(ot, func(i int) bool {
+		d := odate.Get(i)
 		return d >= "1993-10-01" && d < "1994-01-01"
 	})
-	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
-		return relal.S(r[db.Lineitem.Schema.Col("l_returnflag")]) == "R"
-	})
+	lt := e.Scan(db.Lineitem)
+	rf := lt.StrCol("l_returnflag")
+	li := e.Filter(lt, func(i int) bool { return rf.Get(i) == "R" })
 	lo := e.Join(li, ord, "l_orderkey", "o_orderkey")
 	loc := e.Join(lo, e.Scan(db.Customer), "o_custkey", "c_custkey")
 	locn := e.Join(loc, e.Scan(db.Nation), "c_nationkey", "n_nationkey")
-	locn = relal.Extend(locn, "rev", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[locn.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[locn.Schema.Col("l_discount")]))
-	})
+	locn = discPrice(locn, "rev")
 	agg := e.Aggregate(locn, []string{"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment"}, []relal.AggSpec{
 		{Fn: "sum", Col: "rev", As: "revenue"},
 	})
@@ -409,56 +429,62 @@ func q10(e *relal.Exec, db *DB) *relal.Table {
 
 // q11: important stock in GERMANY.
 func q11(e *relal.Exec, db *DB) *relal.Table {
-	nation := e.Filter(e.Scan(db.Nation), func(r relal.Row) bool {
-		return relal.S(r[db.Nation.Schema.Col("n_name")]) == "GERMANY"
-	})
+	nt := e.Scan(db.Nation)
+	nname := nt.StrCol("n_name")
+	nation := e.Filter(nt, func(i int) bool { return nname.Get(i) == "GERMANY" })
 	sn := e.Join(e.Scan(db.Supplier), nation, "s_nationkey", "n_nationkey")
 	ps := e.Join(e.Scan(db.PartSupp), sn, "ps_suppkey", "s_suppkey")
-	ps = relal.Extend(ps, "value", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[ps.Schema.Col("ps_supplycost")]) * relal.F(r[ps.Schema.Col("ps_availqty")])
+	cost := ps.FloatCol("ps_supplycost")
+	avail := ps.IntCol("ps_availqty")
+	ps = relal.ExtendFloat(ps, "value", func(i int) float64 {
+		return cost.Get(i) * float64(avail.Get(i))
 	})
 	total := e.Aggregate(ps, nil, []relal.AggSpec{{Fn: "sum", Col: "value", As: "total"}})
 	// The spec's fraction is 0.0001/SF, which scales so the query
 	// returns a similar-sized answer at every scale factor.
 	threshold := 0.0
 	if total.NumRows() > 0 {
-		threshold = relal.F(total.Rows[0][0]) * 0.0001 / db.SF
+		threshold = total.FloatCol("total").Get(0) * 0.0001 / db.SF
 	}
 	byPart := e.Aggregate(ps, []string{"ps_partkey"}, []relal.AggSpec{
 		{Fn: "sum", Col: "value", As: "value"},
 	})
-	vi := byPart.Schema.Col("value")
-	f := e.Filter(byPart, func(r relal.Row) bool { return relal.F(r[vi]) > threshold })
+	val := byPart.FloatCol("value")
+	f := e.Filter(byPart, func(i int) bool { return val.Get(i) > threshold })
 	return e.Sort(f, relal.OrderSpec{Col: "value", Desc: true})
 }
 
 // q12: shipping modes and order priority.
 func q12(e *relal.Exec, db *DB) *relal.Table {
-	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
-		s := db.Lineitem.Schema
-		mode := relal.S(r[s.Col("l_shipmode")])
-		if mode != "MAIL" && mode != "SHIP" {
+	lt := e.Scan(db.Lineitem)
+	mode := lt.StrCol("l_shipmode")
+	commit := lt.StrCol("l_commitdate")
+	receipt := lt.StrCol("l_receiptdate")
+	ship := lt.StrCol("l_shipdate")
+	li := e.Filter(lt, func(i int) bool {
+		m := mode.Get(i)
+		if m != "MAIL" && m != "SHIP" {
 			return false
 		}
-		commit := relal.S(r[s.Col("l_commitdate")])
-		receipt := relal.S(r[s.Col("l_receiptdate")])
-		ship := relal.S(r[s.Col("l_shipdate")])
-		return commit < receipt && ship < commit &&
-			receipt >= "1994-01-01" && receipt < "1995-01-01"
+		c, r := commit.Get(i), receipt.Get(i)
+		return c < r && ship.Get(i) < c &&
+			r >= "1994-01-01" && r < "1995-01-01"
 	})
 	lo := e.Join(li, e.Scan(db.Orders), "l_orderkey", "o_orderkey")
-	lo = relal.Extend(lo, "high_line", relal.Int, func(r relal.Row) interface{} {
-		p := relal.S(r[lo.Schema.Col("o_orderpriority")])
+	prio := lo.StrCol("o_orderpriority")
+	lo = relal.ExtendInt(lo, "high_line", func(i int) int64 {
+		p := prio.Get(i)
 		if p == "1-URGENT" || p == "2-HIGH" {
-			return int64(1)
+			return 1
 		}
-		return int64(0)
+		return 0
 	})
-	lo = relal.Extend(lo, "low_line", relal.Int, func(r relal.Row) interface{} {
-		if relal.I(r[lo.Schema.Col("high_line")]) == 1 {
-			return int64(0)
+	high := lo.IntCol("high_line")
+	lo = relal.ExtendInt(lo, "low_line", func(i int) int64 {
+		if high.Get(i) == 1 {
+			return 0
 		}
-		return int64(1)
+		return 1
 	})
 	agg := e.Aggregate(lo, []string{"l_shipmode"}, []relal.AggSpec{
 		{Fn: "sum", Col: "high_line", As: "high_line_count"},
@@ -469,10 +495,12 @@ func q12(e *relal.Exec, db *DB) *relal.Table {
 
 // q13: distribution of customers by order count.
 func q13(e *relal.Exec, db *DB) *relal.Table {
-	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
-		c := relal.S(r[db.Orders.Schema.Col("o_comment")])
-		i := strings.Index(c, "special")
-		return i < 0 || !strings.Contains(c[i:], "requests")
+	ot := e.Scan(db.Orders)
+	ocomment := ot.StrCol("o_comment")
+	ord := e.Filter(ot, func(i int) bool {
+		c := ocomment.Get(i)
+		j := strings.Index(c, "special")
+		return j < 0 || !strings.Contains(c[j:], "requests")
 	})
 	perCust := e.Aggregate(ord, []string{"o_custkey"}, []relal.AggSpec{
 		{Fn: "count", Col: "*", As: "c_count"},
@@ -483,17 +511,23 @@ func q13(e *relal.Exec, db *DB) *relal.Table {
 	joined := e.Join(cust, perCust, "c_custkey", "o_custkey")
 	matched := e.Project(joined, "c_custkey", "c_count")
 	unmatched := e.AntiJoin(cust, perCust, "c_custkey", "o_custkey")
-	all := &relal.Table{Name: "cust_counts", Schema: relal.Schema{
+	keys := make([]int64, 0, matched.NumRows()+unmatched.NumRows())
+	counts := make([]int64, 0, matched.NumRows()+unmatched.NumRows())
+	mk := matched.IntCol("c_custkey")
+	mc := matched.IntCol("c_count")
+	for i := 0; i < matched.NumRows(); i++ {
+		keys = append(keys, mk.Get(i))
+		counts = append(counts, mc.Get(i))
+	}
+	uk := unmatched.IntCol("c_custkey")
+	for i := 0; i < unmatched.NumRows(); i++ {
+		keys = append(keys, uk.Get(i))
+		counts = append(counts, 0)
+	}
+	all := relal.NewTable("cust_counts", relal.Schema{
 		{Name: "c_custkey", Type: relal.Int},
 		{Name: "c_count", Type: relal.Int},
-	}}
-	for _, r := range matched.Rows {
-		all.Rows = append(all.Rows, relal.Row{r[0], r[1]})
-	}
-	ck := cust.Schema.Col("c_custkey")
-	for _, r := range unmatched.Rows {
-		all.Rows = append(all.Rows, relal.Row{r[ck], int64(0)})
-	}
+	}, relal.IntsV(keys), relal.IntsV(counts))
 	dist := e.Aggregate(all, []string{"c_count"}, []relal.AggSpec{
 		{Fn: "count", Col: "*", As: "custdist"},
 	})
@@ -505,17 +539,19 @@ func q13(e *relal.Exec, db *DB) *relal.Table {
 
 // q14: promotion effect for one month.
 func q14(e *relal.Exec, db *DB) *relal.Table {
-	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
-		d := relal.S(r[db.Lineitem.Schema.Col("l_shipdate")])
+	lt := e.Scan(db.Lineitem)
+	sdate := lt.StrCol("l_shipdate")
+	li := e.Filter(lt, func(i int) bool {
+		d := sdate.Get(i)
 		return d >= "1995-09-01" && d < "1995-10-01"
 	})
 	lp := e.Join(li, e.Scan(db.Part), "l_partkey", "p_partkey")
-	lp = relal.Extend(lp, "rev", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[lp.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[lp.Schema.Col("l_discount")]))
-	})
-	lp = relal.Extend(lp, "promo_rev", relal.Float, func(r relal.Row) interface{} {
-		if strings.HasPrefix(relal.S(r[lp.Schema.Col("p_type")]), "PROMO") {
-			return relal.F(r[lp.Schema.Col("rev")])
+	lp = discPrice(lp, "rev")
+	ptype := lp.StrCol("p_type")
+	rev := lp.FloatCol("rev")
+	lp = relal.ExtendFloat(lp, "promo_rev", func(i int) float64 {
+		if strings.HasPrefix(ptype.Get(i), "PROMO") {
+			return rev.Get(i)
 		}
 		return 0.0
 	})
@@ -523,24 +559,26 @@ func q14(e *relal.Exec, db *DB) *relal.Table {
 		{Fn: "sum", Col: "promo_rev", As: "promo"},
 		{Fn: "sum", Col: "rev", As: "total"},
 	})
-	return relal.Extend(agg, "promo_revenue", relal.Float, func(r relal.Row) interface{} {
-		t := relal.F(r[agg.Schema.Col("total")])
+	promo := agg.FloatCol("promo")
+	tot := agg.FloatCol("total")
+	return relal.ExtendFloat(agg, "promo_revenue", func(i int) float64 {
+		t := tot.Get(i)
 		if t == 0 {
 			return 0.0
 		}
-		return 100 * relal.F(r[agg.Schema.Col("promo")]) / t
+		return 100 * promo.Get(i) / t
 	})
 }
 
 // q15: top supplier by quarterly revenue.
 func q15(e *relal.Exec, db *DB) *relal.Table {
-	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
-		d := relal.S(r[db.Lineitem.Schema.Col("l_shipdate")])
+	lt := e.Scan(db.Lineitem)
+	sdate := lt.StrCol("l_shipdate")
+	li := e.Filter(lt, func(i int) bool {
+		d := sdate.Get(i)
 		return d >= "1996-01-01" && d < "1996-04-01"
 	})
-	li = relal.Extend(li, "rev", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[li.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[li.Schema.Col("l_discount")]))
-	})
+	li = discPrice(li, "rev")
 	revenue := e.Aggregate(li, []string{"l_suppkey"}, []relal.AggSpec{
 		{Fn: "sum", Col: "rev", As: "total_revenue"},
 	})
@@ -549,10 +587,10 @@ func q15(e *relal.Exec, db *DB) *relal.Table {
 	})
 	mx := 0.0
 	if maxRev.NumRows() > 0 {
-		mx = relal.F(maxRev.Rows[0][0])
+		mx = maxRev.FloatCol("max_rev").Get(0)
 	}
-	tr := revenue.Schema.Col("total_revenue")
-	top := e.Filter(revenue, func(r relal.Row) bool { return relal.F(r[tr]) >= mx-1e-6 })
+	tr := revenue.FloatCol("total_revenue")
+	top := e.Filter(revenue, func(i int) bool { return tr.Get(i) >= mx-1e-6 })
 	st := e.Join(top, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
 	proj := e.Project(st, "s_suppkey", "s_name", "s_address", "s_phone", "total_revenue")
 	return e.Sort(proj, relal.OrderSpec{Col: "s_suppkey"})
@@ -561,16 +599,21 @@ func q15(e *relal.Exec, db *DB) *relal.Table {
 // q16: supplier counts by part attributes, excluding complaint suppliers.
 func q16(e *relal.Exec, db *DB) *relal.Table {
 	sizes := map[int64]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}
-	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
-		s := db.Part.Schema
-		return relal.S(r[s.Col("p_brand")]) != "Brand#45" &&
-			!strings.HasPrefix(relal.S(r[s.Col("p_type")]), "MEDIUM POLISHED") &&
-			sizes[relal.I(r[s.Col("p_size")])]
+	pt := e.Scan(db.Part)
+	brand := pt.StrCol("p_brand")
+	ptype := pt.StrCol("p_type")
+	psize := pt.IntCol("p_size")
+	part := e.Filter(pt, func(i int) bool {
+		return brand.Get(i) != "Brand#45" &&
+			!strings.HasPrefix(ptype.Get(i), "MEDIUM POLISHED") &&
+			sizes[psize.Get(i)]
 	})
-	complaints := e.Filter(e.Scan(db.Supplier), func(r relal.Row) bool {
-		c := relal.S(r[db.Supplier.Schema.Col("s_comment")])
-		i := strings.Index(c, "Customer")
-		return i >= 0 && strings.Contains(c[i:], "Complaints")
+	st := e.Scan(db.Supplier)
+	scomment := st.StrCol("s_comment")
+	complaints := e.Filter(st, func(i int) bool {
+		c := scomment.Get(i)
+		j := strings.Index(c, "Customer")
+		return j >= 0 && strings.Contains(c[j:], "Complaints")
 	})
 	ps := e.AntiJoin(e.Scan(db.PartSupp), complaints, "ps_suppkey", "s_suppkey")
 	psp := e.Join(ps, part, "ps_partkey", "p_partkey")
@@ -591,31 +634,33 @@ func q16(e *relal.Exec, db *DB) *relal.Table {
 
 // q17: small-quantity-order revenue for one brand/container.
 func q17(e *relal.Exec, db *DB) *relal.Table {
-	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
-		s := db.Part.Schema
-		return relal.S(r[s.Col("p_brand")]) == "Brand#23" &&
-			relal.S(r[s.Col("p_container")]) == "MED BOX"
+	pt := e.Scan(db.Part)
+	brand := pt.StrCol("p_brand")
+	container := pt.StrCol("p_container")
+	part := e.Filter(pt, func(i int) bool {
+		return brand.Get(i) == "Brand#23" && container.Get(i) == "MED BOX"
 	})
 	lp := e.Join(e.Scan(db.Lineitem), part, "l_partkey", "p_partkey")
 	avgQty := e.Aggregate(lp, []string{"p_partkey"}, []relal.AggSpec{
 		{Fn: "avg", Col: "l_quantity", As: "avg_qty"},
 	})
 	avgIdx := make(map[int64]float64, avgQty.NumRows())
-	pk := avgQty.Schema.Col("p_partkey")
-	aq := avgQty.Schema.Col("avg_qty")
-	for _, r := range avgQty.Rows {
-		avgIdx[relal.I(r[pk])] = relal.F(r[aq])
+	pk := avgQty.IntCol("p_partkey")
+	aq := avgQty.FloatCol("avg_qty")
+	for i := 0; i < avgQty.NumRows(); i++ {
+		avgIdx[pk.Get(i)] = aq.Get(i)
 	}
-	lpk := lp.Schema.Col("l_partkey")
-	qty := lp.Schema.Col("l_quantity")
-	f := e.Filter(lp, func(r relal.Row) bool {
-		return relal.F(r[qty]) < 0.2*avgIdx[relal.I(r[lpk])]
+	lpk := lp.IntCol("l_partkey")
+	qty := lp.FloatCol("l_quantity")
+	f := e.Filter(lp, func(i int) bool {
+		return qty.Get(i) < 0.2*avgIdx[lpk.Get(i)]
 	})
 	agg := e.Aggregate(f, nil, []relal.AggSpec{
 		{Fn: "sum", Col: "l_extendedprice", As: "sum_price"},
 	})
-	return relal.Extend(agg, "avg_yearly", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[agg.Schema.Col("sum_price")]) / 7.0
+	sp := agg.FloatCol("sum_price")
+	return relal.ExtendFloat(agg, "avg_yearly", func(i int) float64 {
+		return sp.Get(i) / 7.0
 	})
 }
 
@@ -625,8 +670,8 @@ func q18(e *relal.Exec, db *DB) *relal.Table {
 	perOrder := e.Aggregate(li, []string{"l_orderkey"}, []relal.AggSpec{
 		{Fn: "sum", Col: "l_quantity", As: "sum_qty"},
 	})
-	sq := perOrder.Schema.Col("sum_qty")
-	big := e.Filter(perOrder, func(r relal.Row) bool { return relal.F(r[sq]) > 300 })
+	sq := perOrder.FloatCol("sum_qty")
+	big := e.Filter(perOrder, func(i int) bool { return sq.Get(i) > 300 })
 	bo := e.Join(big, e.Scan(db.Orders), "l_orderkey", "o_orderkey")
 	boc := e.Join(bo, e.Scan(db.Customer), "o_custkey", "c_custkey")
 	proj := e.Project(boc, "c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty")
@@ -641,13 +686,12 @@ func q18(e *relal.Exec, db *DB) *relal.Table {
 // paper's §3.3.4.1 analysis discusses.
 func q19(e *relal.Exec, db *DB) *relal.Table {
 	lp := e.Join(e.Scan(db.Lineitem), e.Scan(db.Part), "l_partkey", "p_partkey")
-	s := lp.Schema
-	brand := s.Col("p_brand")
-	container := s.Col("p_container")
-	qty := s.Col("l_quantity")
-	size := s.Col("p_size")
-	mode := s.Col("l_shipmode")
-	instr := s.Col("l_shipinstruct")
+	brand := lp.StrCol("p_brand")
+	container := lp.StrCol("p_container")
+	qty := lp.FloatCol("l_quantity")
+	size := lp.IntCol("p_size")
+	mode := lp.StrCol("l_shipmode")
+	instr := lp.StrCol("l_shipinstruct")
 	sm := func(c string, set ...string) bool {
 		for _, x := range set {
 			if c == x {
@@ -656,17 +700,17 @@ func q19(e *relal.Exec, db *DB) *relal.Table {
 		}
 		return false
 	}
-	f := e.Filter(lp, func(r relal.Row) bool {
-		if !(relal.S(r[mode]) == "AIR" || relal.S(r[mode]) == "REG AIR") {
+	f := e.Filter(lp, func(i int) bool {
+		if m := mode.Get(i); m != "AIR" && m != "REG AIR" {
 			return false
 		}
-		if relal.S(r[instr]) != "DELIVER IN PERSON" {
+		if instr.Get(i) != "DELIVER IN PERSON" {
 			return false
 		}
-		b := relal.S(r[brand])
-		c := relal.S(r[container])
-		q := relal.F(r[qty])
-		sz := relal.I(r[size])
+		b := brand.Get(i)
+		c := container.Get(i)
+		q := qty.Get(i)
+		sz := size.Get(i)
 		switch {
 		case b == "Brand#12" && sm(c, "SM CASE", "SM BOX", "SM PACK", "SM PKG") && q >= 1 && q <= 11 && sz >= 1 && sz <= 5:
 			return true
@@ -677,41 +721,41 @@ func q19(e *relal.Exec, db *DB) *relal.Table {
 		}
 		return false
 	})
-	f = relal.Extend(f, "rev", relal.Float, func(r relal.Row) interface{} {
-		return relal.F(r[f.Schema.Col("l_extendedprice")]) * (1 - relal.F(r[f.Schema.Col("l_discount")]))
-	})
+	f = discPrice(f, "rev")
 	return e.Aggregate(f, nil, []relal.AggSpec{{Fn: "sum", Col: "rev", As: "revenue"}})
 }
 
 // q20: suppliers with surplus forest parts in CANADA.
 func q20(e *relal.Exec, db *DB) *relal.Table {
-	part := e.Filter(e.Scan(db.Part), func(r relal.Row) bool {
-		return strings.HasPrefix(relal.S(r[db.Part.Schema.Col("p_name")]), "forest")
-	})
-	li := e.Filter(e.Scan(db.Lineitem), func(r relal.Row) bool {
-		d := relal.S(r[db.Lineitem.Schema.Col("l_shipdate")])
+	pt := e.Scan(db.Part)
+	pname := pt.StrCol("p_name")
+	part := e.Filter(pt, func(i int) bool { return strings.HasPrefix(pname.Get(i), "forest") })
+	lt := e.Scan(db.Lineitem)
+	sdate := lt.StrCol("l_shipdate")
+	li := e.Filter(lt, func(i int) bool {
+		d := sdate.Get(i)
 		return d >= "1994-01-01" && d < "1995-01-01"
 	})
 	shipped := e.Aggregate(li, []string{"l_partkey", "l_suppkey"}, []relal.AggSpec{
 		{Fn: "sum", Col: "l_quantity", As: "sum_qty"},
 	})
 	shippedIdx := make(map[[2]int64]float64, shipped.NumRows())
-	pk := shipped.Schema.Col("l_partkey")
-	sk := shipped.Schema.Col("l_suppkey")
-	sq := shipped.Schema.Col("sum_qty")
-	for _, r := range shipped.Rows {
-		shippedIdx[[2]int64{relal.I(r[pk]), relal.I(r[sk])}] = relal.F(r[sq])
+	spk := shipped.IntCol("l_partkey")
+	ssk := shipped.IntCol("l_suppkey")
+	sql := shipped.FloatCol("sum_qty")
+	for i := 0; i < shipped.NumRows(); i++ {
+		shippedIdx[[2]int64{spk.Get(i), ssk.Get(i)}] = sql.Get(i)
 	}
 	ps := e.SemiJoin(e.Scan(db.PartSupp), part, "ps_partkey", "p_partkey")
-	pspk := ps.Schema.Col("ps_partkey")
-	pssk := ps.Schema.Col("ps_suppkey")
-	avail := ps.Schema.Col("ps_availqty")
-	surplus := e.Filter(ps, func(r relal.Row) bool {
-		return relal.F(r[avail]) > 0.5*shippedIdx[[2]int64{relal.I(r[pspk]), relal.I(r[pssk])}]
+	pspk := ps.IntCol("ps_partkey")
+	pssk := ps.IntCol("ps_suppkey")
+	avail := ps.IntCol("ps_availqty")
+	surplus := e.Filter(ps, func(i int) bool {
+		return float64(avail.Get(i)) > 0.5*shippedIdx[[2]int64{pspk.Get(i), pssk.Get(i)}]
 	})
-	nation := e.Filter(e.Scan(db.Nation), func(r relal.Row) bool {
-		return relal.S(r[db.Nation.Schema.Col("n_name")]) == "CANADA"
-	})
+	nt := e.Scan(db.Nation)
+	nname := nt.StrCol("n_name")
+	nation := e.Filter(nt, func(i int) bool { return nname.Get(i) == "CANADA" })
 	supp := e.Join(e.Scan(db.Supplier), nation, "s_nationkey", "n_nationkey")
 	final := e.SemiJoin(supp, surplus, "s_suppkey", "ps_suppkey")
 	proj := e.Project(final, "s_name", "s_address")
@@ -721,39 +765,43 @@ func q20(e *relal.Exec, db *DB) *relal.Table {
 // q21: suppliers in SAUDI ARABIA who kept multi-supplier orders waiting.
 func q21(e *relal.Exec, db *DB) *relal.Table {
 	li := e.Scan(db.Lineitem)
-	s := li.Schema
 	// Suppliers per order, and late suppliers per order.
 	perOrder := e.Aggregate(
 		e.Aggregate(li, []string{"l_orderkey", "l_suppkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n"}}),
 		[]string{"l_orderkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n_supp"}})
-	late := e.Filter(li, func(r relal.Row) bool {
-		return relal.S(r[s.Col("l_receiptdate")]) > relal.S(r[s.Col("l_commitdate")])
-	})
+	rdate := li.StrCol("l_receiptdate")
+	cdate := li.StrCol("l_commitdate")
+	late := e.Filter(li, func(i int) bool { return rdate.Get(i) > cdate.Get(i) })
 	latePerOrder := e.Aggregate(
 		e.Aggregate(late, []string{"l_orderkey", "l_suppkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n"}}),
 		[]string{"l_orderkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n_late"}})
 	nSupp := make(map[int64]int64, perOrder.NumRows())
-	for _, r := range perOrder.Rows {
-		nSupp[relal.I(r[0])] = relal.I(r[1])
+	pok := perOrder.IntCol("l_orderkey")
+	pon := perOrder.IntCol("n_supp")
+	for i := 0; i < perOrder.NumRows(); i++ {
+		nSupp[pok.Get(i)] = pon.Get(i)
 	}
 	nLate := make(map[int64]int64, latePerOrder.NumRows())
-	for _, r := range latePerOrder.Rows {
-		nLate[relal.I(r[0])] = relal.I(r[1])
+	lok := latePerOrder.IntCol("l_orderkey")
+	lon := latePerOrder.IntCol("n_late")
+	for i := 0; i < latePerOrder.NumRows(); i++ {
+		nLate[lok.Get(i)] = lon.Get(i)
 	}
 	// Candidate rows: this supplier was late, order has >1 suppliers,
 	// and exactly one late supplier (this one), on F orders.
-	ord := e.Filter(e.Scan(db.Orders), func(r relal.Row) bool {
-		return relal.S(r[db.Orders.Schema.Col("o_orderstatus")]) == "F"
-	})
-	lateRows := e.Filter(late, func(r relal.Row) bool {
-		ok := relal.I(r[s.Col("l_orderkey")])
+	ot := e.Scan(db.Orders)
+	ostatus := ot.StrCol("o_orderstatus")
+	ord := e.Filter(ot, func(i int) bool { return ostatus.Get(i) == "F" })
+	lko := late.IntCol("l_orderkey")
+	lateRows := e.Filter(late, func(i int) bool {
+		ok := lko.Get(i)
 		return nSupp[ok] > 1 && nLate[ok] == 1
 	})
 	lo := e.SemiJoin(lateRows, ord, "l_orderkey", "o_orderkey")
 	ls := e.Join(lo, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
-	nation := e.Filter(e.Scan(db.Nation), func(r relal.Row) bool {
-		return relal.S(r[db.Nation.Schema.Col("n_name")]) == "SAUDI ARABIA"
-	})
+	nt := e.Scan(db.Nation)
+	nname := nt.StrCol("n_name")
+	nation := e.Filter(nt, func(i int) bool { return nname.Get(i) == "SAUDI ARABIA" })
 	lsn := e.Join(ls, nation, "s_nationkey", "n_nationkey")
 	// One row per (order, supplier) — dedup before counting.
 	dedup := e.Aggregate(lsn, []string{"s_name", "l_orderkey"}, []relal.AggSpec{
@@ -774,28 +822,28 @@ func q21(e *relal.Exec, db *DB) *relal.Table {
 // Table 5 breakdown).
 func q22(e *relal.Exec, db *DB) *relal.Table {
 	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true, "30": true, "18": true, "17": true}
-	cphone := db.Customer.Schema.Col("c_phone")
-	cbal := db.Customer.Schema.Col("c_acctbal")
+	ct := e.Scan(db.Customer)
+	cphone := ct.StrCol("c_phone")
 	// Sub-query 1: candidate customers by phone code.
-	cust := e.Filter(e.Scan(db.Customer), func(r relal.Row) bool {
-		return codes[relal.S(r[cphone])[:2]]
-	})
+	cust := e.Filter(ct, func(i int) bool { return codes[cphone.Get(i)[:2]] })
 	// Sub-query 2: average positive balance among them.
-	pos := e.Filter(cust, func(r relal.Row) bool { return relal.F(r[cbal]) > 0 })
+	cbal := cust.FloatCol("c_acctbal")
+	pos := e.Filter(cust, func(i int) bool { return cbal.Get(i) > 0 })
 	avg := e.Aggregate(pos, nil, []relal.AggSpec{{Fn: "avg", Col: "c_acctbal", As: "avg_bal"}})
 	avgBal := 0.0
 	if avg.NumRows() > 0 {
-		avgBal = relal.F(avg.Rows[0][0])
+		avgBal = avg.FloatCol("avg_bal").Get(0)
 	}
 	// Sub-query 3: order keys (customers with orders).
 	ordCust := e.Aggregate(e.Scan(db.Orders), []string{"o_custkey"}, []relal.AggSpec{
 		{Fn: "count", Col: "*", As: "n"},
 	})
 	// Sub-query 4: join it all.
-	rich := e.Filter(cust, func(r relal.Row) bool { return relal.F(r[cbal]) > avgBal })
+	rich := e.Filter(cust, func(i int) bool { return cbal.Get(i) > avgBal })
 	noOrders := e.AntiJoin(rich, ordCust, "c_custkey", "o_custkey")
-	noOrders = relal.Extend(noOrders, "cntrycode", relal.Str, func(r relal.Row) interface{} {
-		return relal.S(r[noOrders.Schema.Col("c_phone")])[:2]
+	nphone := noOrders.StrCol("c_phone")
+	noOrders = relal.ExtendStr(noOrders, "cntrycode", func(i int) string {
+		return nphone.Get(i)[:2]
 	})
 	agg := e.Aggregate(noOrders, []string{"cntrycode"}, []relal.AggSpec{
 		{Fn: "count", Col: "*", As: "numcust"},

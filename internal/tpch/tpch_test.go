@@ -44,11 +44,11 @@ func TestGenerateDeterministic(t *testing.T) {
 	if a.Lineitem.NumRows() != b.Lineitem.NumRows() {
 		t.Fatal("row counts differ across identical seeds")
 	}
+	ra, rb := relal.RowsOf(a.Lineitem), relal.RowsOf(b.Lineitem)
 	for i := 0; i < 10; i++ {
-		ra, rb := a.Lineitem.Rows[i], b.Lineitem.Rows[i]
-		for j := range ra {
-			if ra[j] != rb[j] {
-				t.Fatalf("row %d col %d differs: %v vs %v", i, j, ra[j], rb[j])
+		for j := range ra[i] {
+			if ra[i][j] != rb[i][j] {
+				t.Fatalf("row %d col %d differs: %v vs %v", i, j, ra[i][j], rb[i][j])
 			}
 		}
 	}
@@ -85,22 +85,22 @@ func TestOrderKeyMonotonic(t *testing.T) {
 func TestForeignKeysValid(t *testing.T) {
 	db := testDB(t)
 	nCust := int64(db.Customer.NumRows())
-	ck := db.Orders.Schema.Col("o_custkey")
-	for _, r := range db.Orders.Rows {
-		c := relal.I(r[ck])
+	ck := db.Orders.IntCol("o_custkey")
+	for i := 0; i < db.Orders.NumRows(); i++ {
+		c := ck.Get(i)
 		if c < 1 || c > nCust {
 			t.Fatalf("o_custkey %d out of range [1,%d]", c, nCust)
 		}
 	}
 	nPart := int64(db.Part.NumRows())
 	nSupp := int64(db.Supplier.NumRows())
-	pk := db.Lineitem.Schema.Col("l_partkey")
-	sk := db.Lineitem.Schema.Col("l_suppkey")
-	for _, r := range db.Lineitem.Rows {
-		if p := relal.I(r[pk]); p < 1 || p > nPart {
+	pk := db.Lineitem.IntCol("l_partkey")
+	sk := db.Lineitem.IntCol("l_suppkey")
+	for i := 0; i < db.Lineitem.NumRows(); i++ {
+		if p := pk.Get(i); p < 1 || p > nPart {
 			t.Fatalf("l_partkey %d out of range", p)
 		}
-		if s := relal.I(r[sk]); s < 1 || s > nSupp {
+		if s := sk.Get(i); s < 1 || s > nSupp {
 			t.Fatalf("l_suppkey %d out of range", s)
 		}
 	}
@@ -109,24 +109,24 @@ func TestForeignKeysValid(t *testing.T) {
 func TestLineitemOrderKeysMatchOrders(t *testing.T) {
 	db := testDB(t)
 	orderKeys := map[int64]bool{}
-	ok := db.Orders.Schema.Col("o_orderkey")
-	for _, r := range db.Orders.Rows {
-		orderKeys[relal.I(r[ok])] = true
+	ok := db.Orders.IntCol("o_orderkey")
+	for i := 0; i < db.Orders.NumRows(); i++ {
+		orderKeys[ok.Get(i)] = true
 	}
-	lk := db.Lineitem.Schema.Col("l_orderkey")
-	for _, r := range db.Lineitem.Rows {
-		if !orderKeys[relal.I(r[lk])] {
-			t.Fatalf("lineitem references missing order %d", relal.I(r[lk]))
+	lk := db.Lineitem.IntCol("l_orderkey")
+	for i := 0; i < db.Lineitem.NumRows(); i++ {
+		if !orderKeys[lk.Get(i)] {
+			t.Fatalf("lineitem references missing order %d", lk.Get(i))
 		}
 	}
 }
 
 func TestDatesWellFormed(t *testing.T) {
 	db := testDB(t)
-	s := db.Lineitem.Schema
-	sd, cd, rd := s.Col("l_shipdate"), s.Col("l_commitdate"), s.Col("l_receiptdate")
-	for _, r := range db.Lineitem.Rows[:100] {
-		ship, _, receipt := relal.S(r[sd]), relal.S(r[cd]), relal.S(r[rd])
+	sd := db.Lineitem.StrCol("l_shipdate")
+	rd := db.Lineitem.StrCol("l_receiptdate")
+	for i := 0; i < 100; i++ {
+		ship, receipt := sd.Get(i), rd.Get(i)
 		if len(ship) != 10 || ship[4] != '-' || ship[7] != '-' {
 			t.Fatalf("malformed date %q", ship)
 		}
@@ -215,41 +215,48 @@ func TestAllQueriesRun(t *testing.T) {
 func TestQ1Aggregates(t *testing.T) {
 	db := testDB(t)
 	out, _ := RunQuery(1, db)
-	// Validate against a direct computation.
+	// Validate against a direct computation over the columns.
 	type acc struct {
 		qty, price float64
 		n          int64
 	}
 	want := map[string]*acc{}
-	s := db.Lineitem.Schema
-	for _, r := range db.Lineitem.Rows {
-		if relal.S(r[s.Col("l_shipdate")]) > "1998-09-02" {
+	sd := db.Lineitem.StrCol("l_shipdate")
+	rf := db.Lineitem.StrCol("l_returnflag")
+	ls := db.Lineitem.StrCol("l_linestatus")
+	qty := db.Lineitem.FloatCol("l_quantity")
+	price := db.Lineitem.FloatCol("l_extendedprice")
+	for i := 0; i < db.Lineitem.NumRows(); i++ {
+		if sd.Get(i) > "1998-09-02" {
 			continue
 		}
-		k := relal.S(r[s.Col("l_returnflag")]) + "|" + relal.S(r[s.Col("l_linestatus")])
+		k := rf.Get(i) + "|" + ls.Get(i)
 		a := want[k]
 		if a == nil {
 			a = &acc{}
 			want[k] = a
 		}
-		a.qty += relal.F(r[s.Col("l_quantity")])
-		a.price += relal.F(r[s.Col("l_extendedprice")])
+		a.qty += qty.Get(i)
+		a.price += price.Get(i)
 		a.n++
 	}
 	if out.NumRows() != len(want) {
 		t.Fatalf("Q1 groups = %d, want %d", out.NumRows(), len(want))
 	}
-	os := out.Schema
-	for _, r := range out.Rows {
-		k := relal.S(r[os.Col("l_returnflag")]) + "|" + relal.S(r[os.Col("l_linestatus")])
+	orf := out.StrCol("l_returnflag")
+	ols := out.StrCol("l_linestatus")
+	osq := out.FloatCol("sum_qty")
+	oco := out.IntCol("count_order")
+	for i := 0; i < out.NumRows(); i++ {
+		k := orf.Get(i) + "|" + ols.Get(i)
 		a := want[k]
 		if a == nil {
 			t.Fatalf("unexpected group %s", k)
 		}
-		if got := relal.F(r[os.Col("sum_qty")]); !close(got, a.qty) {
+		if got := osq.Get(i); !close(got, a.qty) {
 			t.Errorf("group %s sum_qty = %g, want %g", k, got, a.qty)
 		}
-		if got := relal.I(r[os.Col("count_order")]); got != a.n {
+		if got := oco.Get(i); got != a.n {
 			t.Errorf("group %s count = %d, want %d", k, got, a.n)
 		}
 	}
@@ -274,20 +281,23 @@ func TestQ6DirectComputation(t *testing.T) {
 	db := testDB(t)
 	out, _ := RunQuery(6, db)
 	var want float64
-	s := db.Lineitem.Schema
-	for _, r := range db.Lineitem.Rows {
-		d := relal.S(r[s.Col("l_shipdate")])
-		disc := relal.F(r[s.Col("l_discount")])
+	sd := db.Lineitem.StrCol("l_shipdate")
+	disc := db.Lineitem.FloatCol("l_discount")
+	qty := db.Lineitem.FloatCol("l_quantity")
+	price := db.Lineitem.FloatCol("l_extendedprice")
+	for i := 0; i < db.Lineitem.NumRows(); i++ {
+		d := sd.Get(i)
+		dc := disc.Get(i)
 		if d >= "1994-01-01" && d < "1995-01-01" &&
-			disc >= 0.05-1e-9 && disc <= 0.07+1e-9 &&
-			relal.F(r[s.Col("l_quantity")]) < 24 {
-			want += relal.F(r[s.Col("l_extendedprice")]) * disc
+			dc >= 0.05-1e-9 && dc <= 0.07+1e-9 &&
+			qty.Get(i) < 24 {
+			want += price.Get(i) * dc
 		}
 	}
 	if out.NumRows() != 1 {
 		t.Fatalf("Q6 rows = %d, want 1", out.NumRows())
 	}
-	if got := relal.F(out.Rows[0][0]); !close(got, want) {
+	if got := out.FloatCol("revenue").Get(0); !close(got, want) {
 		t.Errorf("Q6 revenue = %g, want %g", got, want)
 	}
 }
@@ -295,10 +305,10 @@ func TestQ6DirectComputation(t *testing.T) {
 func TestQ5RevenuePositiveAndSorted(t *testing.T) {
 	db := testDB(t)
 	out, _ := RunQuery(5, db)
-	rev := out.Schema.Col("revenue")
+	rev := out.FloatCol("revenue")
 	last := 1e308
-	for _, r := range out.Rows {
-		v := relal.F(r[rev])
+	for i := 0; i < out.NumRows(); i++ {
+		v := rev.Get(i)
 		if v <= 0 {
 			t.Errorf("Q5 revenue %g <= 0", v)
 		}
@@ -308,16 +318,16 @@ func TestQ5RevenuePositiveAndSorted(t *testing.T) {
 		last = v
 	}
 	// All nations must be in ASIA.
-	nn := out.Schema.Col("n_name")
+	nn := out.StrCol("n_name")
 	asia := map[string]bool{}
 	for _, n := range nations {
 		if n.region == 2 {
 			asia[n.name] = true
 		}
 	}
-	for _, r := range out.Rows {
-		if !asia[relal.S(r[nn])] {
-			t.Errorf("Q5 returned non-ASIA nation %s", relal.S(r[nn]))
+	for i := 0; i < out.NumRows(); i++ {
+		if !asia[nn.Get(i)] {
+			t.Errorf("Q5 returned non-ASIA nation %s", nn.Get(i))
 		}
 	}
 }
@@ -326,9 +336,9 @@ func TestQ13IncludesZeroOrderCustomers(t *testing.T) {
 	db := testDB(t)
 	out, _ := RunQuery(13, db)
 	var totalCust int64
-	cd := out.Schema.Col("custdist")
-	for _, r := range out.Rows {
-		totalCust += relal.I(r[cd])
+	cd := out.IntCol("custdist")
+	for i := 0; i < out.NumRows(); i++ {
+		totalCust += cd.Get(i)
 	}
 	if totalCust != int64(db.Customer.NumRows()) {
 		t.Errorf("Q13 customer total = %d, want %d (every customer counted once)", totalCust, db.Customer.NumRows())
@@ -341,10 +351,10 @@ func TestQ22ExcludesCustomersWithOrders(t *testing.T) {
 	if out.NumRows() == 0 {
 		t.Fatal("Q22 returned no country codes")
 	}
-	nc := out.Schema.Col("numcust")
+	nc := out.IntCol("numcust")
 	var total int64
-	for _, r := range out.Rows {
-		total += relal.I(r[nc])
+	for i := 0; i < out.NumRows(); i++ {
+		total += nc.Get(i)
 	}
 	if total <= 0 || total >= int64(db.Customer.NumRows()) {
 		t.Errorf("Q22 numcust total = %d, implausible", total)
@@ -358,10 +368,10 @@ func TestQ2MinCostProperty(t *testing.T) {
 		t.Skip("no size-15 BRASS parts at this SF")
 	}
 	// acctbal sorted descending.
-	ab := out.Schema.Col("s_acctbal")
+	ab := out.FloatCol("s_acctbal")
 	last := 1e308
-	for _, r := range out.Rows {
-		v := relal.F(r[ab])
+	for i := 0; i < out.NumRows(); i++ {
+		v := ab.Get(i)
 		if v > last+1e-9 {
 			t.Error("Q2 not sorted by acctbal desc")
 		}
@@ -375,7 +385,7 @@ func TestQ19MatchesDirectFilter(t *testing.T) {
 	if out.NumRows() != 1 {
 		t.Fatalf("Q19 rows = %d", out.NumRows())
 	}
-	if relal.F(out.Rows[0][0]) < 0 {
+	if out.FloatCol("revenue").Get(0) < 0 {
 		t.Error("Q19 revenue negative")
 	}
 }
@@ -405,11 +415,11 @@ func TestCommentMarkers(t *testing.T) {
 	// Some suppliers must carry the Q16 complaints marker at SF where
 	// supplier count is small; regenerate at a larger SF if none.
 	dbBig := Generate(GenConfig{SF: 0.02, Seed: 3, Random64: true})
+	sc := dbBig.Supplier.StrCol("s_comment")
 	found := false
-	sc := dbBig.Supplier.Schema.Col("s_comment")
-	for _, r := range dbBig.Supplier.Rows {
-		c := relal.S(r[sc])
-		if i := strings.Index(c, "Customer"); i >= 0 && strings.Contains(c[i:], "Complaints") {
+	for i := 0; i < dbBig.Supplier.NumRows(); i++ {
+		c := sc.Get(i)
+		if j := strings.Index(c, "Customer"); j >= 0 && strings.Contains(c[j:], "Complaints") {
 			found = true
 			break
 		}

@@ -1,0 +1,68 @@
+#!/bin/sh
+# bench.sh — regenerate BENCH_PR1.json: per-query ns/op, B/op, and
+# allocs/op for the 22 TPC-H queries on the in-memory relal executor.
+#
+# The row_baseline block is the frozen measurement of the pre-PR-1
+# row-at-a-time engine (boxed interface{} cells); the columnar block is
+# re-measured from the working tree. Usage:
+#
+#   ./scripts/bench.sh [output.json]
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR1.json}"
+
+raw=$(go test -run xxx -bench 'BenchmarkTPCHQuery' -benchtime "${BENCHTIME:-3x}" -benchmem .)
+
+# Frozen row-at-a-time baseline (engine at commit dafc0cb + go.mod),
+# measured with -benchtime 3x on the reference machine.
+baseline='
+Q1 34931753 22944544 148401
+Q2 260574 358701 1042
+Q3 4106570 2683397 3067
+Q4 8647695 4923498 76623
+Q5 4749682 4721554 9243
+Q6 1194407 208178 1112
+Q7 50294733 43620770 64776
+Q8 2358335 1167069 4416
+Q9 21776923 13750024 34719
+Q10 2999017 1551341 6577
+Q11 244507 251808 3044
+Q12 3616981 1236501 8456
+Q13 2010686 1330765 22150
+Q14 1717286 685050 2606
+Q15 1895067 450573 4784
+Q16 1100276 1030304 11042
+Q17 1025077 31832 238
+Q18 11524345 5214450 128566
+Q19 20068799 16476648 31138
+Q20 3715738 1961413 38237
+Q21 76422604 34854845 622540
+Q22 1109290 354474 18756
+'
+
+{
+	echo '{'
+	echo '  "benchmark": "BenchmarkTPCHQuery (go test -bench, SF 0.005, host time)",'
+	echo '  "units": {"time": "ns/op", "bytes": "B/op", "allocs": "allocs/op"},'
+	echo '  "queries": {'
+	first=1
+	for q in $(seq 1 22); do
+		base=$(echo "$baseline" | awk -v q="Q$q" '$1 == q {print $2, $3, $4}')
+		# go test names look like BenchmarkTPCHQuery/Q1 (with an
+		# optional -GOMAXPROCS suffix); match exactly.
+		col=$(echo "$raw" | awk -v pat="/Q$q(-[0-9]+)?$" '$1 ~ pat {print $3, $5, $7; exit}')
+		[ -n "$col" ] || { echo "bench.sh: no columnar result for Q$q" >&2; exit 1; }
+		set -- $base
+		bns=$1; bb=$2; ba=$3
+		set -- $col
+		cns=$1; cb=$2; ca=$3
+		[ $first = 1 ] || echo ','
+		first=0
+		printf '    "Q%s": {"row_baseline": {"ns_op": %s, "bytes_op": %s, "allocs_op": %s}, "columnar": {"ns_op": %s, "bytes_op": %s, "allocs_op": %s}}' \
+			"$q" "$bns" "$bb" "$ba" "$cns" "$cb" "$ca"
+	done
+	echo ''
+	echo '  }'
+	echo '}'
+} > "$out"
+echo "wrote $out"
