@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check check bench bench-paper
+.PHONY: all build test race vet fmt-check check bench bench-paper
 
 all: check
 
@@ -12,6 +12,10 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The morsel kernels run on a worker pool; CI runs this as its own job.
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"elephants/internal/relal"
 	"elephants/internal/tpch"
@@ -60,21 +61,58 @@ func main() {
 	}
 }
 
-func writeTable(w io.Writer, t *relal.Table) error {
-	for _, row := range relal.RowsOf(t) {
-		for i, v := range row {
-			if i > 0 {
-				if _, err := fmt.Fprint(w, "|"); err != nil {
-					return err
-				}
-			}
-			if _, err := fmt.Fprint(w, v); err != nil {
-				return err
-			}
+// cellWriter formats one column's cells straight from its typed vector
+// — no boxed rows. Float cells keep fmt's %v shortest-exact form so the
+// emitted text is identical to the old row-based writer's.
+type cellWriter func(w *bufio.Writer, i int) error
+
+func columnWriter(t *relal.Table, c relal.Column) cellWriter {
+	switch c.Type {
+	case relal.Int:
+		v := t.IntCol(c.Name)
+		return func(w *bufio.Writer, i int) error {
+			_, err := w.WriteString(strconv.FormatInt(v.Get(i), 10))
+			return err
 		}
-		if _, err := fmt.Fprintln(w); err != nil {
+	case relal.Float:
+		v := t.FloatCol(c.Name)
+		return func(w *bufio.Writer, i int) error {
+			_, err := w.WriteString(strconv.FormatFloat(v.Get(i), 'g', -1, 64))
+			return err
+		}
+	default:
+		v := t.StrCol(c.Name)
+		return func(w *bufio.Writer, i int) error {
+			_, err := w.WriteString(v.Get(i))
 			return err
 		}
 	}
-	return nil
+}
+
+func writeTable(out io.Writer, t *relal.Table) error {
+	w, ok := out.(*bufio.Writer)
+	if !ok {
+		w = bufio.NewWriter(out)
+	}
+	cols := make([]cellWriter, len(t.Schema))
+	for ci, c := range t.Schema {
+		cols[ci] = columnWriter(t, c)
+	}
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
+		for ci, cw := range cols {
+			if ci > 0 {
+				if err := w.WriteByte('|'); err != nil {
+					return err
+				}
+			}
+			if err := cw(w, i); err != nil {
+				return err
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
 }

@@ -1,0 +1,108 @@
+// Command scanstats measures RCFile predicate-pushdown effectiveness:
+// it generates a functional TPC-H dataset, encodes every base table
+// into RCFile (zone-map footer, multi-row-group), runs the requested
+// queries through the pushdown-aware scan pipeline, and emits the
+// per-table bytes-read/bytes-skipped accounting as JSON.
+// scripts/bench.sh embeds the output in BENCH_PR2.json.
+//
+// Usage:
+//
+//	scanstats [-sf 0.01] [-group-rows 2048] [-queries 1,6]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"elephants/internal/rcfile"
+	"elephants/internal/relal"
+	"elephants/internal/tpch"
+)
+
+// tableStats is one base table's scan accounting within one query.
+type tableStats struct {
+	BytesRead     int64   `json:"bytes_read"`
+	BytesSkipped  int64   `json:"bytes_skipped"`
+	ReadFrac      float64 `json:"read_frac"`
+	GroupsRead    int     `json:"groups_read"`
+	GroupsSkipped int     `json:"groups_skipped"`
+}
+
+type report struct {
+	SF        float64                           `json:"sf"`
+	GroupRows int                               `json:"group_rows"`
+	Queries   map[string]map[string]*tableStats `json:"queries"`
+}
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor of the functional dataset")
+	groupRows := flag.Int("group-rows", 2048, "RCFile row-group size in rows")
+	queries := flag.String("queries", "1,6", "query IDs, comma-separated")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	ids, err := parseIDs(*queries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scanstats:", err)
+		os.Exit(1)
+	}
+
+	db := tpch.Generate(tpch.GenConfig{SF: *sf, Seed: *seed, Random64: true})
+	for _, name := range tpch.TableNames {
+		src, err := rcfile.NewSource(db.Table(name), *groupRows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scanstats: encode", name+":", err)
+			os.Exit(1)
+		}
+		db.SetSource(name, src)
+	}
+
+	rep := report{SF: *sf, GroupRows: *groupRows, Queries: map[string]map[string]*tableStats{}}
+	for _, id := range ids {
+		_, log := tpch.RunQuery(id, db)
+		per := map[string]*tableStats{}
+		for _, step := range log.Steps {
+			if step.Kind != relal.StepScan || step.LeftBase == "" {
+				continue
+			}
+			ts := per[step.LeftBase]
+			if ts == nil {
+				ts = &tableStats{}
+				per[step.LeftBase] = ts
+			}
+			ts.BytesRead += step.ScanBytesRead
+			ts.BytesSkipped += step.ScanBytesSkipped
+			ts.GroupsRead += step.ScanGroupsRead
+			ts.GroupsSkipped += step.ScanGroupsSkipped
+		}
+		for _, ts := range per {
+			if tot := ts.BytesRead + ts.BytesSkipped; tot > 0 {
+				ts.ReadFrac = float64(ts.BytesRead) / float64(tot)
+			}
+		}
+		rep.Queries[fmt.Sprintf("Q%d", id)] = per
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "scanstats:", err)
+		os.Exit(1)
+	}
+}
+
+func parseIDs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || id < 1 || id > 22 {
+			return nil, fmt.Errorf("bad query id %q", part)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	tpchbench [-laptop-sf 0.002] [-sf 250,1000,4000,16000] [-queries 1,5,19]
+//	tpchbench [-laptop-sf 0.002] [-sf 250,1000,4000,16000] [-queries 1,5,19] [-workers N]
 package main
 
 import (
@@ -24,9 +24,10 @@ func main() {
 	sfList := flag.String("sf", "250,1000,4000,16000", "modeled scale factors (GB), comma-separated")
 	queries := flag.String("queries", "", "query IDs to run (default: all 22)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	workers := flag.Int("workers", 0, "executor worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	cfg := core.TPCHConfig{LaptopSF: *laptopSF, Seed: *seed}
+	cfg := core.TPCHConfig{LaptopSF: *laptopSF, Seed: *seed, Workers: *workers}
 	var err error
 	cfg.ScaleFactors, err = parseFloats(*sfList)
 	if err != nil {

@@ -30,6 +30,10 @@ type TPCHConfig struct {
 	// Queries restricts which query IDs run (nil = all 22).
 	Queries []int
 	Seed    int64
+	// Workers sizes the functional executor's morsel worker pool
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical at every
+	// setting; only host-time execution speed changes.
+	Workers int
 }
 
 func (c TPCHConfig) withDefaults() TPCHConfig {
@@ -70,6 +74,11 @@ type TPCHResult struct {
 // independent, as the paper's sequential runs were.
 func RunTPCH(cfg TPCHConfig) TPCHResult {
 	cfg = cfg.withDefaults()
+	if cfg.Workers > 0 {
+		old := tpch.DefaultWorkers
+		tpch.DefaultWorkers = cfg.Workers
+		defer func() { tpch.DefaultWorkers = old }()
+	}
 	db := tpch.Generate(tpch.GenConfig{SF: cfg.LaptopSF, Seed: cfg.Seed, Random64: true})
 	res := TPCHResult{Config: cfg}
 	for _, sf := range cfg.ScaleFactors {

@@ -195,3 +195,38 @@ func TestLoadTimeScalesWithSF(t *testing.T) {
 func stepWith(key, leftBase, rightBase string) relal.Step {
 	return relal.Step{JoinKey: key, LeftBase: leftBase, RightBase: rightBase}
 }
+
+// TestPredicatePushdownSpeedsUpScans: with the pushdown tunable on, the
+// scan-heavy queries consume the functional run's skipped-bytes ratio
+// and waive decompression CPU for pruned chunks; paper-faithful Hive
+// (knob off) keeps its CPU-bound full-decompression scans.
+func TestPredicatePushdownSpeedsUpScans(t *testing.T) {
+	run := func(pushdown bool, id int) sim.Duration {
+		s := sim.New()
+		cl := cluster.New(s, cluster.Default16())
+		db := tpch.Generate(tpch.GenConfig{SF: 0.002, Seed: 1, Random64: true})
+		cfg := DefaultConfig()
+		cfg.PredicatePushdown = pushdown
+		w := New(s, cl, db, 1000, cfg)
+		return runQ(s, w, id).Total
+	}
+	for _, id := range []int{1, 6} {
+		base := run(false, id)
+		pushed := run(true, id)
+		if pushed >= base {
+			t.Errorf("Q%d with pushdown (%v) should beat paper-faithful Hive (%v)", id, pushed, base)
+		}
+	}
+	// Answers are unaffected — only the CPU charge moves.
+	s := sim.New()
+	cl := cluster.New(s, cluster.Default16())
+	db := tpch.Generate(tpch.GenConfig{SF: 0.002, Seed: 1, Random64: true})
+	cfg := DefaultConfig()
+	cfg.PredicatePushdown = true
+	w := New(s, cl, db, 1000, cfg)
+	qs := runQ(s, w, 6)
+	ref, _ := tpch.RunQuery(6, db)
+	if qs.Answer.FloatCol("revenue").Get(0) != ref.FloatCol("revenue").Get(0) {
+		t.Error("pushdown changed the Q6 answer")
+	}
+}

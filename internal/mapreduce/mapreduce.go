@@ -81,6 +81,11 @@ type MapTask struct {
 	Node       int
 	InputBytes int64
 	CacheBytes int64
+	// CPUSkipBytes is the share of InputBytes the task never
+	// decompresses (column chunks skipped by predicate pushdown): the
+	// bytes are still read from disk, but the per-byte map CPU charge
+	// is waived for them.
+	CPUSkipBytes int64
 }
 
 // Job describes one MapReduce job.
@@ -168,7 +173,11 @@ func (jt *JobTracker) Run(p *sim.Proc, job *Job) Stats {
 			}
 			if mt.InputBytes > 0 {
 				node.ReadSeqStriped(tp, mt.InputBytes)
-				node.Compute(tp, sim.Seconds(float64(mt.InputBytes)/(jt.cfg.MapMBps*1e6)))
+				cpuBytes := mt.InputBytes - mt.CPUSkipBytes
+				if cpuBytes < 0 {
+					cpuBytes = 0
+				}
+				node.Compute(tp, sim.Seconds(float64(cpuBytes)/(jt.cfg.MapMBps*1e6)))
 			}
 		})
 	}

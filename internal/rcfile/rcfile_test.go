@@ -157,3 +157,207 @@ func TestTypeMismatchRejectedAtConstruction(t *testing.T) {
 	}()
 	relal.AppendRow(tb, relal.Row{"not an int"})
 }
+
+func TestReadColsSubsetRoundTrip(t *testing.T) {
+	src := sampleTable(1000)
+	data, err := NewWriter(128).Write(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request a subset in non-schema order: result schema must follow
+	// the request.
+	got, stats, err := ReadCols(data, src.Schema, "t", []string{"s", "k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Schema) != 2 || got.Schema[0].Name != "s" || got.Schema[1].Name != "k" {
+		t.Fatalf("schema = %v", got.Schema.Names())
+	}
+	if got.NumRows() != 1000 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	ks := got.IntCol("k")
+	ss := got.StrCol("s")
+	for i := 0; i < got.NumRows(); i++ {
+		if ks.Get(i) != int64(i) || ss.Get(i) != fmt.Sprintf("row-%d", i) {
+			t.Fatalf("row %d = (%d, %q)", i, ks.Get(i), ss.Get(i))
+		}
+	}
+	if stats.BytesSkipped == 0 {
+		t.Error("column pruning must skip the v column's chunks")
+	}
+	// Full read accounts the same total bytes, all read.
+	_, full, err := ReadCols(data, src.Schema, "t", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.BytesSkipped != 0 {
+		t.Errorf("full read skipped %d bytes", full.BytesSkipped)
+	}
+	if full.BytesRead != stats.BytesRead+stats.BytesSkipped {
+		t.Errorf("byte accounting drifts: full %d vs subset %d+%d",
+			full.BytesRead, stats.BytesRead, stats.BytesSkipped)
+	}
+}
+
+func TestReadColsUnknownColumn(t *testing.T) {
+	src := sampleTable(10)
+	data, _ := NewWriter(0).Write(src)
+	if _, _, err := ReadCols(data, src.Schema, "t", []string{"nope"}, nil); err == nil {
+		t.Error("unknown requested column should fail")
+	}
+}
+
+func TestZoneMapPruning(t *testing.T) {
+	src := sampleTable(1000) // k ascending 0..999, so zone maps are tight
+	data, err := NewWriter(100).Write(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ReadCols(data, src.Schema, "t", []string{"k"},
+		relal.ZonePredicate{relal.IntBetween("k", 250, 349)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The [250, 349] range straddles the [200, 299] and [300, 399]
+	// groups; only those two survive.
+	if got.NumRows() != 200 {
+		t.Errorf("rows = %d, want 200 (two surviving groups)", got.NumRows())
+	}
+	if stats.GroupsRead != 2 || stats.GroupsSkipped != 8 {
+		t.Errorf("groups read/skipped = %d/%d, want 2/8", stats.GroupsRead, stats.GroupsSkipped)
+	}
+	k := got.IntCol("k")
+	if k.Get(0) != 200 || k.Get(199) != 399 {
+		t.Errorf("surviving groups span [%d, %d], want [200, 399]", k.Get(0), k.Get(199))
+	}
+}
+
+func TestAllGroupsPruned(t *testing.T) {
+	src := sampleTable(500)
+	data, err := NewWriter(64).Write(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ReadCols(data, src.Schema, "t", []string{"k", "v"},
+		relal.ZonePredicate{relal.IntAtLeast("k", 10_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 {
+		t.Errorf("rows = %d, want 0", got.NumRows())
+	}
+	if stats.GroupsRead != 0 || stats.BytesRead != 0 {
+		t.Errorf("all groups should prune: read %d groups, %d bytes", stats.GroupsRead, stats.BytesRead)
+	}
+	if stats.GroupsSkipped == 0 || stats.BytesSkipped == 0 {
+		t.Error("skipped accounting must cover the whole file")
+	}
+	// The empty result still supports typed access.
+	if got.IntCol("k").Len() != 0 {
+		t.Error("empty pruned table must have empty typed columns")
+	}
+}
+
+func TestSingleRowGroups(t *testing.T) {
+	src := sampleTable(7)
+	data, err := NewWriter(1).Write(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones, err := ZoneMaps(data, src.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 7 {
+		t.Fatalf("groups = %d, want 7", len(zones))
+	}
+	for g, zs := range zones {
+		if zs[0].IntMin != int64(g) || zs[0].IntMax != int64(g) {
+			t.Errorf("group %d k zone = [%d, %d]", g, zs[0].IntMin, zs[0].IntMax)
+		}
+	}
+	got, stats, err := ReadCols(data, src.Schema, "t", nil,
+		relal.ZonePredicate{relal.IntEq("k", 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 1 || got.IntCol("k").Get(0) != 3 {
+		t.Errorf("rows = %d", got.NumRows())
+	}
+	if stats.GroupsSkipped != 6 {
+		t.Errorf("skipped %d groups, want 6", stats.GroupsSkipped)
+	}
+}
+
+func TestEmptyTableReadCols(t *testing.T) {
+	src := sampleTable(0)
+	data, err := NewWriter(0).Write(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ReadCols(data, src.Schema, "t", []string{"v"},
+		relal.ZonePredicate{relal.FloatAtMost("v", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 || stats.GroupsRead != 0 || stats.GroupsSkipped != 0 {
+		t.Errorf("empty table: rows=%d stats=%+v", got.NumRows(), stats)
+	}
+}
+
+func TestStrZoneEdgeCases(t *testing.T) {
+	// Empty strings and common prefixes: "" is a legitimate minimum and
+	// "app" < "apple" lexicographically, so a predicate between the two
+	// must keep the group.
+	tb := relal.NewTable("s", relal.Schema{{Name: "x", Type: relal.Str}},
+		relal.StrsV([]string{"", "app", "apple", "applesauce"}))
+	data, err := NewWriter(0).Write(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones, err := ZoneMaps(data, tb.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zones[0][0].StrMin != "" || zones[0][0].StrMax != "applesauce" {
+		t.Errorf("zone = [%q, %q]", zones[0][0].StrMin, zones[0][0].StrMax)
+	}
+	for _, tc := range []struct {
+		pred relal.ZoneCond
+		keep bool
+	}{
+		{relal.StrEq("x", ""), true},     // empty string is in range
+		{relal.StrEq("x", "appl"), true}, // prefix between app and apple
+		{relal.StrAtLeast("x", "applesauce"), true},
+		{relal.StrAtLeast("x", "applesauces"), false}, // past the max
+		{relal.StrAtMost("x", ""), true},              // min "" qualifies
+		{relal.StrBetween("x", "b", "c"), false},
+	} {
+		got, _, err := ReadCols(data, tb.Schema, "s", nil, relal.ZonePredicate{tc.pred})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kept := got.NumRows() > 0; kept != tc.keep {
+			t.Errorf("pred %+v: kept=%v, want %v", tc.pred, kept, tc.keep)
+		}
+	}
+}
+
+func TestSourceScanMatchesRead(t *testing.T) {
+	src := sampleTable(300)
+	s, err := NewSource(src, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SrcName() != "t" || len(s.SrcSchema()) != 3 {
+		t.Errorf("source identity wrong: %s %v", s.SrcName(), s.SrcSchema().Names())
+	}
+	got, stats := s.ScanTable([]string{"k"}, relal.ZonePredicate{relal.IntAtMost("k", 99)})
+	if got.NumRows() != 128 { // two 64-row groups survive (0..63, 64..127)
+		t.Errorf("rows = %d, want 128", got.NumRows())
+	}
+	if stats.GroupsSkipped != 3 {
+		t.Errorf("skipped %d groups, want 3", stats.GroupsSkipped)
+	}
+}

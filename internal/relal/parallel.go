@@ -1,0 +1,105 @@
+// Morsel-driven parallelism: kernels split their input into fixed-size
+// morsels of logical rows and dispatch them to a small worker pool. Every
+// kernel merges per-morsel results in morsel order and accumulates
+// per-group state in global row order, so the output — including
+// floating-point aggregate bits — is identical for any worker count and
+// any morsel size. That invariant is what lets the TPC-H golden snapshot
+// stay byte-for-byte stable while Exec.Parallelism varies.
+package relal
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MorselRows is the number of logical rows per morsel. Large enough that
+// per-morsel bookkeeping is negligible, small enough that a scan over a
+// few hundred thousand rows still load-balances across a pool.
+const MorselRows = 8192
+
+// workers resolves the Exec.Parallelism knob: 0 (the zero value) sizes
+// the pool to GOMAXPROCS, 1 forces the serial kernels, n > 1 uses n
+// workers.
+func (e *Exec) workers() int {
+	if e == nil || e.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.Parallelism
+}
+
+// parallelMorsels runs fn over the morsels covering n rows on up to
+// workers goroutines. Morsel m covers logical rows
+// [m*MorselRows, min((m+1)*MorselRows, n)). fn must only write state
+// owned by its morsel index; morsels are claimed from a shared atomic
+// counter (morsel-driven dispatch), so assignment to workers is dynamic
+// but the set of morsels each index covers is fixed.
+func parallelMorsels(n, workers int, fn func(m, lo, hi int)) {
+	morsels := (n + MorselRows - 1) / MorselRows
+	if workers > morsels {
+		workers = morsels
+	}
+	if workers <= 1 {
+		for m := 0; m < morsels; m++ {
+			lo := m * MorselRows
+			hi := lo + MorselRows
+			if hi > n {
+				hi = n
+			}
+			fn(m, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				lo := m * MorselRows
+				hi := lo + MorselRows
+				if hi > n {
+					hi = n
+				}
+				fn(m, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelRanges splits [0, n) into one contiguous range per worker and
+// runs fn over each. Used where per-item work is uniform and tiny
+// (remapping an index column) or where items are whole groups.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				fn(lo, hi)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Type is a column type.
@@ -165,6 +166,12 @@ type Table struct {
 	sel      []int32
 	shared   bool // Cols aliased by another table (zero-copy views)
 	avgBytes int  // cached exact AvgRowBytes; 0 = not yet computed
+
+	// scanOnce/scanCached memoize the per-row-group zone maps and
+	// encoded column sizes TableSource reports (computed once; base
+	// tables are immutable after generation).
+	scanOnce   sync.Once
+	scanCached *tableScanInfo
 }
 
 // NewTable builds a table. With no cols, empty vectors are allocated
@@ -510,6 +517,15 @@ type Step struct {
 	// for intermediates. Partitioning alignment survives filters and
 	// projections but not joins or aggregations.
 	LeftBase, RightBase string
+	// ScanBytesRead/ScanBytesSkipped are set on StepScan steps produced
+	// by a pushdown-aware Source: encoded bytes the scan decompressed vs
+	// bytes it could skip (unrequested columns plus row groups pruned by
+	// zone maps). Cost models use the skipped fraction to discount the
+	// per-byte decompression CPU charge.
+	ScanBytesRead, ScanBytesSkipped int64
+	// ScanGroupsRead/ScanGroupsSkipped count the row groups decoded vs
+	// zone-pruned by the scan.
+	ScanGroupsRead, ScanGroupsSkipped int
 }
 
 // StepLog accumulates steps in execution order.
@@ -523,6 +539,11 @@ func (l *StepLog) Add(s Step) { l.Steps = append(l.Steps, s) }
 // Exec is the execution context threading the log through operators.
 type Exec struct {
 	Log StepLog
+	// Parallelism sizes the morsel worker pool: 0 = GOMAXPROCS,
+	// 1 = serial, n > 1 = n workers. Kernels are written so the result —
+	// including floating-point aggregate bits and group emission order —
+	// is identical for every setting.
+	Parallelism int
 }
 
 // SetBase marks t's rows as originating from (and still partitioned
@@ -549,21 +570,7 @@ func (e *Exec) Scan(t *Table) *Table {
 // no cells move. The result keeps t's base annotation (filtering
 // preserves partitioning).
 func (e *Exec) Filter(t *Table, pred func(i int) bool) *Table {
-	n := t.NumRows()
-	sel := []int32{}
-	if t.sel != nil {
-		for i, p := range t.sel {
-			if pred(i) {
-				sel = append(sel, p)
-			}
-		}
-	} else {
-		for i := 0; i < n; i++ {
-			if pred(i) {
-				sel = append(sel, int32(i))
-			}
-		}
-	}
+	sel := filterSel(t, pred, e.workers())
 	out := view(t, t.Name+"_f", sel)
 	e.Log.Add(Step{
 		Kind: StepFilter, Table: t.Name,
@@ -573,6 +580,60 @@ func (e *Exec) Filter(t *Table, pred func(i int) bool) *Table {
 	})
 	SetBase(out, BaseOf(t))
 	return out
+}
+
+// filterSel evaluates pred over t's logical rows and returns the
+// matching physical indices in row order. With more than one worker the
+// rows are split into morsels, each producing its own match buffer, and
+// the buffers are concatenated in morsel order — the selection vector is
+// identical to the serial one.
+func filterSel(t *Table, pred func(i int) bool, workers int) []int32 {
+	n := t.NumRows()
+	if workers <= 1 || n <= MorselRows {
+		sel := []int32{}
+		if t.sel != nil {
+			for i, p := range t.sel {
+				if pred(i) {
+					sel = append(sel, p)
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if pred(i) {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+		return sel
+	}
+	morsels := (n + MorselRows - 1) / MorselRows
+	parts := make([][]int32, morsels)
+	parallelMorsels(n, workers, func(m, lo, hi int) {
+		var buf []int32
+		if t.sel != nil {
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					buf = append(buf, t.sel[i])
+				}
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					buf = append(buf, int32(i))
+				}
+			}
+		}
+		parts[m] = buf
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	sel := make([]int32, 0, total)
+	for _, p := range parts {
+		sel = append(sel, p...)
+	}
+	return sel
 }
 
 // Project returns a table with the named columns only, preserving the
@@ -808,70 +869,11 @@ func (e *Exec) Aggregate(t *Table, groupBy []string, aggs []AggSpec) *Table {
 		}
 		return acc
 	}
-	n := t.NumRows()
-	groups := make(map[string]*accum)
 	var order []*accum
-	key := make([]byte, 0, 64)
-	for i := 0; i < n; i++ {
-		p := t.phys(i)
-		key = key[:0]
-		for _, gi := range gidx {
-			col := t.Cols[gi]
-			switch col.Kind {
-			case Int:
-				key = strconv.AppendInt(key, col.Ints[p], 10)
-			case Float:
-				key = strconv.AppendFloat(key, col.Floats[p], 'g', -1, 64)
-			default:
-				key = append(key, col.Strs[p]...)
-			}
-			key = append(key, 0)
-		}
-		acc, ok := groups[string(key)]
-		if !ok {
-			acc = newAccum(p)
-			groups[string(key)] = acc
-			order = append(order, acc)
-		}
-		acc.count++
-		for ai, ci := range aidx {
-			if ci < 0 {
-				continue
-			}
-			col := t.Cols[ci]
-			switch col.Kind {
-			case Int:
-				f := float64(col.Ints[p])
-				acc.sums[ai] += f
-				if f < acc.mins[ai] {
-					acc.mins[ai] = f
-				}
-				if f > acc.maxs[ai] {
-					acc.maxs[ai] = f
-				}
-			case Float:
-				f := col.Floats[p]
-				acc.sums[ai] += f
-				if f < acc.mins[ai] {
-					acc.mins[ai] = f
-				}
-				if f > acc.maxs[ai] {
-					acc.maxs[ai] = f
-				}
-			default:
-				s := col.Strs[p]
-				// count was already incremented for this row, so
-				// count==1 marks the group's first accumulation (the
-				// zero value "" is a legitimate minimum, not a
-				// sentinel).
-				if acc.count == 1 || s < acc.strMins[ai] {
-					acc.strMins[ai] = s
-				}
-				if s > acc.strMaxs[ai] {
-					acc.strMaxs[ai] = s
-				}
-			}
-		}
+	if w := e.workers(); w <= 1 || t.NumRows() <= MorselRows {
+		order = aggregateSerial(t, gidx, aidx, newAccum)
+	} else {
+		order = aggregateMorsels(t, gidx, aidx, newAccum, w)
 	}
 	sch := make(Schema, 0, len(groupBy)+len(aggs))
 	for _, g := range groupBy {
@@ -929,6 +931,185 @@ func (e *Exec) Aggregate(t *Table, groupBy []string, aggs []AggSpec) *Table {
 		LeftBase: BaseOf(t),
 	})
 	return out
+}
+
+// appendGroupKey appends the group-key encoding of physical row p onto
+// key.
+func appendGroupKey(key []byte, t *Table, gidx []int, p int32) []byte {
+	for _, gi := range gidx {
+		col := t.Cols[gi]
+		switch col.Kind {
+		case Int:
+			key = strconv.AppendInt(key, col.Ints[p], 10)
+		case Float:
+			key = strconv.AppendFloat(key, col.Floats[p], 'g', -1, 64)
+		default:
+			key = append(key, col.Strs[p]...)
+		}
+		key = append(key, 0)
+	}
+	return key
+}
+
+// observe folds physical row p into the accumulator. Callers must feed
+// each group its rows in global row order: that keeps float sums
+// bit-identical across serial and morsel execution.
+func (acc *accum) observe(t *Table, aidx []int, p int32) {
+	acc.count++
+	for ai, ci := range aidx {
+		if ci < 0 {
+			continue
+		}
+		col := t.Cols[ci]
+		switch col.Kind {
+		case Int:
+			f := float64(col.Ints[p])
+			acc.sums[ai] += f
+			if f < acc.mins[ai] {
+				acc.mins[ai] = f
+			}
+			if f > acc.maxs[ai] {
+				acc.maxs[ai] = f
+			}
+		case Float:
+			f := col.Floats[p]
+			acc.sums[ai] += f
+			if f < acc.mins[ai] {
+				acc.mins[ai] = f
+			}
+			if f > acc.maxs[ai] {
+				acc.maxs[ai] = f
+			}
+		default:
+			s := col.Strs[p]
+			// count was already incremented for this row, so
+			// count==1 marks the group's first accumulation (the
+			// zero value "" is a legitimate minimum, not a
+			// sentinel).
+			if acc.count == 1 || s < acc.strMins[ai] {
+				acc.strMins[ai] = s
+			}
+			if s > acc.strMaxs[ai] {
+				acc.strMaxs[ai] = s
+			}
+		}
+	}
+}
+
+// aggregateSerial is the single-pass group-by kernel: one hash probe and
+// one accumulation per row, groups in first-seen order.
+func aggregateSerial(t *Table, gidx, aidx []int, newAccum func(p int32) *accum) []*accum {
+	n := t.NumRows()
+	groups := make(map[string]*accum)
+	var order []*accum
+	key := make([]byte, 0, 64)
+	for i := 0; i < n; i++ {
+		p := t.phys(i)
+		key = appendGroupKey(key[:0], t, gidx, p)
+		acc, ok := groups[string(key)]
+		if !ok {
+			acc = newAccum(p)
+			groups[string(key)] = acc
+			order = append(order, acc)
+		}
+		acc.observe(t, aidx, p)
+	}
+	return order
+}
+
+// aggregateMorsels is the parallel group-by kernel. Its output is
+// bit-identical to aggregateSerial for any worker count:
+//
+//  1. each morsel builds a local group table and per-row local ids
+//     (parallel);
+//  2. local tables merge in morsel order, which reproduces the global
+//     first-seen group order (all rows of morsel m precede morsel m+1's);
+//  3. per-row ids remap to global ids (parallel) and a stable counting
+//     sort buckets the physical rows by group, preserving row order;
+//  4. each group accumulates its rows in global row order — the same
+//     float addition order as the serial pass — parallelized across
+//     groups.
+func aggregateMorsels(t *Table, gidx, aidx []int, newAccum func(p int32) *accum, workers int) []*accum {
+	n := t.NumRows()
+	morsels := (n + MorselRows - 1) / MorselRows
+	type local struct {
+		keys   []string // local gid → group key
+		first  []int32  // local gid → physical row of first occurrence
+		rowGid []int32  // morsel row → local gid
+	}
+	locals := make([]local, morsels)
+	parallelMorsels(n, workers, func(m, lo, hi int) {
+		groups := make(map[string]int32)
+		l := local{rowGid: make([]int32, hi-lo)}
+		key := make([]byte, 0, 64)
+		for i := lo; i < hi; i++ {
+			p := t.phys(i)
+			key = appendGroupKey(key[:0], t, gidx, p)
+			gid, ok := groups[string(key)]
+			if !ok {
+				gid = int32(len(l.keys))
+				groups[string(key)] = gid
+				l.keys = append(l.keys, string(key))
+				l.first = append(l.first, p)
+			}
+			l.rowGid[i-lo] = gid
+		}
+		locals[m] = l
+	})
+
+	global := make(map[string]int32)
+	var order []*accum
+	remaps := make([][]int32, morsels)
+	for m := range locals {
+		l := &locals[m]
+		remap := make([]int32, len(l.keys))
+		for lid, k := range l.keys {
+			gid, ok := global[k]
+			if !ok {
+				gid = int32(len(order))
+				global[k] = gid
+				order = append(order, newAccum(l.first[lid]))
+			}
+			remap[lid] = gid
+		}
+		remaps[m] = remap
+	}
+
+	rowGid := make([]int32, n)
+	parallelMorsels(n, workers, func(m, lo, hi int) {
+		remap := remaps[m]
+		lg := locals[m].rowGid
+		for i := lo; i < hi; i++ {
+			rowGid[i] = remap[lg[i-lo]]
+		}
+	})
+
+	counts := make([]int32, len(order))
+	for _, g := range rowGid {
+		counts[g]++
+	}
+	starts := make([]int32, len(order)+1)
+	for g, c := range counts {
+		starts[g+1] = starts[g] + c
+	}
+	grouped := make([]int32, n)
+	cursor := make([]int32, len(order))
+	copy(cursor, starts[:len(order)])
+	for i := 0; i < n; i++ {
+		g := rowGid[i]
+		grouped[cursor[g]] = t.phys(i)
+		cursor[g]++
+	}
+
+	parallelRanges(len(order), workers, func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			acc := order[g]
+			for _, p := range grouped[starts[g]:starts[g+1]] {
+				acc.observe(t, aidx, p)
+			}
+		}
+	})
+	return order
 }
 
 // OrderSpec is one sort key.
@@ -1033,37 +1214,59 @@ func I(v interface{}) int64 { return v.(int64) }
 // S returns the cell as string.
 func S(v interface{}) string { return v.(string) }
 
+// extendSlice fills a length-n slice with fn(i), splitting the rows into
+// morsels when workers > 1 (each index writes its own slot, so the
+// result is identical at any parallelism).
+func extendSlice[T any](n, workers int, fn func(i int) T) []T {
+	xs := make([]T, n)
+	if workers <= 1 || n <= MorselRows {
+		for i := 0; i < n; i++ {
+			xs[i] = fn(i)
+		}
+		return xs
+	}
+	parallelMorsels(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = fn(i)
+		}
+	})
+	return xs
+}
+
 // ExtendInt appends a computed Int column to t (no step logged;
 // expression evaluation is costed with the surrounding operator). fn
 // receives logical row indices of t; views are compacted so the output
 // is dense.
 func ExtendInt(t *Table, name string, fn func(i int) int64) *Table {
-	n := t.NumRows()
-	xs := make([]int64, n)
-	for i := 0; i < n; i++ {
-		xs[i] = fn(i)
-	}
-	return extendWith(t, name, IntsV(xs))
+	return extendWith(t, name, IntsV(extendSlice(t.NumRows(), 1, fn)))
 }
 
 // ExtendFloat appends a computed Float column to t.
 func ExtendFloat(t *Table, name string, fn func(i int) float64) *Table {
-	n := t.NumRows()
-	xs := make([]float64, n)
-	for i := 0; i < n; i++ {
-		xs[i] = fn(i)
-	}
-	return extendWith(t, name, FloatsV(xs))
+	return extendWith(t, name, FloatsV(extendSlice(t.NumRows(), 1, fn)))
 }
 
 // ExtendStr appends a computed Str column to t.
 func ExtendStr(t *Table, name string, fn func(i int) string) *Table {
-	n := t.NumRows()
-	xs := make([]string, n)
-	for i := 0; i < n; i++ {
-		xs[i] = fn(i)
-	}
-	return extendWith(t, name, StrsV(xs))
+	return extendWith(t, name, StrsV(extendSlice(t.NumRows(), 1, fn)))
+}
+
+// ExtendInt is the morsel-parallel projection kernel for computed Int
+// columns: fn runs across the Exec's worker pool.
+func (e *Exec) ExtendInt(t *Table, name string, fn func(i int) int64) *Table {
+	return extendWith(t, name, IntsV(extendSlice(t.NumRows(), e.workers(), fn)))
+}
+
+// ExtendFloat is the morsel-parallel projection kernel for computed
+// Float columns.
+func (e *Exec) ExtendFloat(t *Table, name string, fn func(i int) float64) *Table {
+	return extendWith(t, name, FloatsV(extendSlice(t.NumRows(), e.workers(), fn)))
+}
+
+// ExtendStr is the morsel-parallel projection kernel for computed Str
+// columns.
+func (e *Exec) ExtendStr(t *Table, name string, fn func(i int) string) *Table {
+	return extendWith(t, name, StrsV(extendSlice(t.NumRows(), e.workers(), fn)))
 }
 
 func extendWith(t *Table, name string, col *Vector) *Table {

@@ -1,0 +1,356 @@
+// Pushdown-aware scanning: base tables are served by a Source that
+// accepts a column subset and a sargable predicate. Storage formats
+// (rcfile) keep per-row-group min/max zone maps and skip decompressing
+// groups that cannot satisfy the predicate; the in-memory TableSource
+// models the same decision over virtual row groups so cost models see
+// the skipped-bytes ratio even when the data never left memory.
+//
+// Pruning is conservative: a condition only rules a group out when the
+// group's [min, max] interval cannot intersect the condition's bounds,
+// so a scan through any Source followed by the query's own Filter
+// produces exactly the rows a full scan would.
+package relal
+
+// ZoneMap is the min/max summary of one column chunk (one column within
+// one row group). Exactly the pair matching Kind is meaningful.
+type ZoneMap struct {
+	Kind               Type
+	IntMin, IntMax     int64
+	FloatMin, FloatMax float64
+	StrMin, StrMax     string
+}
+
+// ZoneOf computes the zone map of v's cells in physical positions
+// [lo, hi). It panics if the range is empty (a row group always holds at
+// least one row).
+func ZoneOf(v *Vector, lo, hi int) ZoneMap {
+	z := ZoneMap{Kind: v.Kind}
+	switch v.Kind {
+	case Int:
+		z.IntMin, z.IntMax = v.Ints[lo], v.Ints[lo]
+		for _, x := range v.Ints[lo+1 : hi] {
+			if x < z.IntMin {
+				z.IntMin = x
+			}
+			if x > z.IntMax {
+				z.IntMax = x
+			}
+		}
+	case Float:
+		z.FloatMin, z.FloatMax = v.Floats[lo], v.Floats[lo]
+		for _, f := range v.Floats[lo+1 : hi] {
+			if f < z.FloatMin {
+				z.FloatMin = f
+			}
+			if f > z.FloatMax {
+				z.FloatMax = f
+			}
+		}
+	case Str:
+		z.StrMin, z.StrMax = v.Strs[lo], v.Strs[lo]
+		for _, s := range v.Strs[lo+1 : hi] {
+			if s < z.StrMin {
+				z.StrMin = s
+			}
+			if s > z.StrMax {
+				z.StrMax = s
+			}
+		}
+	}
+	return z
+}
+
+// ZoneCond is one sargable range condition on a base-table column.
+// Bounds are inclusive; representing a strict predicate (< or >) with
+// its inclusive closure is safe — pruning only ever keeps extra groups,
+// never drops matching ones.
+type ZoneCond struct {
+	Col          string
+	Kind         Type
+	HasLo, HasHi bool
+	IntLo, IntHi int64
+	FloLo, FloHi float64
+	StrLo, StrHi string
+}
+
+// mayMatch reports whether a chunk with zone map z can contain a row
+// satisfying the condition: the chunk's [min, max] must intersect the
+// condition's closed interval.
+func (c ZoneCond) mayMatch(z ZoneMap) bool {
+	switch c.Kind {
+	case Int:
+		return !(c.HasLo && z.IntMax < c.IntLo) && !(c.HasHi && z.IntMin > c.IntHi)
+	case Float:
+		return !(c.HasLo && z.FloatMax < c.FloLo) && !(c.HasHi && z.FloatMin > c.FloHi)
+	default:
+		return !(c.HasLo && z.StrMax < c.StrLo) && !(c.HasHi && z.StrMin > c.StrHi)
+	}
+}
+
+// IntBetween matches lo <= col <= hi.
+func IntBetween(col string, lo, hi int64) ZoneCond {
+	return ZoneCond{Col: col, Kind: Int, HasLo: true, HasHi: true, IntLo: lo, IntHi: hi}
+}
+
+// IntAtLeast matches col >= lo.
+func IntAtLeast(col string, lo int64) ZoneCond {
+	return ZoneCond{Col: col, Kind: Int, HasLo: true, IntLo: lo}
+}
+
+// IntAtMost matches col <= hi.
+func IntAtMost(col string, hi int64) ZoneCond {
+	return ZoneCond{Col: col, Kind: Int, HasHi: true, IntHi: hi}
+}
+
+// IntEq matches col == v.
+func IntEq(col string, v int64) ZoneCond { return IntBetween(col, v, v) }
+
+// FloatBetween matches lo <= col <= hi.
+func FloatBetween(col string, lo, hi float64) ZoneCond {
+	return ZoneCond{Col: col, Kind: Float, HasLo: true, HasHi: true, FloLo: lo, FloHi: hi}
+}
+
+// FloatAtLeast matches col >= lo.
+func FloatAtLeast(col string, lo float64) ZoneCond {
+	return ZoneCond{Col: col, Kind: Float, HasLo: true, FloLo: lo}
+}
+
+// FloatAtMost matches col <= hi.
+func FloatAtMost(col string, hi float64) ZoneCond {
+	return ZoneCond{Col: col, Kind: Float, HasHi: true, FloHi: hi}
+}
+
+// StrBetween matches lo <= col <= hi (ISO date strings compare as
+// dates, so date ranges push down as string ranges).
+func StrBetween(col, lo, hi string) ZoneCond {
+	return ZoneCond{Col: col, Kind: Str, HasLo: true, HasHi: true, StrLo: lo, StrHi: hi}
+}
+
+// StrAtLeast matches col >= lo.
+func StrAtLeast(col, lo string) ZoneCond {
+	return ZoneCond{Col: col, Kind: Str, HasLo: true, StrLo: lo}
+}
+
+// StrAtMost matches col <= hi.
+func StrAtMost(col, hi string) ZoneCond {
+	return ZoneCond{Col: col, Kind: Str, HasHi: true, StrHi: hi}
+}
+
+// StrEq matches col == v.
+func StrEq(col, v string) ZoneCond { return StrBetween(col, v, v) }
+
+// ZonePredicate is a conjunction of sargable conditions pushed into a
+// scan. nil means no pushdown.
+type ZonePredicate []ZoneCond
+
+// MayMatch reports whether a row group can contain a matching row. zone
+// looks up the group's zone map by column name; a column the storage
+// has no zone map for (or whose type disagrees) cannot prune.
+func (p ZonePredicate) MayMatch(zone func(col string) (ZoneMap, bool)) bool {
+	for _, c := range p {
+		z, ok := zone(c.Col)
+		if !ok || z.Kind != c.Kind {
+			continue
+		}
+		if !c.mayMatch(z) {
+			return false
+		}
+	}
+	return true
+}
+
+// ScanStats reports what a pushdown-aware scan touched, in encoded
+// column-chunk bytes.
+type ScanStats struct {
+	// BytesRead is the chunk bytes actually decompressed (requested
+	// columns in surviving row groups).
+	BytesRead int64
+	// BytesSkipped is the chunk bytes never decompressed: unrequested
+	// columns plus every column of zone-pruned groups.
+	BytesSkipped int64
+	// GroupsRead/GroupsSkipped count row groups decoded vs pruned.
+	GroupsRead, GroupsSkipped int
+}
+
+// SkippedFrac returns the fraction of total bytes the scan skipped.
+func (s ScanStats) SkippedFrac() float64 {
+	tot := s.BytesRead + s.BytesSkipped
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.BytesSkipped) / float64(tot)
+}
+
+// add accumulates other into s.
+func (s *ScanStats) add(other ScanStats) {
+	s.BytesRead += other.BytesRead
+	s.BytesSkipped += other.BytesSkipped
+	s.GroupsRead += other.GroupsRead
+	s.GroupsSkipped += other.GroupsSkipped
+}
+
+// Source provides base tables to the Scan operator. Implementations
+// decide how much of the table the requested columns and predicate let
+// them avoid materializing.
+type Source interface {
+	SrcName() string
+	SrcSchema() Schema
+	// ScanTable returns the table restricted to cols (nil = every
+	// column) with row groups the predicate rules out pruned, plus the
+	// scan's byte accounting. The returned table must be safe to wrap
+	// in zero-copy views.
+	ScanTable(cols []string, pred ZonePredicate) (*Table, ScanStats)
+}
+
+// DefaultScanGroupRows is the virtual row-group size TableSource uses
+// for its zone maps; it matches rcfile's on-disk default so the two
+// backends make the same group-pruning decisions. The byte accounting
+// still differs in weighting: TableSource reports uncompressed encoded
+// chunk bytes while rcfile reports per-chunk gzip-compressed bytes, so
+// the skipped fraction is a model of the on-disk ratio, not a
+// reproduction of it.
+const DefaultScanGroupRows = 16 * 1024
+
+// tableScanInfo is the cached per-group scan metadata of an in-memory
+// table.
+type tableScanInfo struct {
+	groupRows int
+	rows      []int       // per group: row count
+	zones     [][]ZoneMap // per group, per column
+	bytes     [][]int64   // per group, per column: encoded chunk bytes
+}
+
+// encodedCellBytes returns the chunk encoding width of one cell: 8 for
+// numerics, 4-byte length prefix plus the bytes for strings (the rcfile
+// chunk layout).
+func encodedCellBytes(v *Vector, p int32) int64 {
+	if v.Kind == Str {
+		return 4 + int64(len(v.Strs[p]))
+	}
+	return 8
+}
+
+// scanInfo computes (and for the default group size, caches) the
+// per-group zone maps and encoded chunk sizes of t.
+func (t *Table) scanInfo(groupRows int) *tableScanInfo {
+	if groupRows <= 0 {
+		groupRows = DefaultScanGroupRows
+	}
+	if groupRows == DefaultScanGroupRows {
+		t.scanOnce.Do(func() { t.scanCached = computeScanInfo(t, groupRows) })
+		return t.scanCached
+	}
+	return computeScanInfo(t, groupRows)
+}
+
+func computeScanInfo(t *Table, groupRows int) *tableScanInfo {
+	d := t.Compacted() // zone maps want dense physical ranges
+	n := d.NumRows()
+	info := &tableScanInfo{groupRows: groupRows}
+	for lo := 0; lo < n; lo += groupRows {
+		hi := lo + groupRows
+		if hi > n {
+			hi = n
+		}
+		zs := make([]ZoneMap, len(d.Cols))
+		bs := make([]int64, len(d.Cols))
+		for c, v := range d.Cols {
+			zs[c] = ZoneOf(v, lo, hi)
+			if v.Kind == Str {
+				var b int64
+				for p := lo; p < hi; p++ {
+					b += encodedCellBytes(v, int32(p))
+				}
+				bs[c] = b
+			} else {
+				bs[c] = 8 * int64(hi-lo)
+			}
+		}
+		info.rows = append(info.rows, hi-lo)
+		info.zones = append(info.zones, zs)
+		info.bytes = append(info.bytes, bs)
+	}
+	return info
+}
+
+// TableSource serves an in-memory table. The scan returns the table
+// whole — pruning cannot make an in-memory scan cheaper, and keeping the
+// functional run identical keeps every operator cardinality (and so the
+// engines' cost replays) stable — but the stats model what an
+// RCFile-backed scan with the same row-group size would have
+// decompressed vs skipped, so cost models can charge for pushdown.
+type TableSource struct {
+	T *Table
+	// GroupRows is the virtual row-group size (0 = default).
+	GroupRows int
+}
+
+// NewTableSource wraps t with the default virtual row-group size.
+func NewTableSource(t *Table) *TableSource { return &TableSource{T: t} }
+
+// SrcName returns the table name.
+func (s *TableSource) SrcName() string { return s.T.Name }
+
+// SrcSchema returns the table schema.
+func (s *TableSource) SrcSchema() Schema { return s.T.Schema }
+
+// ScanTable implements Source.
+func (s *TableSource) ScanTable(cols []string, pred ZonePredicate) (*Table, ScanStats) {
+	info := s.T.scanInfo(s.GroupRows)
+	want := make([]bool, len(s.T.Schema))
+	if len(cols) == 0 {
+		for i := range want {
+			want[i] = true
+		}
+	} else {
+		for _, c := range cols {
+			want[s.T.Schema.Col(c)] = true
+		}
+	}
+	var stats ScanStats
+	for g := range info.rows {
+		zs := info.zones[g]
+		keep := pred.MayMatch(func(col string) (ZoneMap, bool) {
+			for ci, c := range s.T.Schema {
+				if c.Name == col {
+					return zs[ci], true
+				}
+			}
+			return ZoneMap{}, false
+		})
+		if !keep {
+			stats.GroupsSkipped++
+			for _, b := range info.bytes[g] {
+				stats.BytesSkipped += b
+			}
+			continue
+		}
+		stats.GroupsRead++
+		for ci, b := range info.bytes[g] {
+			if want[ci] {
+				stats.BytesRead += b
+			} else {
+				stats.BytesSkipped += b
+			}
+		}
+	}
+	return s.T, stats
+}
+
+// ScanSource logs and performs a pushdown-aware base-table scan: the
+// source decides how little it can read given the column subset and the
+// predicate, and the step records the skipped-bytes accounting for the
+// engines' cost models.
+func (e *Exec) ScanSource(src Source, cols []string, pred ZonePredicate) *Table {
+	t, stats := src.ScanTable(cols, pred)
+	e.Log.Add(Step{
+		Kind: StepScan, Table: src.SrcName(),
+		LeftRows: t.NumRows(), LeftWidth: t.AvgRowBytes(),
+		OutRows: t.NumRows(), OutWidth: t.AvgRowBytes(),
+		LeftBase:      src.SrcName(),
+		ScanBytesRead: stats.BytesRead, ScanBytesSkipped: stats.BytesSkipped,
+		ScanGroupsRead: stats.GroupsRead, ScanGroupsSkipped: stats.GroupsSkipped,
+	})
+	SetBase(t, src.SrcName())
+	return t
+}

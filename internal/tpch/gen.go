@@ -158,6 +158,34 @@ type DB struct {
 	PartSupp *relal.Table
 	Orders   *relal.Table
 	Lineitem *relal.Table
+
+	// srcs holds the scan sources queries read base tables through;
+	// unset entries default to in-memory TableSources over the tables
+	// above. SetSource swaps in other backends (e.g. rcfile.Source).
+	srcs map[string]relal.Source
+}
+
+// Src returns the scan source serving the named base table.
+func (db *DB) Src(name string) relal.Source {
+	if s, ok := db.srcs[name]; ok {
+		return s
+	}
+	if db.srcs == nil {
+		db.srcs = make(map[string]relal.Source)
+	}
+	s := relal.NewTableSource(db.Table(name))
+	db.srcs[name] = s
+	return s
+}
+
+// SetSource installs a storage backend for the named base table; query
+// scans go through it from then on. The in-memory table stays available
+// via Table for generators and layout arithmetic.
+func (db *DB) SetSource(name string, s relal.Source) {
+	if db.srcs == nil {
+		db.srcs = make(map[string]relal.Source)
+	}
+	db.srcs[name] = s
 }
 
 // Table returns the named base table.

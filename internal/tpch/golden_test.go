@@ -40,7 +40,10 @@ func formatAnswer(id int, t *relal.Table) string {
 }
 
 func goldenSnapshot() string {
-	db := Generate(GenConfig{SF: goldenSF, Seed: 1, Random64: true})
+	return goldenSnapshotOf(Generate(GenConfig{SF: goldenSF, Seed: 1, Random64: true}))
+}
+
+func goldenSnapshotOf(db *DB) string {
 	var b strings.Builder
 	for _, q := range Queries {
 		out, _ := RunQuery(q.ID, db)
@@ -70,13 +73,38 @@ func TestGoldenAnswers(t *testing.T) {
 	if err != nil {
 		t.Fatalf("missing golden file (run with -update to create): %v", err)
 	}
-	if got != string(want) {
-		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
-		for i := 0; i < len(gl) && i < len(wl); i++ {
-			if gl[i] != wl[i] {
-				t.Fatalf("answer drift at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
-			}
+	diffGolden(t, got, string(want))
+}
+
+func diffGolden(t *testing.T, got, want string) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("answer drift at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
 		}
-		t.Fatalf("answer drift: got %d lines, want %d", len(gl), len(wl))
+	}
+	t.Fatalf("answer drift: got %d lines, want %d", len(gl), len(wl))
+}
+
+// TestGoldenAnswersParallel locks the morsel-parallel kernels to the
+// same snapshot: every worker-pool size must reproduce the golden file
+// byte-for-byte (deterministic merge order, row-order accumulation).
+func TestGoldenAnswersParallel(t *testing.T) {
+	want, err := os.ReadFile("testdata/tpch_golden.txt")
+	if err != nil {
+		t.Skip("golden file missing")
+	}
+	for _, workers := range []int{2, 5} {
+		old := DefaultWorkers
+		DefaultWorkers = workers
+		got := goldenSnapshot()
+		DefaultWorkers = old
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			diffGolden(t, got, string(want))
+		})
 	}
 }

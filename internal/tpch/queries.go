@@ -48,10 +48,30 @@ var Queries = []Query{
 	{22, "global sales opportunity", []string{"customer", "orders"}},
 }
 
+// DefaultWorkers sizes the morsel worker pool RunQuery executes with
+// (0 = GOMAXPROCS, 1 = serial). cmd/tpchbench's -workers flag sets it
+// once at startup; results are identical at every setting.
+var DefaultWorkers int
+
+// scan is the pushdown-aware base-table scan every query goes through:
+// cols declares the columns the query references from the table and
+// conds its sargable predicate, so a columnar source decompresses only
+// the chunks that can matter. Pruning is conservative — the query still
+// applies its full Filter afterwards — which is why the answers match a
+// full scan byte-for-byte.
+func scan(e *relal.Exec, db *DB, table string, cols []string, conds ...relal.ZoneCond) *relal.Table {
+	return e.ScanSource(db.Src(table), cols, relal.ZonePredicate(conds))
+}
+
 // RunQuery executes query id against db, returning the answer and the
 // step log. It panics on unknown ids (callers iterate Queries).
 func RunQuery(id int, db *DB) (*relal.Table, relal.StepLog) {
-	e := &relal.Exec{}
+	return RunQueryWorkers(id, db, DefaultWorkers)
+}
+
+// RunQueryWorkers executes query id with an explicit worker-pool size.
+func RunQueryWorkers(id int, db *DB, workers int) (*relal.Table, relal.StepLog) {
+	e := &relal.Exec{Parallelism: workers}
 	var out *relal.Table
 	switch id {
 	case 1:
@@ -106,23 +126,25 @@ func RunQuery(id int, db *DB) (*relal.Table, relal.StepLog) {
 
 // discPrice appends the ubiquitous l_extendedprice*(1-l_discount)
 // column under the given name.
-func discPrice(t *relal.Table, name string) *relal.Table {
+func discPrice(e *relal.Exec, t *relal.Table, name string) *relal.Table {
 	ep := t.FloatCol("l_extendedprice")
 	dc := t.FloatCol("l_discount")
-	return relal.ExtendFloat(t, name, func(i int) float64 {
+	return e.ExtendFloat(t, name, func(i int) float64 {
 		return ep.Get(i) * (1 - dc.Get(i))
 	})
 }
 
 // q1: scan lineitem, filter by shipdate, wide aggregation, sort.
 func q1(e *relal.Exec, db *DB) *relal.Table {
-	li := e.Scan(db.Lineitem)
+	li := scan(e, db, "lineitem",
+		[]string{"l_shipdate", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus"},
+		relal.StrAtMost("l_shipdate", "1998-09-02"))
 	sd := li.StrCol("l_shipdate")
 	f := e.Filter(li, func(i int) bool { return sd.Get(i) <= "1998-09-02" })
-	f = discPrice(f, "disc_price")
+	f = discPrice(e, f, "disc_price")
 	dp := f.FloatCol("disc_price")
 	tax := f.FloatCol("l_tax")
-	f = relal.ExtendFloat(f, "charge", func(i int) float64 {
+	f = e.ExtendFloat(f, "charge", func(i int) float64 {
 		return dp.Get(i) * (1 + tax.Get(i))
 	})
 	agg := e.Aggregate(f, []string{"l_returnflag", "l_linestatus"}, []relal.AggSpec{
@@ -140,18 +162,22 @@ func q1(e *relal.Exec, db *DB) *relal.Table {
 
 // q2: min-cost supplier for size-15 BRASS parts in EUROPE.
 func q2(e *relal.Exec, db *DB) *relal.Table {
-	pt := e.Scan(db.Part)
+	pt := scan(e, db, "part",
+		[]string{"p_partkey", "p_mfgr", "p_type", "p_size"},
+		relal.IntEq("p_size", 15))
 	psize := pt.IntCol("p_size")
 	ptype := pt.StrCol("p_type")
 	part := e.Filter(pt, func(i int) bool {
 		return psize.Get(i) == 15 && strings.HasSuffix(ptype.Get(i), "BRASS")
 	})
-	rt := e.Scan(db.Region)
+	rt := scan(e, db, "region", []string{"r_regionkey", "r_name"},
+		relal.StrEq("r_name", "EUROPE"))
 	rname := rt.StrCol("r_name")
 	region := e.Filter(rt, func(i int) bool { return rname.Get(i) == "EUROPE" })
-	nation := e.Join(e.Scan(db.Nation), region, "n_regionkey", "r_regionkey")
-	supp := e.Join(e.Scan(db.Supplier), nation, "s_nationkey", "n_nationkey")
-	ps := e.Join(e.Scan(db.PartSupp), supp, "ps_suppkey", "s_suppkey")
+	nation := e.Join(scan(e, db, "nation", []string{"n_nationkey", "n_name", "n_regionkey"}), region, "n_regionkey", "r_regionkey")
+	supp := e.Join(scan(e, db, "supplier",
+		[]string{"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"}), nation, "s_nationkey", "n_nationkey")
+	ps := e.Join(scan(e, db, "partsupp", []string{"ps_partkey", "ps_suppkey", "ps_supplycost"}), supp, "ps_suppkey", "s_suppkey")
 	psp := e.Join(ps, part, "ps_partkey", "p_partkey")
 	// Minimum supplycost per part (within EUROPE suppliers).
 	minCost := e.Aggregate(psp, []string{"p_partkey"}, []relal.AggSpec{
@@ -181,18 +207,23 @@ func q2(e *relal.Exec, db *DB) *relal.Table {
 
 // q3: top unshipped orders for the BUILDING segment.
 func q3(e *relal.Exec, db *DB) *relal.Table {
-	ct := e.Scan(db.Customer)
+	ct := scan(e, db, "customer", []string{"c_custkey", "c_mktsegment"},
+		relal.StrEq("c_mktsegment", "BUILDING"))
 	seg := ct.StrCol("c_mktsegment")
 	cust := e.Filter(ct, func(i int) bool { return seg.Get(i) == "BUILDING" })
-	ot := e.Scan(db.Orders)
+	ot := scan(e, db, "orders",
+		[]string{"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"},
+		relal.StrAtMost("o_orderdate", "1995-03-15"))
 	odate := ot.StrCol("o_orderdate")
 	ord := e.Filter(ot, func(i int) bool { return odate.Get(i) < "1995-03-15" })
-	lt := e.Scan(db.Lineitem)
+	lt := scan(e, db, "lineitem",
+		[]string{"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"},
+		relal.StrAtLeast("l_shipdate", "1995-03-15"))
 	sdate := lt.StrCol("l_shipdate")
 	li := e.Filter(lt, func(i int) bool { return sdate.Get(i) > "1995-03-15" })
 	co := e.Join(ord, cust, "o_custkey", "c_custkey")
 	col := e.Join(li, co, "l_orderkey", "o_orderkey")
-	col = discPrice(col, "revenue_item")
+	col = discPrice(e, col, "revenue_item")
 	agg := e.Aggregate(col, []string{"l_orderkey", "o_orderdate", "o_shippriority"}, []relal.AggSpec{
 		{Fn: "sum", Col: "revenue_item", As: "revenue"},
 	})
@@ -205,13 +236,16 @@ func q3(e *relal.Exec, db *DB) *relal.Table {
 
 // q4: order priority with existing late lineitem.
 func q4(e *relal.Exec, db *DB) *relal.Table {
-	ot := e.Scan(db.Orders)
+	ot := scan(e, db, "orders",
+		[]string{"o_orderkey", "o_orderdate", "o_orderpriority"},
+		relal.StrBetween("o_orderdate", "1993-07-01", "1993-10-01"))
 	odate := ot.StrCol("o_orderdate")
 	ord := e.Filter(ot, func(i int) bool {
 		d := odate.Get(i)
 		return d >= "1993-07-01" && d < "1993-10-01"
 	})
-	lt := e.Scan(db.Lineitem)
+	lt := scan(e, db, "lineitem",
+		[]string{"l_orderkey", "l_commitdate", "l_receiptdate"})
 	cdate := lt.StrCol("l_commitdate")
 	rdate := lt.StrCol("l_receiptdate")
 	li := e.Filter(lt, func(i int) bool { return cdate.Get(i) < rdate.Get(i) })
@@ -227,13 +261,16 @@ func q4(e *relal.Exec, db *DB) *relal.Table {
 // script the paper analyzes: nation⋈region, then supplier, then the big
 // lineitem common join, then orders, then customer.
 func q5(e *relal.Exec, db *DB) *relal.Table {
-	rt := e.Scan(db.Region)
+	rt := scan(e, db, "region", []string{"r_regionkey", "r_name"},
+		relal.StrEq("r_name", "ASIA"))
 	rname := rt.StrCol("r_name")
 	region := e.Filter(rt, func(i int) bool { return rname.Get(i) == "ASIA" })
-	nr := e.Join(e.Scan(db.Nation), region, "n_regionkey", "r_regionkey")
-	snr := e.Join(e.Scan(db.Supplier), nr, "s_nationkey", "n_nationkey")
-	lsnr := e.Join(e.Scan(db.Lineitem), snr, "l_suppkey", "s_suppkey")
-	ot := e.Scan(db.Orders)
+	nr := e.Join(scan(e, db, "nation", []string{"n_nationkey", "n_name", "n_regionkey"}), region, "n_regionkey", "r_regionkey")
+	snr := e.Join(scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), nr, "s_nationkey", "n_nationkey")
+	lsnr := e.Join(scan(e, db, "lineitem",
+		[]string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"}), snr, "l_suppkey", "s_suppkey")
+	ot := scan(e, db, "orders", []string{"o_orderkey", "o_custkey", "o_orderdate"},
+		relal.StrBetween("o_orderdate", "1994-01-01", "1995-01-01"))
 	odate := ot.StrCol("o_orderdate")
 	ord := e.Filter(ot, func(i int) bool {
 		d := odate.Get(i)
@@ -241,11 +278,11 @@ func q5(e *relal.Exec, db *DB) *relal.Table {
 	})
 	lo := e.Join(lsnr, ord, "l_orderkey", "o_orderkey")
 	// Customer must be in the same nation as the supplier.
-	loc := e.Join(lo, e.Scan(db.Customer), "o_custkey", "c_custkey")
+	loc := e.Join(lo, scan(e, db, "customer", []string{"c_custkey", "c_nationkey"}), "o_custkey", "c_custkey")
 	ck := loc.IntCol("c_nationkey")
 	sk := loc.IntCol("s_nationkey")
 	same := e.Filter(loc, func(i int) bool { return ck.Get(i) == sk.Get(i) })
-	same = discPrice(same, "rev")
+	same = discPrice(e, same, "rev")
 	agg := e.Aggregate(same, []string{"n_name"}, []relal.AggSpec{
 		{Fn: "sum", Col: "rev", As: "revenue"},
 	})
@@ -254,7 +291,11 @@ func q5(e *relal.Exec, db *DB) *relal.Table {
 
 // q6: single-table revenue forecast.
 func q6(e *relal.Exec, db *DB) *relal.Table {
-	li := e.Scan(db.Lineitem)
+	li := scan(e, db, "lineitem",
+		[]string{"l_quantity", "l_extendedprice", "l_discount", "l_shipdate"},
+		relal.StrBetween("l_shipdate", "1994-01-01", "1995-01-01"),
+		relal.FloatBetween("l_discount", 0.05-1e-9, 0.07+1e-9),
+		relal.FloatAtMost("l_quantity", 24))
 	sd := li.StrCol("l_shipdate")
 	disc := li.FloatCol("l_discount")
 	qty := li.FloatCol("l_quantity")
@@ -267,7 +308,7 @@ func q6(e *relal.Exec, db *DB) *relal.Table {
 	})
 	ep := f.FloatCol("l_extendedprice")
 	fdc := f.FloatCol("l_discount")
-	f = relal.ExtendFloat(f, "rev", func(i int) float64 {
+	f = e.ExtendFloat(f, "rev", func(i int) float64 {
 		return ep.Get(i) * fdc.Get(i)
 	})
 	return e.Aggregate(f, nil, []relal.AggSpec{{Fn: "sum", Col: "rev", As: "revenue"}})
@@ -275,21 +316,23 @@ func q6(e *relal.Exec, db *DB) *relal.Table {
 
 // q7: shipping volume between FRANCE and GERMANY.
 func q7(e *relal.Exec, db *DB) *relal.Table {
-	lt := e.Scan(db.Lineitem)
+	lt := scan(e, db, "lineitem",
+		[]string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"},
+		relal.StrBetween("l_shipdate", "1995-01-01", "1996-12-31"))
 	sdate := lt.StrCol("l_shipdate")
 	li := e.Filter(lt, func(i int) bool {
 		d := sdate.Get(i)
 		return d >= "1995-01-01" && d <= "1996-12-31"
 	})
-	ls := e.Join(li, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
-	lso := e.Join(ls, e.Scan(db.Orders), "l_orderkey", "o_orderkey")
-	lsoc := e.Join(lso, e.Scan(db.Customer), "o_custkey", "c_custkey")
+	ls := e.Join(li, scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), "l_suppkey", "s_suppkey")
+	lso := e.Join(ls, scan(e, db, "orders", []string{"o_orderkey", "o_custkey"}), "l_orderkey", "o_orderkey")
+	lsoc := e.Join(lso, scan(e, db, "customer", []string{"c_custkey", "c_nationkey"}), "o_custkey", "c_custkey")
 	// Two nation joins: supplier nation and customer nation.
-	n1 := e.Join(lsoc, e.Scan(db.Nation), "s_nationkey", "n_nationkey")
+	n1 := e.Join(lsoc, scan(e, db, "nation", []string{"n_nationkey", "n_name"}), "s_nationkey", "n_nationkey")
 	// Rename nation columns for the second join by extending first.
 	nname := n1.StrCol("n_name")
-	n1 = relal.ExtendStr(n1, "supp_nation", func(i int) string { return nname.Get(i) })
-	custNation := e.Scan(db.Nation)
+	n1 = e.ExtendStr(n1, "supp_nation", func(i int) string { return nname.Get(i) })
+	custNation := scan(e, db, "nation", []string{"n_nationkey", "n_name"})
 	// nation2 shares the nation table's key/name vectors (zero copy).
 	cn := relal.NewTable("nation2", relal.Schema{
 		{Name: "n2_nationkey", Type: relal.Int},
@@ -304,8 +347,8 @@ func q7(e *relal.Exec, db *DB) *relal.Table {
 		return (a == "FRANCE" && b == "GERMANY") || (a == "GERMANY" && b == "FRANCE")
 	})
 	fsd := f.StrCol("l_shipdate")
-	f = relal.ExtendStr(f, "l_year", func(i int) string { return fsd.Get(i)[:4] })
-	f = discPrice(f, "volume")
+	f = e.ExtendStr(f, "l_year", func(i int) string { return fsd.Get(i)[:4] })
+	f = discPrice(e, f, "volume")
 	agg := e.Aggregate(f, []string{"supp_nation", "cust_nation", "l_year"}, []relal.AggSpec{
 		{Fn: "sum", Col: "volume", As: "revenue"},
 	})
@@ -318,24 +361,28 @@ func q7(e *relal.Exec, db *DB) *relal.Table {
 
 // q8: BRAZIL's market share in AMERICA for a part type.
 func q8(e *relal.Exec, db *DB) *relal.Table {
-	pt := e.Scan(db.Part)
+	pt := scan(e, db, "part", []string{"p_partkey", "p_type"},
+		relal.StrEq("p_type", "ECONOMY ANODIZED STEEL"))
 	ptype := pt.StrCol("p_type")
 	part := e.Filter(pt, func(i int) bool { return ptype.Get(i) == "ECONOMY ANODIZED STEEL" })
-	lp := e.Join(e.Scan(db.Lineitem), part, "l_partkey", "p_partkey")
-	lps := e.Join(lp, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
-	ot := e.Scan(db.Orders)
+	lp := e.Join(scan(e, db, "lineitem",
+		[]string{"l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"}), part, "l_partkey", "p_partkey")
+	lps := e.Join(lp, scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), "l_suppkey", "s_suppkey")
+	ot := scan(e, db, "orders", []string{"o_orderkey", "o_custkey", "o_orderdate"},
+		relal.StrBetween("o_orderdate", "1995-01-01", "1996-12-31"))
 	odate := ot.StrCol("o_orderdate")
 	ord := e.Filter(ot, func(i int) bool {
 		d := odate.Get(i)
 		return d >= "1995-01-01" && d <= "1996-12-31"
 	})
 	lpso := e.Join(lps, ord, "l_orderkey", "o_orderkey")
-	lpsoc := e.Join(lpso, e.Scan(db.Customer), "o_custkey", "c_custkey")
+	lpsoc := e.Join(lpso, scan(e, db, "customer", []string{"c_custkey", "c_nationkey"}), "o_custkey", "c_custkey")
 	// Customer nation must be in AMERICA.
-	rt := e.Scan(db.Region)
+	rt := scan(e, db, "region", []string{"r_regionkey", "r_name"},
+		relal.StrEq("r_name", "AMERICA"))
 	rname := rt.StrCol("r_name")
 	region := e.Filter(rt, func(i int) bool { return rname.Get(i) == "AMERICA" })
-	nr := e.Join(e.Scan(db.Nation), region, "n_regionkey", "r_regionkey")
+	nr := e.Join(scan(e, db, "nation", []string{"n_nationkey", "n_regionkey"}), region, "n_regionkey", "r_regionkey")
 	custAm := e.Join(lpsoc, nr, "c_nationkey", "n_nationkey")
 	// Supplier nation name (shares the nation table's vectors).
 	sn := relal.NewTable("nation_s", relal.Schema{
@@ -345,11 +392,11 @@ func q8(e *relal.Exec, db *DB) *relal.Table {
 	relal.SetBase(sn, "nation")
 	all := e.Join(custAm, sn, "s_nationkey", "ns_nationkey")
 	aod := all.StrCol("o_orderdate")
-	all = relal.ExtendStr(all, "o_year", func(i int) string { return aod.Get(i)[:4] })
-	all = discPrice(all, "volume")
+	all = e.ExtendStr(all, "o_year", func(i int) string { return aod.Get(i)[:4] })
+	all = discPrice(e, all, "volume")
 	asn := all.StrCol("supp_nation")
 	avol := all.FloatCol("volume")
-	all = relal.ExtendFloat(all, "brazil_volume", func(i int) float64 {
+	all = e.ExtendFloat(all, "brazil_volume", func(i int) float64 {
 		if asn.Get(i) == "BRAZIL" {
 			return avol.Get(i)
 		}
@@ -361,7 +408,7 @@ func q8(e *relal.Exec, db *DB) *relal.Table {
 	})
 	tot := agg.FloatCol("total")
 	bra := agg.FloatCol("brazil")
-	agg = relal.ExtendFloat(agg, "mkt_share", func(i int) float64 {
+	agg = e.ExtendFloat(agg, "mkt_share", func(i int) float64 {
 		t := tot.Get(i)
 		if t == 0 {
 			return 0.0
@@ -375,25 +422,26 @@ func q8(e *relal.Exec, db *DB) *relal.Table {
 // q9: profit by nation and year for green parts. The paper notes this
 // query ran out of disk in Hive at 16 TB.
 func q9(e *relal.Exec, db *DB) *relal.Table {
-	pt := e.Scan(db.Part)
+	pt := scan(e, db, "part", []string{"p_partkey", "p_name"})
 	pname := pt.StrCol("p_name")
 	part := e.Filter(pt, func(i int) bool { return strings.Contains(pname.Get(i), "green") })
-	lp := e.Join(e.Scan(db.Lineitem), part, "l_partkey", "p_partkey")
-	lps := e.Join(lp, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
+	lp := e.Join(scan(e, db, "lineitem",
+		[]string{"l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount"}), part, "l_partkey", "p_partkey")
+	lps := e.Join(lp, scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), "l_suppkey", "s_suppkey")
 	// partsupp join on (partkey, suppkey): join on partkey then filter.
-	lpsps := e.Join(lps, e.Scan(db.PartSupp), "l_partkey", "ps_partkey")
+	lpsps := e.Join(lps, scan(e, db, "partsupp", []string{"ps_partkey", "ps_suppkey", "ps_supplycost"}), "l_partkey", "ps_partkey")
 	sk := lpsps.IntCol("l_suppkey")
 	pssk := lpsps.IntCol("ps_suppkey")
 	match := e.Filter(lpsps, func(i int) bool { return sk.Get(i) == pssk.Get(i) })
-	mo := e.Join(match, e.Scan(db.Orders), "l_orderkey", "o_orderkey")
-	mon := e.Join(mo, e.Scan(db.Nation), "s_nationkey", "n_nationkey")
+	mo := e.Join(match, scan(e, db, "orders", []string{"o_orderkey", "o_orderdate"}), "l_orderkey", "o_orderkey")
+	mon := e.Join(mo, scan(e, db, "nation", []string{"n_nationkey", "n_name"}), "s_nationkey", "n_nationkey")
 	mod := mon.StrCol("o_orderdate")
-	mon = relal.ExtendStr(mon, "o_year", func(i int) string { return mod.Get(i)[:4] })
+	mon = e.ExtendStr(mon, "o_year", func(i int) string { return mod.Get(i)[:4] })
 	ep := mon.FloatCol("l_extendedprice")
 	dc := mon.FloatCol("l_discount")
 	sc := mon.FloatCol("ps_supplycost")
 	qty := mon.FloatCol("l_quantity")
-	mon = relal.ExtendFloat(mon, "amount", func(i int) float64 {
+	mon = e.ExtendFloat(mon, "amount", func(i int) float64 {
 		return ep.Get(i)*(1-dc.Get(i)) - sc.Get(i)*qty.Get(i)
 	})
 	agg := e.Aggregate(mon, []string{"n_name", "o_year"}, []relal.AggSpec{
@@ -407,19 +455,23 @@ func q9(e *relal.Exec, db *DB) *relal.Table {
 
 // q10: customers who returned items.
 func q10(e *relal.Exec, db *DB) *relal.Table {
-	ot := e.Scan(db.Orders)
+	ot := scan(e, db, "orders", []string{"o_orderkey", "o_custkey", "o_orderdate"},
+		relal.StrBetween("o_orderdate", "1993-10-01", "1994-01-01"))
 	odate := ot.StrCol("o_orderdate")
 	ord := e.Filter(ot, func(i int) bool {
 		d := odate.Get(i)
 		return d >= "1993-10-01" && d < "1994-01-01"
 	})
-	lt := e.Scan(db.Lineitem)
+	lt := scan(e, db, "lineitem",
+		[]string{"l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"},
+		relal.StrEq("l_returnflag", "R"))
 	rf := lt.StrCol("l_returnflag")
 	li := e.Filter(lt, func(i int) bool { return rf.Get(i) == "R" })
 	lo := e.Join(li, ord, "l_orderkey", "o_orderkey")
-	loc := e.Join(lo, e.Scan(db.Customer), "o_custkey", "c_custkey")
-	locn := e.Join(loc, e.Scan(db.Nation), "c_nationkey", "n_nationkey")
-	locn = discPrice(locn, "rev")
+	loc := e.Join(lo, scan(e, db, "customer",
+		[]string{"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_comment"}), "o_custkey", "c_custkey")
+	locn := e.Join(loc, scan(e, db, "nation", []string{"n_nationkey", "n_name"}), "c_nationkey", "n_nationkey")
+	locn = discPrice(e, locn, "rev")
 	agg := e.Aggregate(locn, []string{"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment"}, []relal.AggSpec{
 		{Fn: "sum", Col: "rev", As: "revenue"},
 	})
@@ -429,14 +481,16 @@ func q10(e *relal.Exec, db *DB) *relal.Table {
 
 // q11: important stock in GERMANY.
 func q11(e *relal.Exec, db *DB) *relal.Table {
-	nt := e.Scan(db.Nation)
+	nt := scan(e, db, "nation", []string{"n_nationkey", "n_name"},
+		relal.StrEq("n_name", "GERMANY"))
 	nname := nt.StrCol("n_name")
 	nation := e.Filter(nt, func(i int) bool { return nname.Get(i) == "GERMANY" })
-	sn := e.Join(e.Scan(db.Supplier), nation, "s_nationkey", "n_nationkey")
-	ps := e.Join(e.Scan(db.PartSupp), sn, "ps_suppkey", "s_suppkey")
+	sn := e.Join(scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), nation, "s_nationkey", "n_nationkey")
+	ps := e.Join(scan(e, db, "partsupp",
+		[]string{"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"}), sn, "ps_suppkey", "s_suppkey")
 	cost := ps.FloatCol("ps_supplycost")
 	avail := ps.IntCol("ps_availqty")
-	ps = relal.ExtendFloat(ps, "value", func(i int) float64 {
+	ps = e.ExtendFloat(ps, "value", func(i int) float64 {
 		return cost.Get(i) * float64(avail.Get(i))
 	})
 	total := e.Aggregate(ps, nil, []relal.AggSpec{{Fn: "sum", Col: "value", As: "total"}})
@@ -456,7 +510,9 @@ func q11(e *relal.Exec, db *DB) *relal.Table {
 
 // q12: shipping modes and order priority.
 func q12(e *relal.Exec, db *DB) *relal.Table {
-	lt := e.Scan(db.Lineitem)
+	lt := scan(e, db, "lineitem",
+		[]string{"l_orderkey", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipmode"},
+		relal.StrBetween("l_receiptdate", "1994-01-01", "1995-01-01"))
 	mode := lt.StrCol("l_shipmode")
 	commit := lt.StrCol("l_commitdate")
 	receipt := lt.StrCol("l_receiptdate")
@@ -470,9 +526,9 @@ func q12(e *relal.Exec, db *DB) *relal.Table {
 		return c < r && ship.Get(i) < c &&
 			r >= "1994-01-01" && r < "1995-01-01"
 	})
-	lo := e.Join(li, e.Scan(db.Orders), "l_orderkey", "o_orderkey")
+	lo := e.Join(li, scan(e, db, "orders", []string{"o_orderkey", "o_orderpriority"}), "l_orderkey", "o_orderkey")
 	prio := lo.StrCol("o_orderpriority")
-	lo = relal.ExtendInt(lo, "high_line", func(i int) int64 {
+	lo = e.ExtendInt(lo, "high_line", func(i int) int64 {
 		p := prio.Get(i)
 		if p == "1-URGENT" || p == "2-HIGH" {
 			return 1
@@ -480,7 +536,7 @@ func q12(e *relal.Exec, db *DB) *relal.Table {
 		return 0
 	})
 	high := lo.IntCol("high_line")
-	lo = relal.ExtendInt(lo, "low_line", func(i int) int64 {
+	lo = e.ExtendInt(lo, "low_line", func(i int) int64 {
 		if high.Get(i) == 1 {
 			return 0
 		}
@@ -495,7 +551,7 @@ func q12(e *relal.Exec, db *DB) *relal.Table {
 
 // q13: distribution of customers by order count.
 func q13(e *relal.Exec, db *DB) *relal.Table {
-	ot := e.Scan(db.Orders)
+	ot := scan(e, db, "orders", []string{"o_custkey", "o_comment"})
 	ocomment := ot.StrCol("o_comment")
 	ord := e.Filter(ot, func(i int) bool {
 		c := ocomment.Get(i)
@@ -505,7 +561,7 @@ func q13(e *relal.Exec, db *DB) *relal.Table {
 	perCust := e.Aggregate(ord, []string{"o_custkey"}, []relal.AggSpec{
 		{Fn: "count", Col: "*", As: "c_count"},
 	})
-	cust := e.Scan(db.Customer)
+	cust := scan(e, db, "customer", []string{"c_custkey"})
 	// Left join: customers with no orders count 0. Model as join plus
 	// the complement.
 	joined := e.Join(cust, perCust, "c_custkey", "o_custkey")
@@ -539,17 +595,19 @@ func q13(e *relal.Exec, db *DB) *relal.Table {
 
 // q14: promotion effect for one month.
 func q14(e *relal.Exec, db *DB) *relal.Table {
-	lt := e.Scan(db.Lineitem)
+	lt := scan(e, db, "lineitem",
+		[]string{"l_partkey", "l_extendedprice", "l_discount", "l_shipdate"},
+		relal.StrBetween("l_shipdate", "1995-09-01", "1995-10-01"))
 	sdate := lt.StrCol("l_shipdate")
 	li := e.Filter(lt, func(i int) bool {
 		d := sdate.Get(i)
 		return d >= "1995-09-01" && d < "1995-10-01"
 	})
-	lp := e.Join(li, e.Scan(db.Part), "l_partkey", "p_partkey")
-	lp = discPrice(lp, "rev")
+	lp := e.Join(li, scan(e, db, "part", []string{"p_partkey", "p_type"}), "l_partkey", "p_partkey")
+	lp = discPrice(e, lp, "rev")
 	ptype := lp.StrCol("p_type")
 	rev := lp.FloatCol("rev")
-	lp = relal.ExtendFloat(lp, "promo_rev", func(i int) float64 {
+	lp = e.ExtendFloat(lp, "promo_rev", func(i int) float64 {
 		if strings.HasPrefix(ptype.Get(i), "PROMO") {
 			return rev.Get(i)
 		}
@@ -561,7 +619,7 @@ func q14(e *relal.Exec, db *DB) *relal.Table {
 	})
 	promo := agg.FloatCol("promo")
 	tot := agg.FloatCol("total")
-	return relal.ExtendFloat(agg, "promo_revenue", func(i int) float64 {
+	return e.ExtendFloat(agg, "promo_revenue", func(i int) float64 {
 		t := tot.Get(i)
 		if t == 0 {
 			return 0.0
@@ -572,13 +630,15 @@ func q14(e *relal.Exec, db *DB) *relal.Table {
 
 // q15: top supplier by quarterly revenue.
 func q15(e *relal.Exec, db *DB) *relal.Table {
-	lt := e.Scan(db.Lineitem)
+	lt := scan(e, db, "lineitem",
+		[]string{"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"},
+		relal.StrBetween("l_shipdate", "1996-01-01", "1996-04-01"))
 	sdate := lt.StrCol("l_shipdate")
 	li := e.Filter(lt, func(i int) bool {
 		d := sdate.Get(i)
 		return d >= "1996-01-01" && d < "1996-04-01"
 	})
-	li = discPrice(li, "rev")
+	li = discPrice(e, li, "rev")
 	revenue := e.Aggregate(li, []string{"l_suppkey"}, []relal.AggSpec{
 		{Fn: "sum", Col: "rev", As: "total_revenue"},
 	})
@@ -591,7 +651,8 @@ func q15(e *relal.Exec, db *DB) *relal.Table {
 	}
 	tr := revenue.FloatCol("total_revenue")
 	top := e.Filter(revenue, func(i int) bool { return tr.Get(i) >= mx-1e-6 })
-	st := e.Join(top, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
+	st := e.Join(top, scan(e, db, "supplier",
+		[]string{"s_suppkey", "s_name", "s_address", "s_phone"}), "l_suppkey", "s_suppkey")
 	proj := e.Project(st, "s_suppkey", "s_name", "s_address", "s_phone", "total_revenue")
 	return e.Sort(proj, relal.OrderSpec{Col: "s_suppkey"})
 }
@@ -599,7 +660,8 @@ func q15(e *relal.Exec, db *DB) *relal.Table {
 // q16: supplier counts by part attributes, excluding complaint suppliers.
 func q16(e *relal.Exec, db *DB) *relal.Table {
 	sizes := map[int64]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}
-	pt := e.Scan(db.Part)
+	pt := scan(e, db, "part", []string{"p_partkey", "p_brand", "p_type", "p_size"},
+		relal.IntBetween("p_size", 3, 49))
 	brand := pt.StrCol("p_brand")
 	ptype := pt.StrCol("p_type")
 	psize := pt.IntCol("p_size")
@@ -608,14 +670,14 @@ func q16(e *relal.Exec, db *DB) *relal.Table {
 			!strings.HasPrefix(ptype.Get(i), "MEDIUM POLISHED") &&
 			sizes[psize.Get(i)]
 	})
-	st := e.Scan(db.Supplier)
+	st := scan(e, db, "supplier", []string{"s_suppkey", "s_comment"})
 	scomment := st.StrCol("s_comment")
 	complaints := e.Filter(st, func(i int) bool {
 		c := scomment.Get(i)
 		j := strings.Index(c, "Customer")
 		return j >= 0 && strings.Contains(c[j:], "Complaints")
 	})
-	ps := e.AntiJoin(e.Scan(db.PartSupp), complaints, "ps_suppkey", "s_suppkey")
+	ps := e.AntiJoin(scan(e, db, "partsupp", []string{"ps_partkey", "ps_suppkey"}), complaints, "ps_suppkey", "s_suppkey")
 	psp := e.Join(ps, part, "ps_partkey", "p_partkey")
 	// count(distinct ps_suppkey): dedup then count.
 	dedup := e.Aggregate(psp, []string{"p_brand", "p_type", "p_size", "ps_suppkey"}, []relal.AggSpec{
@@ -634,13 +696,16 @@ func q16(e *relal.Exec, db *DB) *relal.Table {
 
 // q17: small-quantity-order revenue for one brand/container.
 func q17(e *relal.Exec, db *DB) *relal.Table {
-	pt := e.Scan(db.Part)
+	pt := scan(e, db, "part", []string{"p_partkey", "p_brand", "p_container"},
+		relal.StrEq("p_brand", "Brand#23"),
+		relal.StrEq("p_container", "MED BOX"))
 	brand := pt.StrCol("p_brand")
 	container := pt.StrCol("p_container")
 	part := e.Filter(pt, func(i int) bool {
 		return brand.Get(i) == "Brand#23" && container.Get(i) == "MED BOX"
 	})
-	lp := e.Join(e.Scan(db.Lineitem), part, "l_partkey", "p_partkey")
+	lp := e.Join(scan(e, db, "lineitem",
+		[]string{"l_partkey", "l_quantity", "l_extendedprice"}), part, "l_partkey", "p_partkey")
 	avgQty := e.Aggregate(lp, []string{"p_partkey"}, []relal.AggSpec{
 		{Fn: "avg", Col: "l_quantity", As: "avg_qty"},
 	})
@@ -659,21 +724,22 @@ func q17(e *relal.Exec, db *DB) *relal.Table {
 		{Fn: "sum", Col: "l_extendedprice", As: "sum_price"},
 	})
 	sp := agg.FloatCol("sum_price")
-	return relal.ExtendFloat(agg, "avg_yearly", func(i int) float64 {
+	return e.ExtendFloat(agg, "avg_yearly", func(i int) float64 {
 		return sp.Get(i) / 7.0
 	})
 }
 
 // q18: large-volume customers (sum qty > 300).
 func q18(e *relal.Exec, db *DB) *relal.Table {
-	li := e.Scan(db.Lineitem)
+	li := scan(e, db, "lineitem", []string{"l_orderkey", "l_quantity"})
 	perOrder := e.Aggregate(li, []string{"l_orderkey"}, []relal.AggSpec{
 		{Fn: "sum", Col: "l_quantity", As: "sum_qty"},
 	})
 	sq := perOrder.FloatCol("sum_qty")
 	big := e.Filter(perOrder, func(i int) bool { return sq.Get(i) > 300 })
-	bo := e.Join(big, e.Scan(db.Orders), "l_orderkey", "o_orderkey")
-	boc := e.Join(bo, e.Scan(db.Customer), "o_custkey", "c_custkey")
+	bo := e.Join(big, scan(e, db, "orders",
+		[]string{"o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"}), "l_orderkey", "o_orderkey")
+	boc := e.Join(bo, scan(e, db, "customer", []string{"c_custkey", "c_name"}), "o_custkey", "c_custkey")
 	proj := e.Project(boc, "c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty")
 	sorted := e.Sort(proj,
 		relal.OrderSpec{Col: "o_totalprice", Desc: true},
@@ -685,7 +751,12 @@ func q18(e *relal.Exec, db *DB) *relal.Table {
 // q19: discounted revenue with the three-branch AND/OR predicate the
 // paper's §3.3.4.1 analysis discusses.
 func q19(e *relal.Exec, db *DB) *relal.Table {
-	lp := e.Join(e.Scan(db.Lineitem), e.Scan(db.Part), "l_partkey", "p_partkey")
+	lp := e.Join(
+		scan(e, db, "lineitem",
+			[]string{"l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipinstruct", "l_shipmode"},
+			relal.StrEq("l_shipinstruct", "DELIVER IN PERSON")),
+		scan(e, db, "part", []string{"p_partkey", "p_brand", "p_size", "p_container"}),
+		"l_partkey", "p_partkey")
 	brand := lp.StrCol("p_brand")
 	container := lp.StrCol("p_container")
 	qty := lp.FloatCol("l_quantity")
@@ -721,16 +792,18 @@ func q19(e *relal.Exec, db *DB) *relal.Table {
 		}
 		return false
 	})
-	f = discPrice(f, "rev")
+	f = discPrice(e, f, "rev")
 	return e.Aggregate(f, nil, []relal.AggSpec{{Fn: "sum", Col: "rev", As: "revenue"}})
 }
 
 // q20: suppliers with surplus forest parts in CANADA.
 func q20(e *relal.Exec, db *DB) *relal.Table {
-	pt := e.Scan(db.Part)
+	pt := scan(e, db, "part", []string{"p_partkey", "p_name"})
 	pname := pt.StrCol("p_name")
 	part := e.Filter(pt, func(i int) bool { return strings.HasPrefix(pname.Get(i), "forest") })
-	lt := e.Scan(db.Lineitem)
+	lt := scan(e, db, "lineitem",
+		[]string{"l_partkey", "l_suppkey", "l_quantity", "l_shipdate"},
+		relal.StrBetween("l_shipdate", "1994-01-01", "1995-01-01"))
 	sdate := lt.StrCol("l_shipdate")
 	li := e.Filter(lt, func(i int) bool {
 		d := sdate.Get(i)
@@ -746,17 +819,20 @@ func q20(e *relal.Exec, db *DB) *relal.Table {
 	for i := 0; i < shipped.NumRows(); i++ {
 		shippedIdx[[2]int64{spk.Get(i), ssk.Get(i)}] = sql.Get(i)
 	}
-	ps := e.SemiJoin(e.Scan(db.PartSupp), part, "ps_partkey", "p_partkey")
+	ps := e.SemiJoin(scan(e, db, "partsupp",
+		[]string{"ps_partkey", "ps_suppkey", "ps_availqty"}), part, "ps_partkey", "p_partkey")
 	pspk := ps.IntCol("ps_partkey")
 	pssk := ps.IntCol("ps_suppkey")
 	avail := ps.IntCol("ps_availqty")
 	surplus := e.Filter(ps, func(i int) bool {
 		return float64(avail.Get(i)) > 0.5*shippedIdx[[2]int64{pspk.Get(i), pssk.Get(i)}]
 	})
-	nt := e.Scan(db.Nation)
+	nt := scan(e, db, "nation", []string{"n_nationkey", "n_name"},
+		relal.StrEq("n_name", "CANADA"))
 	nname := nt.StrCol("n_name")
 	nation := e.Filter(nt, func(i int) bool { return nname.Get(i) == "CANADA" })
-	supp := e.Join(e.Scan(db.Supplier), nation, "s_nationkey", "n_nationkey")
+	supp := e.Join(scan(e, db, "supplier",
+		[]string{"s_suppkey", "s_name", "s_address", "s_nationkey"}), nation, "s_nationkey", "n_nationkey")
 	final := e.SemiJoin(supp, surplus, "s_suppkey", "ps_suppkey")
 	proj := e.Project(final, "s_name", "s_address")
 	return e.Sort(proj, relal.OrderSpec{Col: "s_name"})
@@ -764,7 +840,8 @@ func q20(e *relal.Exec, db *DB) *relal.Table {
 
 // q21: suppliers in SAUDI ARABIA who kept multi-supplier orders waiting.
 func q21(e *relal.Exec, db *DB) *relal.Table {
-	li := e.Scan(db.Lineitem)
+	li := scan(e, db, "lineitem",
+		[]string{"l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"})
 	// Suppliers per order, and late suppliers per order.
 	perOrder := e.Aggregate(
 		e.Aggregate(li, []string{"l_orderkey", "l_suppkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n"}}),
@@ -789,7 +866,8 @@ func q21(e *relal.Exec, db *DB) *relal.Table {
 	}
 	// Candidate rows: this supplier was late, order has >1 suppliers,
 	// and exactly one late supplier (this one), on F orders.
-	ot := e.Scan(db.Orders)
+	ot := scan(e, db, "orders", []string{"o_orderkey", "o_orderstatus"},
+		relal.StrEq("o_orderstatus", "F"))
 	ostatus := ot.StrCol("o_orderstatus")
 	ord := e.Filter(ot, func(i int) bool { return ostatus.Get(i) == "F" })
 	lko := late.IntCol("l_orderkey")
@@ -798,8 +876,10 @@ func q21(e *relal.Exec, db *DB) *relal.Table {
 		return nSupp[ok] > 1 && nLate[ok] == 1
 	})
 	lo := e.SemiJoin(lateRows, ord, "l_orderkey", "o_orderkey")
-	ls := e.Join(lo, e.Scan(db.Supplier), "l_suppkey", "s_suppkey")
-	nt := e.Scan(db.Nation)
+	ls := e.Join(lo, scan(e, db, "supplier",
+		[]string{"s_suppkey", "s_name", "s_nationkey"}), "l_suppkey", "s_suppkey")
+	nt := scan(e, db, "nation", []string{"n_nationkey", "n_name"},
+		relal.StrEq("n_name", "SAUDI ARABIA"))
 	nname := nt.StrCol("n_name")
 	nation := e.Filter(nt, func(i int) bool { return nname.Get(i) == "SAUDI ARABIA" })
 	lsn := e.Join(ls, nation, "s_nationkey", "n_nationkey")
@@ -822,7 +902,7 @@ func q21(e *relal.Exec, db *DB) *relal.Table {
 // Table 5 breakdown).
 func q22(e *relal.Exec, db *DB) *relal.Table {
 	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true, "30": true, "18": true, "17": true}
-	ct := e.Scan(db.Customer)
+	ct := scan(e, db, "customer", []string{"c_custkey", "c_phone", "c_acctbal"})
 	cphone := ct.StrCol("c_phone")
 	// Sub-query 1: candidate customers by phone code.
 	cust := e.Filter(ct, func(i int) bool { return codes[cphone.Get(i)[:2]] })
@@ -835,14 +915,14 @@ func q22(e *relal.Exec, db *DB) *relal.Table {
 		avgBal = avg.FloatCol("avg_bal").Get(0)
 	}
 	// Sub-query 3: order keys (customers with orders).
-	ordCust := e.Aggregate(e.Scan(db.Orders), []string{"o_custkey"}, []relal.AggSpec{
+	ordCust := e.Aggregate(scan(e, db, "orders", []string{"o_custkey"}), []string{"o_custkey"}, []relal.AggSpec{
 		{Fn: "count", Col: "*", As: "n"},
 	})
 	// Sub-query 4: join it all.
 	rich := e.Filter(cust, func(i int) bool { return cbal.Get(i) > avgBal })
 	noOrders := e.AntiJoin(rich, ordCust, "c_custkey", "o_custkey")
 	nphone := noOrders.StrCol("c_phone")
-	noOrders = relal.ExtendStr(noOrders, "cntrycode", func(i int) string {
+	noOrders = e.ExtendStr(noOrders, "cntrycode", func(i int) string {
 		return nphone.Get(i)[:2]
 	})
 	agg := e.Aggregate(noOrders, []string{"cntrycode"}, []relal.AggSpec{

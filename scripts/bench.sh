@@ -1,12 +1,16 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_PR1.json: per-query ns/op, B/op, and
-# allocs/op for the 22 TPC-H queries on the in-memory relal executor.
+# bench.sh — regenerate the benchmark artifacts:
 #
-# The row_baseline block is the frozen measurement of the pre-PR-1
-# row-at-a-time engine (boxed interface{} cells); the columnar block is
-# re-measured from the working tree. Usage:
+#   BENCH_PR1.json  per-query ns/op, B/op, allocs/op for the 22 TPC-H
+#                   queries on the in-memory relal executor (frozen
+#                   row-at-a-time baseline vs current columnar engine)
+#   BENCH_PR2.json  morsel-parallel speedup (workers=1 vs GOMAXPROCS) on
+#                   a multi-row-group Filter/Aggregate bench, plus the
+#                   RCFile pushdown bytes-skipped accounting for Q1/Q6
 #
-#   ./scripts/bench.sh [output.json]
+# Usage:
+#
+#   ./scripts/bench.sh [pr1-output.json]
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_PR1.json}"
@@ -66,3 +70,26 @@ Q22 1109290 354474 18756
 	echo '}'
 } > "$out"
 echo "wrote $out"
+
+# ---- BENCH_PR2.json: parallel scan pipeline ----
+out2="BENCH_PR2.json"
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+praw=$(go test -run xxx -bench 'BenchmarkMorselPipeline' -benchtime "${BENCHTIME:-3x}" ./internal/relal/)
+w1=$(echo "$praw" | awk '$1 ~ /workers=1/ {print $3; exit}')
+wm=$(echo "$praw" | awk '$1 ~ /workers=max/ {print $3; exit}')
+[ -n "$w1" ] && [ -n "$wm" ] || { echo "bench.sh: MorselPipeline results missing" >&2; exit 1; }
+speedup=$(awk -v a="$w1" -v b="$wm" 'BEGIN { printf "%.3f", a / b }')
+
+scan=$(go run ./cmd/scanstats -sf 0.01 -group-rows 2048 -queries 1,6)
+
+{
+	echo '{'
+	echo '  "benchmark": "BenchmarkMorselPipeline (Filter+Aggregate, 64-morsel synthetic table, host time) + cmd/scanstats (RCFile pushdown accounting)",'
+	echo "  \"gomaxprocs\": $cores,"
+	echo '  "note": "speedup = workers_1 / workers_max host time; meaningful only when gomaxprocs > 1",'
+	echo "  \"morsel_pipeline\": {\"workers_1_ns_op\": $w1, \"workers_max_ns_op\": $wm, \"speedup\": $speedup},"
+	printf '  "scanstats": %s\n' "$(echo "$scan" | sed 's/^/  /' | sed '1s/^  //')"
+	echo '}'
+} > "$out2"
+echo "wrote $out2"
