@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check check bench bench-paper
+.PHONY: all build test race streams fuzz-smoke vet fmt-check check bench bench-paper
 
 all: check
 
@@ -16,6 +16,15 @@ test:
 # The morsel kernels run on a worker pool; CI runs this as its own job.
 race:
 	$(GO) test -race ./...
+
+# Concurrent-stream golden tests + differential parallel-join suite
+# under the race detector (CI's `streams` job).
+streams:
+	$(GO) test -race -run 'Stream|JoinParallel' ./...
+
+# Short fuzz run over the join key-partitioning path.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzJoinKeys -fuzztime 15s ./internal/relal/
 
 vet:
 	$(GO) vet ./...

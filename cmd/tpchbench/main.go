@@ -4,9 +4,15 @@
 // breakdown), and Figure 1 (normalized means), comparing the Hive and
 // PDW models on the simulated 16-node cluster.
 //
+// With -streams N it instead runs the concurrent query-stream harness:
+// N goroutine streams replay the 22 queries over one shared immutable
+// DB and the aggregate throughput is reported (JSON with -stream-json,
+// which scripts/bench.sh embeds in BENCH_PR3.json).
+//
 // Usage:
 //
 //	tpchbench [-laptop-sf 0.002] [-sf 250,1000,4000,16000] [-queries 1,5,19] [-workers N]
+//	tpchbench -streams N [-stream-rounds R] [-stream-json] [-laptop-sf 0.01] [-workers N]
 package main
 
 import (
@@ -25,21 +31,35 @@ func main() {
 	queries := flag.String("queries", "", "query IDs to run (default: all 22)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	workers := flag.Int("workers", 0, "executor worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+	streams := flag.Int("streams", 0, "run N concurrent query streams instead of the paper tables")
+	streamRounds := flag.Int("stream-rounds", 3, "rounds of the query list per stream")
+	streamJSON := flag.Bool("stream-json", false, "emit the stream result as JSON (for bench.sh)")
 	flag.Parse()
 
-	cfg := core.TPCHConfig{LaptopSF: *laptopSF, Seed: *seed, Workers: *workers}
+	var qids []int
 	var err error
-	cfg.ScaleFactors, err = parseFloats(*sfList)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tpchbench:", err)
-		os.Exit(1)
-	}
 	if *queries != "" {
-		cfg.Queries, err = parseInts(*queries)
+		qids, err = parseInts(*queries)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tpchbench:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *streams > 0 {
+		runStreams(core.TPCHStreamConfig{
+			LaptopSF: *laptopSF, Seed: *seed,
+			Streams: *streams, Rounds: *streamRounds, Workers: *workers,
+			Queries: qids,
+		}, *streamJSON)
+		return
+	}
+
+	cfg := core.TPCHConfig{LaptopSF: *laptopSF, Seed: *seed, Workers: *workers, Queries: qids}
+	cfg.ScaleFactors, err = parseFloats(*sfList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpchbench:", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("TPC-H: Hive vs PDW on a simulated 16-node cluster (functional data at SF %g)\n\n", *laptopSF)
@@ -53,6 +73,34 @@ func main() {
 	res.WriteTable5(os.Stdout)
 	fmt.Println()
 	res.WriteFigure1(os.Stdout)
+}
+
+// runStreams executes the concurrent-stream harness and prints either a
+// human summary or the JSON blob bench.sh embeds.
+func runStreams(cfg core.TPCHStreamConfig, asJSON bool) {
+	res := core.RunTPCHStreams(cfg)
+	if asJSON {
+		fmt.Printf("{\"streams\": %d, \"rounds\": %d, \"workers\": %d, \"queries\": %d, \"elapsed_ms\": %.1f, \"qps\": %.2f, \"per_query_ms\": {",
+			res.Streams, res.Rounds, res.Workers, res.Queries,
+			float64(res.Elapsed.Microseconds())/1000, res.QPS)
+		for i, id := range res.QueryIDs() {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("\"Q%d\": %.2f", id, float64(res.PerQuery[id].Microseconds())/1000)
+		}
+		fmt.Println("}}")
+		return
+	}
+	fmt.Printf("Concurrent query streams: %d stream(s) x %d round(s), %d morsel worker(s) per query\n",
+		res.Streams, res.Rounds, res.Workers)
+	fmt.Printf("  %d queries in %v  =>  %.2f queries/sec\n", res.Queries, res.Elapsed, res.QPS)
+	fmt.Printf("  scan accounting: %d B read, %d B skipped (%.0f%% skipped)\n",
+		res.Scanned.BytesRead, res.Scanned.BytesSkipped, 100*res.Scanned.SkippedFrac())
+	fmt.Println("  cumulative wall time per query (all streams):")
+	for _, id := range res.QueryIDs() {
+		fmt.Printf("    Q%-3d %12v\n", id, res.PerQuery[id])
+	}
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -51,6 +51,38 @@ func (c TPCHConfig) withDefaults() TPCHConfig {
 	return c
 }
 
+// TPCHStreamConfig scopes a concurrent query-stream throughput run: N
+// goroutine streams replay the 22 queries over one shared immutable DB
+// (the functional executor, host time — no cluster simulation).
+type TPCHStreamConfig struct {
+	// LaptopSF is the functional dataset scale (defaults 0.01).
+	LaptopSF float64
+	Seed     int64
+	// Streams is the number of concurrent query streams (0 = 1).
+	Streams int
+	// Rounds is how many times each stream replays the list (0 = 1).
+	Rounds int
+	// Workers sizes each query's morsel pool (0 = GOMAXPROCS).
+	Workers int
+	// Queries restricts the replayed query IDs (nil = all 22).
+	Queries []int
+}
+
+// RunTPCHStreams generates the shared DB and runs the stream harness.
+func RunTPCHStreams(cfg TPCHStreamConfig) tpch.StreamResult {
+	if cfg.LaptopSF <= 0 {
+		cfg.LaptopSF = 0.01
+	}
+	db := tpch.Generate(tpch.GenConfig{SF: cfg.LaptopSF, Seed: cfg.Seed, Random64: true})
+	return tpch.RunStreams(db, tpch.StreamConfig{
+		Streams: cfg.Streams,
+		Rounds:  cfg.Rounds,
+		Workers: cfg.Workers,
+		Queries: cfg.Queries,
+		Warmup:  true,
+	})
+}
+
 // TPCHPoint holds one system's measurements at one scale factor.
 type TPCHPoint struct {
 	SF         float64

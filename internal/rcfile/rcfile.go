@@ -422,10 +422,15 @@ func readChunk(raw []byte, v *relal.Vector, rows int) error {
 // scans really decompress only what the query asked for. Decode errors
 // panic — a Source wraps bytes this process just encoded, so corruption
 // is a programming bug, not an I/O condition.
+//
+// A Source is safe for concurrent scans: the encoded bytes are read-only
+// and the cumulative byte accounting goes through an atomic counter, so
+// query streams can share one Source per table.
 type Source struct {
-	name   string
-	schema relal.Schema
-	data   []byte
+	name    string
+	schema  relal.Schema
+	data    []byte
+	counter relal.ScanCounter
 }
 
 // NewSource encodes t with the given row-group size (0 = default).
@@ -452,8 +457,15 @@ func (s *Source) ScanTable(cols []string, pred relal.ZonePredicate) (*relal.Tabl
 	if err != nil {
 		panic("rcfile: " + err.Error())
 	}
+	s.counter.Observe(stats)
 	return t, stats
 }
+
+// TotalStats returns the byte accounting accumulated over every scan
+// this source has served, from any goroutine. Two streams hammering one
+// Source sum exactly: the accumulation is atomic, not a plain struct
+// add.
+func (s *Source) TotalStats() relal.ScanStats { return s.counter.Total() }
 
 // CompressionRatio encodes t and returns compressed/uncompressed size.
 // TPC-H text compresses heavily under columnar gzip; the Hive cost model

@@ -35,14 +35,21 @@ func (e *Exec) workers() int {
 // counter (morsel-driven dispatch), so assignment to workers is dynamic
 // but the set of morsels each index covers is fixed.
 func parallelMorsels(n, workers int, fn func(m, lo, hi int)) {
-	morsels := (n + MorselRows - 1) / MorselRows
+	parallelMorselsSize(n, MorselRows, workers, fn)
+}
+
+// parallelMorselsSize is parallelMorsels with an explicit morsel size —
+// the join kernels use their own (test-shrinkable) size so the
+// multi-morsel merge is exercisable on small tables.
+func parallelMorselsSize(n, size, workers int, fn func(m, lo, hi int)) {
+	morsels := (n + size - 1) / size
 	if workers > morsels {
 		workers = morsels
 	}
 	if workers <= 1 {
 		for m := 0; m < morsels; m++ {
-			lo := m * MorselRows
-			hi := lo + MorselRows
+			lo := m * size
+			hi := lo + size
 			if hi > n {
 				hi = n
 			}
@@ -61,8 +68,8 @@ func parallelMorsels(n, workers int, fn func(m, lo, hi int)) {
 				if m >= morsels {
 					return
 				}
-				lo := m * MorselRows
-				hi := lo + MorselRows
+				lo := m * size
+				hi := lo + size
 				if hi > n {
 					hi = n
 				}

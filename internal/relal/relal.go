@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Type is a column type.
@@ -157,6 +158,12 @@ func (v *Vector) gather(idx []int32) *Vector {
 // indices: logical row i lives at physical position sel[i] in every
 // column. Filters, sorts, and limits return such views instead of
 // copying; Compacted materializes a view into dense vectors.
+//
+// A table whose vectors are fully built (every base table, every
+// operator output) is immutable except for two caches — the shared
+// aliasing flag and the memoized AvgRowBytes — which are atomic so
+// concurrent query streams can execute over one shared table without
+// synchronization.
 type Table struct {
 	Name   string
 	Schema Schema
@@ -164,8 +171,8 @@ type Table struct {
 	Base   string
 
 	sel      []int32
-	shared   bool // Cols aliased by another table (zero-copy views)
-	avgBytes int  // cached exact AvgRowBytes; 0 = not yet computed
+	shared   atomic.Bool  // Cols aliased by another table (zero-copy views)
+	avgBytes atomic.Int64 // cached exact AvgRowBytes; 0 = not yet computed
 
 	// scanOnce/scanCached memoize the per-row-group zone maps and
 	// encoded column sizes TableSource reports (computed once; base
@@ -189,7 +196,7 @@ func NewTable(name string, schema Schema, cols ...*Vector) *Table {
 		}
 		return t
 	}
-	t.shared = true
+	t.shared.Store(true)
 	if len(cols) != len(schema) {
 		panic(fmt.Sprintf("relal: %d vectors for %d columns", len(cols), len(schema)))
 	}
@@ -208,10 +215,23 @@ func NewTable(name string, schema Schema, cols ...*Vector) *Table {
 
 // view wraps t's columns under a new selection vector. Both the view
 // and the source are marked shared: their vectors are now aliased, so a
-// later AppendRow to either must privatize first.
+// later AppendRow to either must privatize first. The source flag is
+// only written when not already set, so viewing an immutable shared
+// table (a base table under concurrent query streams) never mutates it.
 func view(t *Table, name string, sel []int32) *Table {
-	t.shared = true
-	return &Table{Name: name, Schema: t.Schema, Cols: t.Cols, sel: sel, shared: true}
+	markShared(t)
+	out := &Table{Name: name, Schema: t.Schema, Cols: t.Cols, sel: sel}
+	out.shared.Store(true)
+	return out
+}
+
+// markShared flags t's vectors as aliased. The load-before-store keeps
+// the flag write off already-shared tables: base tables are born shared,
+// so concurrent streams only ever read it.
+func markShared(t *Table) {
+	if !t.shared.Load() {
+		t.shared.Store(true)
+	}
 }
 
 // phys maps a logical row index to its physical position.
@@ -256,8 +276,8 @@ func (t *Table) AvgRowBytes() int {
 	if n == 0 {
 		return rowBytesFromSchema(t.Schema)
 	}
-	if t.avgBytes > 0 {
-		return t.avgBytes
+	if b := t.avgBytes.Load(); b > 0 {
+		return int(b)
 	}
 	total := 0
 	for ci, c := range t.Schema {
@@ -276,8 +296,10 @@ func (t *Table) AvgRowBytes() int {
 			}
 		}
 	}
-	t.avgBytes = total / n
-	return t.avgBytes
+	// Concurrent computations store the same deterministic value, so a
+	// racing Store is harmless.
+	t.avgBytes.Store(int64(total / n))
+	return total / n
 }
 
 func rowBytesFromSchema(s Schema) int {
@@ -422,7 +444,7 @@ func RowsOf(t *Table) []Row {
 // (Project/Limit output), t is compacted onto private vectors first so
 // the append can never desynchronize another table.
 func AppendRow(t *Table, r Row) {
-	if t.sel != nil || t.shared {
+	if t.sel != nil || t.shared.Load() {
 		sel := t.sel
 		if sel == nil {
 			sel = make([]int32, t.NumRows())
@@ -434,7 +456,8 @@ func AppendRow(t *Table, r Row) {
 		for i, v := range t.Cols {
 			cols[i] = v.gather(sel)
 		}
-		t.Cols, t.sel, t.shared = cols, nil, false
+		t.Cols, t.sel = cols, nil
+		t.shared.Store(false)
 	}
 	if len(r) != len(t.Cols) {
 		panic(fmt.Sprintf("relal: row has %d cells, schema has %d", len(r), len(t.Cols)))
@@ -462,7 +485,7 @@ func AppendRow(t *Table, r Row) {
 			col.Strs = append(col.Strs, x)
 		}
 	}
-	t.avgBytes = 0
+	t.avgBytes.Store(0)
 }
 
 // StepKind classifies a logged execution step.
@@ -648,8 +671,9 @@ func (e *Exec) Project(t *Table, cols ...string) *Table {
 		sch[i] = t.Schema[j]
 		vecs[i] = t.Cols[j]
 	}
-	t.shared = true
-	out := &Table{Name: t.Name + "_p", Schema: sch, Cols: vecs, sel: t.sel, shared: true}
+	markShared(t)
+	out := &Table{Name: t.Name + "_p", Schema: sch, Cols: vecs, sel: t.sel}
+	out.shared.Store(true)
 	SetBase(out, BaseOf(t))
 	return out
 }
@@ -662,10 +686,12 @@ func keyAt[K comparable](data []K, sel []int32, i int) K {
 	return data[i]
 }
 
-// matchTyped is the hash-join build/probe kernel for one key type: it
-// builds a hash table on the right key column and returns parallel
-// slices of matching physical row indices (left-major, preserving left
-// row order and right insertion order within a key).
+// matchTyped is the serial hash-join build/probe kernel for one key
+// type: it builds a hash table on the right key column and returns
+// parallel slices of matching physical row indices (left-major,
+// preserving left row order and right insertion order within a key). It
+// is retained verbatim as the reference the morsel-parallel kernels in
+// join_parallel.go are differentially tested against.
 func matchTyped[K comparable](left, right *Table, lKeys, rKeys []K) (lIdx, rIdx []int32) {
 	ln, rn := left.NumRows(), right.NumRows()
 	ht := make(map[K][]int32, rn)
@@ -685,40 +711,26 @@ func matchTyped[K comparable](left, right *Table, lKeys, rKeys []K) (lIdx, rIdx 
 	return lIdx, rIdx
 }
 
-// matchIndices dispatches the typed hash-join probe on the key column
-// type. Keys must have identical types on both sides.
-func matchIndices(left, right *Table, li, ri int) (lIdx, rIdx []int32) {
-	if left.Schema[li].Type != right.Schema[ri].Type {
-		panic(fmt.Sprintf("relal: join key type mismatch: %q vs %q",
-			left.Schema[li].Name, right.Schema[ri].Name))
-	}
-	switch left.Schema[li].Type {
-	case Int:
-		return matchTyped(left, right, left.Cols[li].Ints, right.Cols[ri].Ints)
-	case Float:
-		return matchTyped(left, right, left.Cols[li].Floats, right.Cols[ri].Floats)
-	default:
-		return matchTyped(left, right, left.Cols[li].Strs, right.Cols[ri].Strs)
-	}
-}
-
 // Join hash-joins left and right on leftKey = rightKey (inner join),
 // producing the concatenated schema with right's key column retained
 // (callers project as needed). The output is materialized with typed
-// per-column gathers — no boxing.
+// per-column gathers — no boxing. Build, probe, and gather all run on
+// the Exec's morsel worker pool (join_parallel.go); the output is
+// byte-identical at every pool size.
 func (e *Exec) Join(left, right *Table, leftKey, rightKey string) *Table {
 	li := left.Schema.Col(leftKey)
 	ri := right.Schema.Col(rightKey)
-	lIdx, rIdx := matchIndices(left, right, li, ri)
+	w := e.workers()
+	lIdx, rIdx := matchIndicesWorkers(left, right, li, ri, w)
 	sch := make(Schema, 0, len(left.Schema)+len(right.Schema))
 	sch = append(sch, left.Schema...)
 	sch = append(sch, right.Schema...)
 	cols := make([]*Vector, 0, len(sch))
 	for _, v := range left.Cols {
-		cols = append(cols, v.gather(lIdx))
+		cols = append(cols, v.gatherWorkers(lIdx, w))
 	}
 	for _, v := range right.Cols {
-		cols = append(cols, v.gather(rIdx))
+		cols = append(cols, v.gatherWorkers(rIdx, w))
 	}
 	out := &Table{Name: left.Name + "⋈" + right.Name, Schema: sch, Cols: cols}
 	e.Log.Add(Step{
@@ -732,8 +744,10 @@ func (e *Exec) Join(left, right *Table, leftKey, rightKey string) *Table {
 	return out
 }
 
-// memberTyped is the semi/anti-join kernel for one key type: per
+// memberTyped is the serial semi/anti-join kernel for one key type: per
 // logical left row, whether its key appears in the right key column.
+// Like matchTyped, it is the retained serial reference for the parallel
+// kernels.
 func memberTyped[K comparable](left, right *Table, lKeys, rKeys []K) []bool {
 	ln, rn := left.NumRows(), right.NumRows()
 	set := make(map[K]struct{}, rn)
@@ -747,29 +761,13 @@ func memberTyped[K comparable](left, right *Table, lKeys, rKeys []K) []bool {
 	return hit
 }
 
-// keyMembership dispatches the typed semi/anti-join kernel — the shared
-// core of SemiJoin and AntiJoin — on the key column type.
-func keyMembership(left, right *Table, li, ri int) []bool {
-	if left.Schema[li].Type != right.Schema[ri].Type {
-		panic(fmt.Sprintf("relal: join key type mismatch: %q vs %q",
-			left.Schema[li].Name, right.Schema[ri].Name))
-	}
-	switch left.Schema[li].Type {
-	case Int:
-		return memberTyped(left, right, left.Cols[li].Ints, right.Cols[ri].Ints)
-	case Float:
-		return memberTyped(left, right, left.Cols[li].Floats, right.Cols[ri].Floats)
-	default:
-		return memberTyped(left, right, left.Cols[li].Strs, right.Cols[ri].Strs)
-	}
-}
-
 // semiAnti implements SemiJoin (keep=true) and AntiJoin (keep=false) as
-// zero-copy views over left.
+// zero-copy views over left. The membership probe runs on the Exec's
+// worker pool.
 func (e *Exec) semiAnti(left, right *Table, leftKey, rightKey, suffix string, keep bool) *Table {
 	li := left.Schema.Col(leftKey)
 	ri := right.Schema.Col(rightKey)
-	hit := keyMembership(left, right, li, ri)
+	hit := keyMembershipWorkers(left, right, li, ri, e.workers())
 	sel := make([]int32, 0, len(hit))
 	for i, h := range hit {
 		if h == keep {
@@ -1179,8 +1177,9 @@ func (e *Exec) Sort(t *Table, keys ...OrderSpec) *Table {
 // Limit truncates t to n rows (zero-copy: the selection vector is
 // truncated, or synthesized for a dense input).
 func (e *Exec) Limit(t *Table, n int) *Table {
-	t.shared = true
-	out := &Table{Name: t.Name, Schema: t.Schema, Cols: t.Cols, sel: t.sel, shared: true}
+	markShared(t)
+	out := &Table{Name: t.Name, Schema: t.Schema, Cols: t.Cols, sel: t.sel}
+	out.shared.Store(true)
 	if t.NumRows() > n {
 		if t.sel != nil {
 			out.sel = t.sel[:n]
@@ -1273,7 +1272,7 @@ func extendWith(t *Table, name string, col *Vector) *Table {
 	d := t.Compacted()
 	if d == t {
 		// Dense input: the output aliases t's vectors directly.
-		t.shared = true
+		markShared(t)
 	}
 	cols := make([]*Vector, 0, len(d.Cols)+1)
 	cols = append(cols, d.Cols...)
@@ -1282,7 +1281,8 @@ func extendWith(t *Table, name string, col *Vector) *Table {
 	sch = append(sch, t.Schema...)
 	sch = append(sch, Column{Name: name, Type: col.Kind})
 	// The first len(d.Cols) vectors alias the (compacted) input.
-	out := &Table{Name: t.Name, Schema: sch, Cols: cols, shared: true}
+	out := &Table{Name: t.Name, Schema: sch, Cols: cols}
+	out.shared.Store(true)
 	SetBase(out, BaseOf(t))
 	return out
 }

@@ -11,6 +11,8 @@
 // produces exactly the rows a full scan would.
 package relal
 
+import "sync/atomic"
+
 // ZoneMap is the min/max summary of one column chunk (one column within
 // one row group). Exactly the pair matching Kind is meaningful.
 type ZoneMap struct {
@@ -181,12 +183,42 @@ func (s ScanStats) SkippedFrac() float64 {
 	return float64(s.BytesSkipped) / float64(tot)
 }
 
-// add accumulates other into s.
-func (s *ScanStats) add(other ScanStats) {
+// Add accumulates other into s. Plain field addition — for accumulation
+// across goroutines (streams sharing one Source) use ScanCounter.
+func (s *ScanStats) Add(other ScanStats) {
 	s.BytesRead += other.BytesRead
 	s.BytesSkipped += other.BytesSkipped
 	s.GroupsRead += other.GroupsRead
 	s.GroupsSkipped += other.GroupsSkipped
+}
+
+// ScanCounter accumulates ScanStats atomically. Sources embed one so
+// their lifetime byte accounting stays exact when many query streams
+// scan through the same Source concurrently; per-query accounting still
+// comes from the Step log, which is private to each Exec.
+type ScanCounter struct {
+	bytesRead, bytesSkipped   atomic.Int64
+	groupsRead, groupsSkipped atomic.Int64
+}
+
+// Observe folds one scan's stats into the counter.
+func (c *ScanCounter) Observe(s ScanStats) {
+	c.bytesRead.Add(s.BytesRead)
+	c.bytesSkipped.Add(s.BytesSkipped)
+	c.groupsRead.Add(int64(s.GroupsRead))
+	c.groupsSkipped.Add(int64(s.GroupsSkipped))
+}
+
+// Total returns the accumulated stats. Each field is read atomically; a
+// snapshot taken while scans are in flight is a consistent set of sums
+// as of some interleaving, which is all a throughput report needs.
+func (c *ScanCounter) Total() ScanStats {
+	return ScanStats{
+		BytesRead:     c.bytesRead.Load(),
+		BytesSkipped:  c.bytesSkipped.Load(),
+		GroupsRead:    int(c.groupsRead.Load()),
+		GroupsSkipped: int(c.groupsSkipped.Load()),
+	}
 }
 
 // Source provides base tables to the Scan operator. Implementations
@@ -283,7 +315,13 @@ type TableSource struct {
 	T *Table
 	// GroupRows is the virtual row-group size (0 = default).
 	GroupRows int
+
+	counter ScanCounter
 }
+
+// TotalStats returns the stats accumulated across every scan served by
+// this source, from any goroutine.
+func (s *TableSource) TotalStats() ScanStats { return s.counter.Total() }
 
 // NewTableSource wraps t with the default virtual row-group size.
 func NewTableSource(t *Table) *TableSource { return &TableSource{T: t} }
@@ -334,6 +372,7 @@ func (s *TableSource) ScanTable(cols []string, pred ZonePredicate) (*Table, Scan
 			}
 		}
 	}
+	s.counter.Observe(stats)
 	return s.T, stats
 }
 
@@ -341,16 +380,35 @@ func (s *TableSource) ScanTable(cols []string, pred ZonePredicate) (*Table, Scan
 // source decides how little it can read given the column subset and the
 // predicate, and the step records the skipped-bytes accounting for the
 // engines' cost models.
+//
+// The returned table never aliases the source's header: a source may
+// hand back a table shared by every concurrent scan (TableSource returns
+// its backing table whole), so the base annotation goes on a fresh
+// zero-copy wrapper instead of mutating the shared struct. That makes a
+// scan safe to run from many query streams at once.
 func (e *Exec) ScanSource(src Source, cols []string, pred ZonePredicate) *Table {
 	t, stats := src.ScanTable(cols, pred)
+	name := src.SrcName()
+	width := t.AvgRowBytes()
+	if t.Base != name {
+		// The wrapper aliases the source table's vectors, so the source
+		// must carry the shared flag too or a later AppendRow to it
+		// would mutate the aliased vectors in place. markShared is
+		// write-free on already-shared tables (every base table), so
+		// concurrent streams only ever read the flag here.
+		markShared(t)
+		w := &Table{Name: t.Name, Schema: t.Schema, Cols: t.Cols, sel: t.sel, Base: name}
+		w.avgBytes.Store(int64(width))
+		w.shared.Store(true)
+		t = w
+	}
 	e.Log.Add(Step{
-		Kind: StepScan, Table: src.SrcName(),
-		LeftRows: t.NumRows(), LeftWidth: t.AvgRowBytes(),
-		OutRows: t.NumRows(), OutWidth: t.AvgRowBytes(),
-		LeftBase:      src.SrcName(),
+		Kind: StepScan, Table: name,
+		LeftRows: t.NumRows(), LeftWidth: width,
+		OutRows: t.NumRows(), OutWidth: width,
+		LeftBase:      name,
 		ScanBytesRead: stats.BytesRead, ScanBytesSkipped: stats.BytesSkipped,
 		ScanGroupsRead: stats.GroupsRead, ScanGroupsSkipped: stats.GroupsSkipped,
 	})
-	SetBase(t, src.SrcName())
 	return t
 }

@@ -1,0 +1,32 @@
+package relal
+
+import "testing"
+
+// TestScanSourceWrapperProtectsSource: ScanSource returns a zero-copy
+// wrapper over the source's table instead of mutating its header, but
+// the source table must still be flagged shared — otherwise a later
+// AppendRow to it would grow the aliased vectors in place and silently
+// resize every retained query output derived from the scan.
+func TestScanSourceWrapperProtectsSource(t *testing.T) {
+	tb := NewTable("t", Schema{{Name: "k", Type: Int}})
+	AppendRow(tb, Row{int64(1)})
+	AppendRow(tb, Row{int64(2)})
+	e := &Exec{Parallelism: 1}
+	scanned := e.ScanSource(NewTableSource(tb), []string{"k"}, nil)
+	if BaseOf(scanned) != "t" || BaseOf(tb) == "t" {
+		t.Fatalf("base annotation should live on the wrapper only: wrapper=%q source=%q",
+			BaseOf(scanned), BaseOf(tb))
+	}
+	proj := e.Project(scanned, "k")
+	if proj.NumRows() != 2 {
+		t.Fatalf("projection has %d rows, want 2", proj.NumRows())
+	}
+	AppendRow(tb, Row{int64(3)})
+	if tb.NumRows() != 3 {
+		t.Fatalf("source table has %d rows after append, want 3", tb.NumRows())
+	}
+	if proj.NumRows() != 2 {
+		t.Fatalf("AppendRow to the scanned base table leaked into a retained query output (%d rows)",
+			proj.NumRows())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"elephants/internal/relal"
 )
@@ -147,7 +148,9 @@ func isLeap(y int) bool { return y%4 == 0 && (y%100 != 0 || y%400 == 0) }
 // 1998-08-02 for shipdates per the spec's o_orderdate + intervals).
 const orderDateDays = 2406 // orderdates span 1992-01-01 .. 1998-08-02
 
-// DB holds the eight generated tables.
+// DB holds the eight generated tables. Tables are immutable after
+// generation, and the lazily-populated source registry is mutex-guarded,
+// so one DB can serve any number of concurrent query streams.
 type DB struct {
 	SF       float64
 	Region   *relal.Table
@@ -159,14 +162,20 @@ type DB struct {
 	Orders   *relal.Table
 	Lineitem *relal.Table
 
+	// srcMu guards srcs: Src is called from every scan of every stream
+	// and creates in-memory TableSources on first use.
+	srcMu sync.Mutex
 	// srcs holds the scan sources queries read base tables through;
 	// unset entries default to in-memory TableSources over the tables
 	// above. SetSource swaps in other backends (e.g. rcfile.Source).
 	srcs map[string]relal.Source
 }
 
-// Src returns the scan source serving the named base table.
+// Src returns the scan source serving the named base table. Safe for
+// concurrent use.
 func (db *DB) Src(name string) relal.Source {
+	db.srcMu.Lock()
+	defer db.srcMu.Unlock()
 	if s, ok := db.srcs[name]; ok {
 		return s
 	}
@@ -182,6 +191,8 @@ func (db *DB) Src(name string) relal.Source {
 // scans go through it from then on. The in-memory table stays available
 // via Table for generators and layout arithmetic.
 func (db *DB) SetSource(name string, s relal.Source) {
+	db.srcMu.Lock()
+	defer db.srcMu.Unlock()
 	if db.srcs == nil {
 		db.srcs = make(map[string]relal.Source)
 	}

@@ -7,6 +7,10 @@
 #   BENCH_PR2.json  morsel-parallel speedup (workers=1 vs GOMAXPROCS) on
 #                   a multi-row-group Filter/Aggregate bench, plus the
 #                   RCFile pushdown bytes-skipped accounting for Q1/Q6
+#   BENCH_PR3.json  parallel-join speedup for the join-heavy Q3/Q9
+#                   (workers=1 vs GOMAXPROCS) plus concurrent
+#                   query-stream throughput (streams=1 vs GOMAXPROCS
+#                   over one shared DB, via cmd/tpchbench -streams)
 #
 # Usage:
 #
@@ -93,3 +97,36 @@ scan=$(go run ./cmd/scanstats -sf 0.01 -group-rows 2048 -queries 1,6)
 	echo '}'
 } > "$out2"
 echo "wrote $out2"
+
+# ---- BENCH_PR3.json: parallel joins + concurrent query streams ----
+out3="BENCH_PR3.json"
+
+jraw=$(go test -run xxx -bench 'BenchmarkTPCHJoinQuery' -benchtime "${BENCHTIME:-3x}" ./internal/tpch/)
+q3w1=$(echo "$jraw" | awk '$1 ~ /Q3\/workers=1/ {print $3; exit}')
+q3wm=$(echo "$jraw" | awk '$1 ~ /Q3\/workers=max/ {print $3; exit}')
+q9w1=$(echo "$jraw" | awk '$1 ~ /Q9\/workers=1/ {print $3; exit}')
+q9wm=$(echo "$jraw" | awk '$1 ~ /Q9\/workers=max/ {print $3; exit}')
+[ -n "$q3w1" ] && [ -n "$q3wm" ] && [ -n "$q9w1" ] && [ -n "$q9wm" ] || {
+	echo "bench.sh: TPCHJoinQuery results missing" >&2; exit 1; }
+q3sp=$(awk -v a="$q3w1" -v b="$q3wm" 'BEGIN { printf "%.3f", a / b }')
+q9sp=$(awk -v a="$q9w1" -v b="$q9wm" 'BEGIN { printf "%.3f", a / b }')
+
+rounds="${STREAM_ROUNDS:-3}"
+s1=$(go run ./cmd/tpchbench -streams 1 -stream-rounds "$rounds" -laptop-sf 0.01 -stream-json)
+sm=$(go run ./cmd/tpchbench -streams "$cores" -stream-rounds "$rounds" -laptop-sf 0.01 -stream-json)
+[ -n "$s1" ] && [ -n "$sm" ] || { echo "bench.sh: stream results missing" >&2; exit 1; }
+
+{
+	echo '{'
+	echo '  "benchmark": "BenchmarkTPCHJoinQuery (Q3/Q9 per-op wall time, SF 0.01) + cmd/tpchbench -streams (22-query streams over one shared DB, SF 0.01)",'
+	echo "  \"gomaxprocs\": $cores,"
+	echo '  "note": "join speedup = workers_1 / workers_max ns/op; stream scaling = streams_max qps / streams_1 qps; both ~1 on 1-core hosts",'
+	echo '  "join_queries": {'
+	echo "    \"Q3\": {\"workers_1_ns_op\": $q3w1, \"workers_max_ns_op\": $q3wm, \"speedup\": $q3sp},"
+	echo "    \"Q9\": {\"workers_1_ns_op\": $q9w1, \"workers_max_ns_op\": $q9wm, \"speedup\": $q9sp}"
+	echo '  },'
+	echo "  \"streams_1\": $s1,"
+	echo "  \"streams_max\": $sm"
+	echo '}'
+} > "$out3"
+echo "wrote $out3"
