@@ -17,14 +17,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Concurrent-stream golden tests + differential parallel-join suite
-# under the race detector (CI's `streams` job).
+# Concurrent-stream golden tests + differential parallel-join/sort
+# suites under the race detector (CI's `streams` job).
 streams:
-	$(GO) test -race -run 'Stream|JoinParallel' ./...
+	$(GO) test -race -run 'Stream|JoinParallel|SortParallel|TopK' ./...
 
-# Short fuzz run over the join key-partitioning path.
+# Short fuzz runs over the join key-partitioning and sort/top-K paths.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzJoinKeys -fuzztime 15s ./internal/relal/
+	$(GO) test -run xxx -fuzz FuzzSortKeys -fuzztime 15s ./internal/relal/
 
 vet:
 	$(GO) vet ./...

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"elephants/internal/core"
+	"elephants/internal/tpch"
 )
 
 func main() {
@@ -34,7 +35,12 @@ func main() {
 	streams := flag.Int("streams", 0, "run N concurrent query streams instead of the paper tables")
 	streamRounds := flag.Int("stream-rounds", 3, "rounds of the query list per stream")
 	streamJSON := flag.Bool("stream-json", false, "emit the stream result as JSON (for bench.sh)")
+	noTopK := flag.Bool("no-topk", false, "disable the fused TopK operator (bounded queries run unfused Sort+Limit; answers identical)")
 	flag.Parse()
+
+	if *noTopK {
+		tpch.TopKFusion = false
+	}
 
 	var qids []int
 	var err error
@@ -80,26 +86,38 @@ func main() {
 func runStreams(cfg core.TPCHStreamConfig, asJSON bool) {
 	res := core.RunTPCHStreams(cfg)
 	if asJSON {
-		fmt.Printf("{\"streams\": %d, \"rounds\": %d, \"workers\": %d, \"queries\": %d, \"elapsed_ms\": %.1f, \"qps\": %.2f, \"per_query_ms\": {",
+		fmt.Printf("{\"streams\": %d, \"rounds\": %d, \"workers\": %d, \"queries\": %d, \"elapsed_ms\": %.1f, \"qps\": %.2f, \"topk_fusion\": %v, \"per_query_ms\": {",
 			res.Streams, res.Rounds, res.Workers, res.Queries,
-			float64(res.Elapsed.Microseconds())/1000, res.QPS)
+			float64(res.Elapsed.Microseconds())/1000, res.QPS, tpch.TopKFusion)
 		for i, id := range res.QueryIDs() {
 			if i > 0 {
 				fmt.Print(", ")
 			}
 			fmt.Printf("\"Q%d\": %.2f", id, float64(res.PerQuery[id].Microseconds())/1000)
 		}
+		fmt.Print("}, \"per_query_sort_ms\": {")
+		for i, id := range res.QueryIDs() {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("\"Q%d\": %.2f", id, float64(res.PerQuerySort[id].Microseconds())/1000)
+		}
 		fmt.Println("}}")
 		return
 	}
 	fmt.Printf("Concurrent query streams: %d stream(s) x %d round(s), %d morsel worker(s) per query\n",
 		res.Streams, res.Rounds, res.Workers)
-	fmt.Printf("  %d queries in %v  =>  %.2f queries/sec\n", res.Queries, res.Elapsed, res.QPS)
+	fmt.Printf("  %d queries in %v  =>  %.2f queries/sec (topk fusion %v)\n",
+		res.Queries, res.Elapsed, res.QPS, tpch.TopKFusion)
 	fmt.Printf("  scan accounting: %d B read, %d B skipped (%.0f%% skipped)\n",
 		res.Scanned.BytesRead, res.Scanned.BytesSkipped, 100*res.Scanned.SkippedFrac())
-	fmt.Println("  cumulative wall time per query (all streams):")
+	fmt.Println("  cumulative wall time per query (all streams), with sort-kernel share:")
 	for _, id := range res.QueryIDs() {
-		fmt.Printf("    Q%-3d %12v\n", id, res.PerQuery[id])
+		share := 0.0
+		if res.PerQuery[id] > 0 {
+			share = 100 * float64(res.PerQuerySort[id]) / float64(res.PerQuery[id])
+		}
+		fmt.Printf("    Q%-3d %12v   sort %5.1f%%\n", id, res.PerQuery[id], share)
 	}
 }
 

@@ -264,23 +264,10 @@ func (w *Warehouse) RunQuery(p *sim.Proc, id int) QueryStats {
 	}
 
 	// With pushdown enabled, collect the per-table skipped-bytes
-	// fraction the functional scans measured (multiple scans of one
-	// table keep the most conservative ratio).
+	// fraction the functional scans measured.
 	pruned := pruneMap{}
 	if w.cfg.PredicatePushdown {
-		for _, step := range log.Steps {
-			if step.Kind != relal.StepScan || step.LeftBase == "" {
-				continue
-			}
-			tot := step.ScanBytesRead + step.ScanBytesSkipped
-			if tot == 0 {
-				continue
-			}
-			frac := float64(step.ScanBytesSkipped) / float64(tot)
-			if cur, ok := pruned[step.LeftBase]; !ok || frac < cur {
-				pruned[step.LeftBase] = frac
-			}
-		}
+		pruned = pruneMap(log.SkippedScanFracs())
 	}
 
 	// Track the "current" intermediate: Hive chains jobs, each

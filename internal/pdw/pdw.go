@@ -71,6 +71,14 @@ type Config struct {
 	// the aggregate pool and scans skip disk — the paper's explanation
 	// for PDW's largest speedups at SF 250.
 	PoolBytesPerNode int64
+	// SegmentElimination is PDW's counterpart to Hive's
+	// PredicatePushdown what-if: column-store scans consume the same
+	// skipped-bytes ratio the functional scan pipeline measured (column
+	// subsets plus zone-map group pruning) and skip both the disk read
+	// and the predicate CPU for eliminated segments. Off by default —
+	// the paper's PDW build predates clustered columnstore segment
+	// elimination, so base scans read every byte.
+	SegmentElimination bool
 }
 
 // DefaultConfig returns the paper-calibrated tuning.
@@ -169,8 +177,14 @@ func (w *PDW) cachedFraction() float64 {
 
 // scan charges a parallel striped scan of bytes total across the
 // cluster with per-core predicate evaluation. Only the uncached
-// fraction of the bytes touches disk.
-func (w *PDW) scan(p *sim.Proc, bytes int64) {
+// fraction of the bytes touches disk. skipFrac is the
+// segment-elimination fraction: that share of the bytes is never read
+// from disk nor pushed through predicate evaluation (zero unless
+// Config.SegmentElimination is on).
+func (w *PDW) scan(p *sim.Proc, bytes int64, skipFrac float64) {
+	if skipFrac > 0 {
+		bytes = int64(float64(bytes) * (1 - skipFrac))
+	}
 	n := int64(len(w.cl.Nodes))
 	share := bytes / n
 	diskShare := int64(float64(share) * (1 - w.cachedFraction()))
@@ -256,6 +270,14 @@ func (w *PDW) RunQuery(p *sim.Proc, id int) QueryStats {
 		return int64(float64(rows) * float64(width) * ratio * proj)
 	}
 
+	// With segment elimination on, collect the per-table skipped-bytes
+	// fraction the functional scans measured — the same consumption of
+	// the step log the Hive model's PredicatePushdown does.
+	pruned := map[string]float64{}
+	if w.cfg.SegmentElimination {
+		pruned = log.SkippedScanFracs()
+	}
+
 	p.Sleep(w.cfg.ControlNodeOverhead)
 
 	// Distribution of the running intermediate (chained plans).
@@ -276,15 +298,19 @@ func (w *PDW) RunQuery(p *sim.Proc, id int) QueryStats {
 			continue // charged by the consuming operator
 		case relal.StepFilter:
 			// Base-table filters charge the scan once; intermediate
-			// filters are free (pipelined).
+			// filters are free (pipelined). The report records the bytes
+			// actually pushed through the scan, so with segment
+			// elimination it shows the post-pruning size the elapsed
+			// time was charged for.
 			if step.LeftBase != "" && !scannedBase[step.LeftBase] {
 				t0 := p.Now()
-				w.scan(p, w.tableBytes(step.LeftBase))
-				scannedBase[step.LeftBase] = true
-				report("scan:"+step.LeftBase, "", w.tableBytes(step.LeftBase), t0)
-				if step.LeftBase == "" {
-					cur = sideState{}
+				bytes := w.tableBytes(step.LeftBase)
+				if f := pruned[step.LeftBase]; f > 0 {
+					bytes = int64(float64(bytes) * (1 - f))
 				}
+				w.scan(p, w.tableBytes(step.LeftBase), pruned[step.LeftBase])
+				scannedBase[step.LeftBase] = true
+				report("scan:"+step.LeftBase, "", bytes, t0)
 			}
 		case relal.StepJoin:
 			t0 := p.Now()
@@ -294,7 +320,7 @@ func (w *PDW) RunQuery(p *sim.Proc, id int) QueryStats {
 			if step.LeftBase != "" {
 				left = baseState(step.LeftBase)
 				if !scannedBase[step.LeftBase] {
-					w.scan(p, w.tableBytes(step.LeftBase))
+					w.scan(p, w.tableBytes(step.LeftBase), pruned[step.LeftBase])
 					scannedBase[step.LeftBase] = true
 				}
 			} else {
@@ -303,7 +329,7 @@ func (w *PDW) RunQuery(p *sim.Proc, id int) QueryStats {
 			if step.RightBase != "" {
 				right = baseState(step.RightBase)
 				if !scannedBase[step.RightBase] {
-					w.scan(p, w.tableBytes(step.RightBase))
+					w.scan(p, w.tableBytes(step.RightBase), pruned[step.RightBase])
 					scannedBase[step.RightBase] = true
 				}
 			} else {
@@ -351,7 +377,7 @@ func (w *PDW) RunQuery(p *sim.Proc, id int) QueryStats {
 			t0 := p.Now()
 			in := scaled(step.LeftRows, step.LeftWidth)
 			if step.LeftBase != "" && !scannedBase[step.LeftBase] {
-				w.scan(p, w.tableBytes(step.LeftBase))
+				w.scan(p, w.tableBytes(step.LeftBase), pruned[step.LeftBase])
 				scannedBase[step.LeftBase] = true
 			}
 			// Local partial aggregation, then a small global merge on

@@ -152,3 +152,34 @@ func TestLoadTimeScales(t *testing.T) {
 		t.Errorf("PDW load 250→1000 scaling = %.2f, want ≈4 (paper: 79→313 min)", ratio)
 	}
 }
+
+// TestSegmentEliminationSpeedsUpScans mirrors the Hive model's
+// predicate-pushdown test: with the tunable on, scan-heavy queries
+// consume the functional run's skipped-bytes ratio (column subsets plus
+// zone-map pruning) and skip the eliminated segments' disk and CPU;
+// paper-faithful PDW (knob off) reads every byte of every scanned
+// column store.
+func TestSegmentEliminationSpeedsUpScans(t *testing.T) {
+	run := func(elim bool, id int) sim.Duration {
+		cfg := DefaultConfig()
+		cfg.SegmentElimination = elim
+		s, w := testPDW(1000, cfg)
+		return runQ(s, w, id).Total
+	}
+	for _, id := range []int{1, 6} {
+		base := run(false, id)
+		pruned := run(true, id)
+		if pruned >= base {
+			t.Errorf("Q%d with segment elimination (%v) should beat paper-faithful PDW (%v)", id, pruned, base)
+		}
+	}
+	// Answers are unaffected — elimination only moves the cost charge.
+	cfg := DefaultConfig()
+	cfg.SegmentElimination = true
+	s, w := testPDW(1000, cfg)
+	qs := runQ(s, w, 6)
+	ref, _ := tpch.RunQuery(6, w.db)
+	if qs.Answer.FloatCol("revenue").Get(0) != ref.FloatCol("revenue").Get(0) {
+		t.Error("segment elimination changed the Q6 answer")
+	}
+}

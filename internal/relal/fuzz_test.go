@@ -2,6 +2,7 @@ package relal
 
 import (
 	"encoding/binary"
+	"math"
 	"testing"
 )
 
@@ -65,6 +66,77 @@ func FuzzJoinKeys(f *testing.F) {
 			}
 			if got := render(e.AntiJoin(left, right, "lk", "rk")); got != wantAnti {
 				t.Fatalf("workers=%d AntiJoin drifts on fuzz input", workers)
+			}
+		}
+	})
+}
+
+// FuzzSortKeys fuzzes the morsel-parallel sort and fused top-K:
+// arbitrary bytes become a two-key column pair (an int key folded to a
+// fuzz-chosen modulus for heavy duplication, plus a derived float key
+// planting NaN and signed zero), and Sort/TopK must reproduce the serial
+// stable sort (and Limit-after-Sort) byte-for-byte at several worker
+// counts. The morsel size is shrunk so tiny inputs still cross the
+// local-sort/merge-tree and per-morsel-heap paths.
+func FuzzSortKeys(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 9, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte("duplicate keys duplicate keys duplicate keys"))
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0xfc, 0xfb, 0xfa, 0xf9, 0xf8,
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0x80, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		old := sortMorselRows
+		sortMorselRows = 4
+		defer func() { sortMorselRows = old }()
+
+		// Layout: byte 0 picks the key cardinality modulus, byte 1 the
+		// top-K bound; the rest becomes 8-byte int keys (tail bytes pad
+		// with zero, planting duplicate zero keys).
+		var mod int64 = 1
+		k := 0
+		if len(data) > 0 {
+			mod = int64(data[0])%31 + 1
+		}
+		words := (len(data) + 7) / 8
+		if len(data) > 1 {
+			k = int(data[1]) % (words + 2)
+		}
+		ints := make([]int64, words)
+		floats := make([]float64, words)
+		pos := make([]int64, words)
+		for i := range ints {
+			var w [8]byte
+			copy(w[:], data[i*8:])
+			x := int64(binary.LittleEndian.Uint64(w[:])) % mod
+			ints[i] = x
+			switch x % 5 {
+			case 0:
+				floats[i] = math.NaN()
+			case 1:
+				floats[i] = math.Copysign(0, -1)
+			default:
+				floats[i] = float64(x) / 2
+			}
+			pos[i] = int64(i)
+		}
+		in := NewTable("s", Schema{
+			{Name: "ki", Type: Int},
+			{Name: "kf", Type: Float},
+			{Name: "pos", Type: Int},
+		}, IntsV(ints), FloatsV(floats), IntsV(pos))
+		keys := []OrderSpec{{Col: "kf"}, {Col: "ki", Desc: true}}
+
+		serial := &Exec{Parallelism: 1}
+		wantSort := render(serial.Sort(in, keys...))
+		wantTop := render(serial.Limit(serial.Sort(in, keys...), k))
+		for _, workers := range []int{2, 3, 7} {
+			e := &Exec{Parallelism: workers}
+			if got := render(e.Sort(in, keys...)); got != wantSort {
+				t.Fatalf("workers=%d Sort drifts on fuzz input", workers)
+			}
+			if got := render(e.TopK(in, k, keys...)); got != wantTop {
+				t.Fatalf("workers=%d TopK(k=%d) drifts on fuzz input", workers, k)
 			}
 		}
 	})

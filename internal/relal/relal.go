@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Type is a column type.
@@ -554,6 +555,11 @@ type Step struct {
 // StepLog accumulates steps in execution order.
 type StepLog struct {
 	Steps []Step
+	// SortNanos is host wall time spent inside the Sort/TopK kernels
+	// (permutation + top-k selection, excluding logging), letting
+	// harnesses report each query's sort share without touching the
+	// cost-model-facing Step fields.
+	SortNanos int64
 }
 
 // Add appends a step.
@@ -1117,27 +1123,19 @@ type OrderSpec struct {
 }
 
 // cmpFn returns a physical-index comparator over one typed key column;
-// neg is -1 for descending keys.
+// neg is -1 for descending keys. cmp.Compare gives a total order even
+// for float NaN (NaN sorts before every number and ties with itself) —
+// a non-transitive comparator would let two correct stable sorts
+// produce different permutations, which the parallel/serial
+// differential contract forbids.
 func cmpFn[K cmp.Ordered](xs []K, neg int) func(a, b int32) int {
 	return func(a, b int32) int {
-		switch x, y := xs[a], xs[b]; {
-		case x < y:
-			return -neg
-		case x > y:
-			return neg
-		}
-		return 0
+		return neg * cmp.Compare(xs[a], xs[b])
 	}
 }
 
-// Sort orders t by the given keys, logging the step. The sort permutes
-// an index slice over the shared column vectors — no row is copied.
-func (e *Exec) Sort(t *Table, keys ...OrderSpec) *Table {
-	n := t.NumRows()
-	idx := make([]int32, n)
-	for i := range idx {
-		idx[i] = t.phys(i)
-	}
+// sortCmps builds the per-key physical-index comparators for t.
+func sortCmps(t *Table, keys []OrderSpec) []func(a, b int32) int {
 	cmps := make([]func(a, b int32) int, len(keys))
 	for k, spec := range keys {
 		ci := t.Schema.Col(spec.Col)
@@ -1155,6 +1153,20 @@ func (e *Exec) Sort(t *Table, keys ...OrderSpec) *Table {
 			cmps[k] = cmpFn(col.Strs, neg)
 		}
 	}
+	return cmps
+}
+
+// sortIndexSerial is the serial sort kernel: a single stable sort of the
+// physical-index vector. It is retained verbatim as the differential
+// reference the morsel-parallel kernel in sort_parallel.go is tested
+// against (stability fully determines the permutation, so the parallel
+// merge must reproduce it byte-for-byte).
+func sortIndexSerial(t *Table, cmps []func(a, b int32) int) []int32 {
+	n := t.NumRows()
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = t.phys(i)
+	}
 	sort.SliceStable(idx, func(a, b int) bool {
 		for _, c := range cmps {
 			if r := c(idx[a], idx[b]); r != 0 {
@@ -1163,6 +1175,18 @@ func (e *Exec) Sort(t *Table, keys ...OrderSpec) *Table {
 		}
 		return false
 	})
+	return idx
+}
+
+// Sort orders t by the given keys, logging the step. The sort permutes
+// an index slice over the shared column vectors — no row is copied. The
+// permutation is produced by the morsel-parallel merge sort on the
+// Exec's worker pool (sort_parallel.go) and is byte-identical to the
+// serial stable sort at every pool size.
+func (e *Exec) Sort(t *Table, keys ...OrderSpec) *Table {
+	start := time.Now()
+	idx := sortIndexWorkers(t, sortCmps(t, keys), e.workers())
+	e.Log.SortNanos += time.Since(start).Nanoseconds()
 	out := view(t, t.Name+"_s", idx)
 	e.Log.Add(Step{
 		Kind: StepSort, Table: t.Name,
@@ -1174,8 +1198,11 @@ func (e *Exec) Sort(t *Table, keys ...OrderSpec) *Table {
 	return out
 }
 
-// Limit truncates t to n rows (zero-copy: the selection vector is
-// truncated, or synthesized for a dense input).
+// Limit truncates t to n rows as a zero-copy view (the selection vector
+// is truncated, or synthesized for a dense input — the input table is
+// never written, so concurrent streams can limit one shared table). The
+// step is logged with the truncated view's own width; both cost models
+// fold limits into the surrounding job, so replayed costs are unchanged.
 func (e *Exec) Limit(t *Table, n int) *Table {
 	markShared(t)
 	out := &Table{Name: t.Name, Schema: t.Schema, Cols: t.Cols, sel: t.sel}
@@ -1191,6 +1218,12 @@ func (e *Exec) Limit(t *Table, n int) *Table {
 			out.sel = sel
 		}
 	}
+	e.Log.Add(Step{
+		Kind: StepLimit, Table: t.Name,
+		LeftRows: t.NumRows(), LeftWidth: t.AvgRowBytes(),
+		OutRows: out.NumRows(), OutWidth: out.AvgRowBytes(),
+		LeftBase: BaseOf(t),
+	})
 	SetBase(out, BaseOf(t))
 	return out
 }

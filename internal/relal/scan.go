@@ -221,6 +221,31 @@ func (c *ScanCounter) Total() ScanStats {
 	}
 }
 
+// SkippedScanFracs returns, per base table, the fraction of scan bytes
+// the log's pushdown-aware scans could skip (column subsets plus
+// zone-map group pruning). Multiple scans of one table keep the most
+// conservative (smallest) fraction. Both cost models consume the log
+// through this helper, so their pushdown what-ifs (Hive's
+// PredicatePushdown, PDW's SegmentElimination) discount exactly the
+// same bytes.
+func (l StepLog) SkippedScanFracs() map[string]float64 {
+	fracs := map[string]float64{}
+	for _, step := range l.Steps {
+		if step.Kind != StepScan || step.LeftBase == "" {
+			continue
+		}
+		tot := step.ScanBytesRead + step.ScanBytesSkipped
+		if tot == 0 {
+			continue
+		}
+		frac := float64(step.ScanBytesSkipped) / float64(tot)
+		if cur, ok := fracs[step.LeftBase]; !ok || frac < cur {
+			fracs[step.LeftBase] = frac
+		}
+	}
+	return fracs
+}
+
 // Source provides base tables to the Scan operator. Implementations
 // decide how much of the table the requested columns and predicate let
 // them avoid materializing.

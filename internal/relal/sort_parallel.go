@@ -1,0 +1,258 @@
+// Morsel-parallel sorting. Sort was the last serial relal kernel: a
+// single stable sort of the physical-index vector over the shared column
+// vectors. The parallel pipeline mirrors join_parallel.go's structure and
+// keeps the same determinism contract — the output permutation is
+// byte-identical to the serial sort.SliceStable at any worker count:
+//
+//  1. Local sort: the index vector splits into fixed-size morsels and
+//     each worker stable-sorts its morsels in place. Within a morsel,
+//     equal keys keep their original relative order.
+//  2. Merge: adjacent sorted runs merge pairwise up a binary merge tree
+//     (a deterministic multi-way merge; merges at one level are
+//     independent and run across the pool). On equal keys the left run
+//     wins — left-run rows precede right-run rows in the input, so the
+//     tie-break is exactly the original row order, which is the one
+//     permutation a stable sort produces. Run boundaries depend only on
+//     the row count and morsel size, never on the worker count.
+//
+// TopK fuses Limit into the sort: each morsel keeps a bounded max-heap
+// of the k least rows under the strict order (sort keys, then original
+// row index — the stable-sort order made total), the ≤ morsels·k
+// candidates are merged, and the first k are the same rows in the same
+// order as Limit-after-Sort, in O(rows·log k) instead of a full sort.
+package relal
+
+import (
+	"sort"
+	"time"
+)
+
+// sortMorselRows is the sort/top-K morsel size and the minimum input
+// size for the sort pipeline to go parallel. It defaults to the scan
+// morsel size; tests shrink it so the merge tree and the per-morsel
+// heaps engage on small randomized tables.
+var sortMorselRows = MorselRows
+
+// cmpIdx compares two physical rows through the key-comparator chain.
+func cmpIdx(cmps []func(a, b int32) int, a, b int32) int {
+	for _, c := range cmps {
+		if r := c(a, b); r != 0 {
+			return r
+		}
+	}
+	return 0
+}
+
+// physIndex materializes t's logical→physical row mapping.
+func physIndex(t *Table) []int32 {
+	idx := make([]int32, t.NumRows())
+	if t.sel != nil {
+		copy(idx, t.sel)
+	} else {
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+	}
+	return idx
+}
+
+// sortIndexWorkers produces the stable sort permutation of t's physical
+// indices on a pool of the given size. workers <= 1 (or a sub-morsel
+// input) takes the retained serial reference kernel, sortIndexSerial,
+// byte-for-byte.
+func sortIndexWorkers(t *Table, cmps []func(a, b int32) int, workers int) []int32 {
+	n := t.NumRows()
+	if workers <= 1 || n <= sortMorselRows {
+		return sortIndexSerial(t, cmps)
+	}
+	idx := physIndex(t)
+	// Phase 1: stable-sort each morsel locally. Each morsel owns a
+	// disjoint slice of idx, so workers never touch the same element.
+	parallelMorselsSize(n, sortMorselRows, workers, func(_, lo, hi int) {
+		seg := idx[lo:hi]
+		sort.SliceStable(seg, func(a, b int) bool {
+			return cmpIdx(cmps, seg[a], seg[b]) < 0
+		})
+	})
+	// Phase 2: merge adjacent runs pairwise, doubling the run width each
+	// level. Ping-pong between idx and buf; every element is copied at
+	// every level (unpaired tail runs via the mid >= hi fast path), so
+	// after each level the destination holds the full permutation.
+	buf := make([]int32, n)
+	for width := sortMorselRows; width < n; width *= 2 {
+		pairs := (n + 2*width - 1) / (2 * width)
+		src, dst := idx, buf
+		parallelRanges(pairs, workers, func(plo, phi int) {
+			for p := plo; p < phi; p++ {
+				lo := p * 2 * width
+				mid := lo + width
+				hi := lo + 2*width
+				if mid > n {
+					mid = n
+				}
+				if hi > n {
+					hi = n
+				}
+				mergeRuns(src, dst, lo, mid, hi, cmps)
+			}
+		})
+		idx, buf = buf, idx
+	}
+	return idx
+}
+
+// mergeRuns stable-merges the sorted runs src[lo:mid) and src[mid:hi)
+// into dst[lo:hi). Ties take the left run — its rows precede the right
+// run's in the original input, preserving stability.
+func mergeRuns(src, dst []int32, lo, mid, hi int, cmps []func(a, b int32) int) {
+	if mid >= hi {
+		copy(dst[lo:hi], src[lo:hi])
+		return
+	}
+	i, j, o := lo, mid, lo
+	for i < mid && j < hi {
+		if cmpIdx(cmps, src[i], src[j]) <= 0 {
+			dst[o] = src[i]
+			i++
+		} else {
+			dst[o] = src[j]
+			j++
+		}
+		o++
+	}
+	o += copy(dst[o:], src[i:mid])
+	copy(dst[o:hi], src[j:hi])
+}
+
+// heapTopK scans logical rows [lo, hi) keeping the k least under less in
+// a bounded max-heap (root = greatest kept candidate), so a morsel costs
+// O(rows·log k) instead of participating in a full sort.
+func heapTopK(lo, hi, k int, less func(i, j int32) bool) []int32 {
+	h := make([]int32, 0, k)
+	for i := lo; i < hi; i++ {
+		x := int32(i)
+		if len(h) < k {
+			h = append(h, x)
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !less(h[p], h[c]) {
+					break
+				}
+				h[p], h[c] = h[c], h[p]
+				c = p
+			}
+			continue
+		}
+		if !less(x, h[0]) {
+			continue
+		}
+		h[0] = x
+		for p := 0; ; {
+			big, l, r := p, 2*p+1, 2*p+2
+			if l < len(h) && less(h[big], h[l]) {
+				big = l
+			}
+			if r < len(h) && less(h[big], h[r]) {
+				big = r
+			}
+			if big == p {
+				break
+			}
+			h[p], h[big] = h[big], h[p]
+			p = big
+		}
+	}
+	return h
+}
+
+// topKIndexWorkers returns the first k physical indices of t's stable
+// sort permutation without sorting the whole input: per-morsel bounded
+// heaps select candidates under the strict (keys, original row index)
+// order, and the ≤ morsels·k survivors sort in one final pass. The
+// index tie-break makes the order total, so the selected set and its
+// order are independent of morsel boundaries and worker count — exactly
+// the rows Limit-after-Sort would keep.
+func topKIndexWorkers(t *Table, cmps []func(a, b int32) int, k, workers int) []int32 {
+	if k <= 0 {
+		return []int32{}
+	}
+	n := t.NumRows()
+	sel := t.sel // nil for dense inputs: physical index == logical index
+	less := func(i, j int32) bool {
+		a, b := i, j
+		if sel != nil {
+			a, b = sel[i], sel[j]
+		}
+		if r := cmpIdx(cmps, a, b); r != 0 {
+			return r < 0
+		}
+		return i < j
+	}
+	var cand []int32
+	if workers <= 1 || n <= sortMorselRows {
+		cand = heapTopK(0, n, k, less)
+	} else {
+		morsels := (n + sortMorselRows - 1) / sortMorselRows
+		parts := make([][]int32, morsels)
+		parallelMorselsSize(n, sortMorselRows, workers, func(m, lo, hi int) {
+			parts[m] = heapTopK(lo, hi, k, less)
+		})
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		cand = make([]int32, 0, total)
+		for _, p := range parts {
+			cand = append(cand, p...)
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool { return less(cand[a], cand[b]) })
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	out := make([]int32, len(cand))
+	for j, i := range cand {
+		if sel != nil {
+			out[j] = sel[i]
+		} else {
+			out[j] = i
+		}
+	}
+	return out
+}
+
+// TopK is the fused Sort+Limit operator: the k first rows of the stable
+// sort of t by keys, as a zero-copy view, byte-identical to
+// e.Limit(e.Sort(t, keys...), k) at every Exec.Parallelism. It logs the
+// same Sort+Limit step pair (full input cardinality on the sort step)
+// the unfused operators would, so the Hive/PDW cost replays are
+// unchanged — the fusion only removes host-side work.
+func (e *Exec) TopK(t *Table, k int, keys ...OrderSpec) *Table {
+	cmps := sortCmps(t, keys)
+	n := t.NumRows()
+	w := e.workers()
+	start := time.Now()
+	var sel []int32
+	if k >= n {
+		sel = sortIndexWorkers(t, cmps, w)
+	} else {
+		sel = topKIndexWorkers(t, cmps, k, w)
+	}
+	e.Log.SortNanos += time.Since(start).Nanoseconds()
+	width := t.AvgRowBytes()
+	e.Log.Add(Step{
+		Kind: StepSort, Table: t.Name,
+		LeftRows: n, LeftWidth: width,
+		OutRows: n, OutWidth: width,
+		LeftBase: BaseOf(t),
+	})
+	out := view(t, t.Name+"_s", sel)
+	SetBase(out, BaseOf(t))
+	e.Log.Add(Step{
+		Kind: StepLimit, Table: out.Name,
+		LeftRows: n, LeftWidth: width,
+		OutRows: out.NumRows(), OutWidth: out.AvgRowBytes(),
+		LeftBase: BaseOf(t),
+	})
+	return out
+}

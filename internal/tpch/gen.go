@@ -231,6 +231,14 @@ type GenConfig struct {
 	// overflow and go negative — the dbgen bug the paper found at the
 	// 16 TB scale factor and fixed with RANDOM64.
 	Random64 bool
+	// ClusterBy names a column to cluster on (e.g. "l_shipdate"): the
+	// base table owning it is rewritten in stable col-sorted order after
+	// generation, before any RCFile encoding. Zone maps only prune when
+	// data is clustered on the predicate column, so this is the layout
+	// knob that makes range pushdown bite (a shipdate-sorted lineitem
+	// skips ~97% of bytes for Q6's one-year range). Empty = the spec's
+	// generation order.
+	ClusterBy string
 }
 
 // Generate builds a TPC-H database at the given scale factor. Laptop
@@ -248,7 +256,66 @@ func Generate(cfg GenConfig) *DB {
 	db.Part = genPart(cfg, rng)
 	db.PartSupp = genPartSupp(cfg, rng)
 	db.Orders, db.Lineitem = genOrdersLineitem(cfg, rng)
+	if cfg.ClusterBy != "" {
+		if _, err := db.Cluster(cfg.ClusterBy); err != nil {
+			panic("tpch: " + err.Error())
+		}
+	}
 	return db
+}
+
+// Cluster rewrites the base table owning col in stable col-sorted order
+// (dense vectors, same name and schema) and drops any registered scan
+// source for it so the next scan serves the clustered layout. It
+// returns the rewritten table's name. The sort is the relal stable sort,
+// so the layout is deterministic for a given seed.
+func (db *DB) Cluster(col string) (string, error) {
+	for _, name := range TableNames {
+		t := db.Table(name)
+		owns := false
+		for _, c := range t.Schema {
+			if c.Name == col {
+				owns = true
+				break
+			}
+		}
+		if !owns {
+			continue
+		}
+		e := &relal.Exec{}
+		sorted := e.Sort(t, relal.OrderSpec{Col: col}).Compacted()
+		sorted.Name = name
+		db.setTable(name, sorted)
+		db.srcMu.Lock()
+		delete(db.srcs, name)
+		db.srcMu.Unlock()
+		return name, nil
+	}
+	return "", fmt.Errorf("no base table has column %q", col)
+}
+
+// setTable replaces the named base table.
+func (db *DB) setTable(name string, t *relal.Table) {
+	switch name {
+	case "region":
+		db.Region = t
+	case "nation":
+		db.Nation = t
+	case "supplier":
+		db.Supplier = t
+	case "customer":
+		db.Customer = t
+	case "part":
+		db.Part = t
+	case "partsupp":
+		db.PartSupp = t
+	case "orders":
+		db.Orders = t
+	case "lineitem":
+		db.Lineitem = t
+	default:
+		panic("tpch: unknown table " + name)
+	}
 }
 
 // RandomKey reproduces dbgen's RANDOM macro: 32-bit arithmetic that

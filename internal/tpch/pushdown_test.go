@@ -8,12 +8,10 @@ import (
 	"elephants/internal/relal"
 )
 
-// rcfileDB generates a functional DB and swaps every base-table source
-// for a real RCFile encoding with the given row-group size, so query
-// scans exercise column pruning and zone-map group pruning for real.
-func rcfileDB(t testing.TB, sf float64, groupRows int) *DB {
+// attachRCFile swaps every base-table source of db for a real RCFile
+// encoding with the given row-group size.
+func attachRCFile(t testing.TB, db *DB, groupRows int) {
 	t.Helper()
-	db := Generate(GenConfig{SF: sf, Seed: 1, Random64: true})
 	for _, name := range TableNames {
 		src, err := rcfile.NewSource(db.Table(name), groupRows)
 		if err != nil {
@@ -21,6 +19,15 @@ func rcfileDB(t testing.TB, sf float64, groupRows int) *DB {
 		}
 		db.SetSource(name, src)
 	}
+}
+
+// rcfileDB generates a functional DB and swaps every base-table source
+// for a real RCFile encoding with the given row-group size, so query
+// scans exercise column pruning and zone-map group pruning for real.
+func rcfileDB(t testing.TB, sf float64, groupRows int) *DB {
+	t.Helper()
+	db := Generate(GenConfig{SF: sf, Seed: 1, Random64: true})
+	attachRCFile(t, db, groupRows)
 	return db
 }
 
@@ -136,6 +143,45 @@ func TestZonePruningFiresOnSortedData(t *testing.T) {
 	}
 	t.Logf("sorted lineitem: %d groups read, %d pruned, %.1f%% bytes skipped",
 		stats.GroupsRead, stats.GroupsSkipped, 100*stats.SkippedFrac())
+}
+
+// TestClusteredLineitemBoostsQ6ZoneSkip extends the sorted-data zone
+// pruning proof to the generator's clustering knob: with lineitem
+// generated in l_shipdate order (GenConfig.ClusterBy / dbgen -cluster),
+// Q6's one-year range predicate prunes most row groups, so the
+// RCFile-backed scan decompresses a small fraction of the file where
+// the unclustered layout reads ~a quarter of it — and the answer stays
+// the same rows.
+func TestClusteredLineitemBoostsQ6ZoneSkip(t *testing.T) {
+	readFrac := func(db *DB) (float64, float64) {
+		out, log := RunQuery(6, db)
+		if out.NumRows() != 1 {
+			t.Fatalf("Q6 rows = %d", out.NumRows())
+		}
+		read, skipped := lineitemScanStats(log)
+		if read == 0 || skipped == 0 {
+			t.Fatalf("scan stats not populated: read=%d skipped=%d", read, skipped)
+		}
+		return float64(read) / float64(read+skipped), out.FloatCol("revenue").Get(0)
+	}
+	plain := rcfileDB(t, 0.005, 2048)
+	pfrac, prev := readFrac(plain)
+
+	clustered := Generate(GenConfig{SF: 0.005, Seed: 1, Random64: true, ClusterBy: "l_shipdate"})
+	attachRCFile(t, clustered, 2048)
+	cfrac, crev := readFrac(clustered)
+
+	if cfrac >= 0.10 {
+		t.Errorf("clustered Q6 decompressed %.1f%% of lineitem bytes, want < 10%%", 100*cfrac)
+	}
+	if cfrac >= pfrac/2 {
+		t.Errorf("clustering should at least halve Q6's read fraction: %.3f (clustered) vs %.3f", cfrac, pfrac)
+	}
+	// Same rows, same sum up to accumulation-order rounding.
+	if diff := (crev - prev) / prev; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("clustered Q6 revenue drifts: %v vs %v", crev, prev)
+	}
+	t.Logf("Q6 lineitem read fraction: %.1f%% unclustered -> %.1f%% clustered", 100*pfrac, 100*cfrac)
 }
 
 // TestRunQueryWorkersMatchesSerial locks RunQueryWorkers to the serial

@@ -1,0 +1,60 @@
+package tpch
+
+import (
+	"os"
+	"testing"
+
+	"elephants/internal/relal"
+)
+
+// setTopKFusion toggles the fused-operator knob for one test.
+func setTopKFusion(t *testing.T, on bool) {
+	t.Helper()
+	old := TopKFusion
+	TopKFusion = on
+	t.Cleanup(func() { TopKFusion = old })
+}
+
+// TestTopKFusionMatchesSortLimit proves the fused TopK is a pure
+// execution strategy: with fusion disabled, the five bounded queries run
+// the unfused Sort+Limit pair and the full 22-query snapshot must still
+// equal the committed golden file byte-for-byte (which the fused default
+// reproduces in TestGoldenAnswers).
+func TestTopKFusionMatchesSortLimit(t *testing.T) {
+	want, err := os.ReadFile("testdata/tpch_golden.txt")
+	if err != nil {
+		t.Skip("golden file missing")
+	}
+	setTopKFusion(t, false)
+	diffGolden(t, goldenSnapshot(), string(want))
+}
+
+// TestTopKFusionStepLogUnchanged pins the step logs of the five bounded
+// queries across the fusion toggle: the Hive/PDW cost replays consume
+// the log, so the fused operator must emit the identical Sort+Limit
+// step pair (same cardinalities and widths) the unfused path logs.
+func TestTopKFusionStepLogUnchanged(t *testing.T) {
+	db := Generate(GenConfig{SF: goldenSF, Seed: 1, Random64: true})
+	for _, id := range []int{2, 3, 10, 18, 21} {
+		setTopKFusion(t, false)
+		_, unfused := RunQueryWorkers(id, db, 2)
+		setTopKFusion(t, true)
+		_, fused := RunQueryWorkers(id, db, 2)
+		if len(fused.Steps) != len(unfused.Steps) {
+			t.Fatalf("Q%d: fused %d steps, unfused %d", id, len(fused.Steps), len(unfused.Steps))
+		}
+		limits := 0
+		for s := range unfused.Steps {
+			if fused.Steps[s] != unfused.Steps[s] {
+				t.Fatalf("Q%d step %d drifts under fusion:\n fused   %+v\n unfused %+v",
+					id, s, fused.Steps[s], unfused.Steps[s])
+			}
+			if unfused.Steps[s].Kind == relal.StepLimit {
+				limits++
+			}
+		}
+		if limits == 0 {
+			t.Fatalf("Q%d logged no limit step", id)
+		}
+	}
+}

@@ -11,6 +11,10 @@
 #                   (workers=1 vs GOMAXPROCS) plus concurrent
 #                   query-stream throughput (streams=1 vs GOMAXPROCS
 #                   over one shared DB, via cmd/tpchbench -streams)
+#   BENCH_PR4.json  parallel-sort speedup for the sort-tailed Q1/Q3/Q10
+#                   (workers=1 vs GOMAXPROCS) plus stream throughput
+#                   with the fused TopK operator off vs on
+#                   (cmd/tpchbench -no-topk vs default)
 #
 # Usage:
 #
@@ -130,3 +134,35 @@ sm=$(go run ./cmd/tpchbench -streams "$cores" -stream-rounds "$rounds" -laptop-s
 	echo '}'
 } > "$out3"
 echo "wrote $out3"
+
+# ---- BENCH_PR4.json: parallel sort + fused top-K ----
+out4="BENCH_PR4.json"
+
+sraw=$(go test -run xxx -bench 'BenchmarkTPCHSortQuery' -benchtime "${BENCHTIME:-3x}" ./internal/tpch/)
+sq() { echo "$sraw" | awk -v pat="Q$1/workers=$2" '$1 ~ pat {print $3; exit}'; }
+q1s1=$(sq 1 1); q1sm=$(sq 1 max)
+q3s1=$(sq 3 1); q3sm=$(sq 3 max)
+q10s1=$(sq 10 1); q10sm=$(sq 10 max)
+[ -n "$q1s1" ] && [ -n "$q1sm" ] && [ -n "$q3s1" ] && [ -n "$q3sm" ] && [ -n "$q10s1" ] && [ -n "$q10sm" ] || {
+	echo "bench.sh: TPCHSortQuery results missing" >&2; exit 1; }
+sp() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", a / b }'; }
+
+fused=$(go run ./cmd/tpchbench -streams "$cores" -stream-rounds "$rounds" -laptop-sf 0.01 -stream-json)
+unfused=$(go run ./cmd/tpchbench -streams "$cores" -stream-rounds "$rounds" -laptop-sf 0.01 -stream-json -no-topk)
+[ -n "$fused" ] && [ -n "$unfused" ] || { echo "bench.sh: topk stream results missing" >&2; exit 1; }
+
+{
+	echo '{'
+	echo '  "benchmark": "BenchmarkTPCHSortQuery (Q1/Q3/Q10 per-op wall time, SF 0.01) + cmd/tpchbench -streams with the fused TopK off vs on (SF 0.01)",'
+	echo "  \"gomaxprocs\": $cores,"
+	echo '  "note": "sort speedup = workers_1 / workers_max ns/op, ~1 on 1-core hosts; topk fusion gain = fused qps / unfused qps (host-side only; replayed hive/pdw costs identical by construction)",'
+	echo '  "sort_queries": {'
+	echo "    \"Q1\": {\"workers_1_ns_op\": $q1s1, \"workers_max_ns_op\": $q1sm, \"speedup\": $(sp "$q1s1" "$q1sm")},"
+	echo "    \"Q3\": {\"workers_1_ns_op\": $q3s1, \"workers_max_ns_op\": $q3sm, \"speedup\": $(sp "$q3s1" "$q3sm")},"
+	echo "    \"Q10\": {\"workers_1_ns_op\": $q10s1, \"workers_max_ns_op\": $q10sm, \"speedup\": $(sp "$q10s1" "$q10sm")}"
+	echo '  },'
+	echo "  \"streams_sort_limit\": $unfused,"
+	echo "  \"streams_topk_fused\": $fused"
+	echo '}'
+} > "$out4"
+echo "wrote $out4"
