@@ -17,15 +17,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Concurrent-stream golden tests + differential parallel-join/sort
+# Concurrent-stream golden tests + differential parallel-join/sort/dict
 # suites under the race detector (CI's `streams` job).
 streams:
-	$(GO) test -race -run 'Stream|JoinParallel|SortParallel|TopK' ./...
+	$(GO) test -race -run 'Stream|JoinParallel|SortParallel|TopK|Dict' ./...
 
-# Short fuzz runs over the join key-partitioning and sort/top-K paths.
+# Short fuzz runs over the join key-partitioning, sort/top-K, and RCF3
+# dict-chunk round-trip paths.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzJoinKeys -fuzztime 15s ./internal/relal/
 	$(GO) test -run xxx -fuzz FuzzSortKeys -fuzztime 15s ./internal/relal/
+	$(GO) test -run xxx -fuzz FuzzDictRoundTrip -fuzztime 15s ./internal/rcfile/
 
 vet:
 	$(GO) vet ./...

@@ -1,13 +1,17 @@
-// Command scanstats measures RCFile predicate-pushdown effectiveness:
-// it generates a functional TPC-H dataset, encodes every base table
-// into RCFile (zone-map footer, multi-row-group), runs the requested
-// queries through the pushdown-aware scan pipeline, and emits the
-// per-table bytes-read/bytes-skipped accounting as JSON.
-// scripts/bench.sh embeds the output in BENCH_PR2.json.
+// Command scanstats measures RCFile storage effectiveness: it
+// generates a functional TPC-H dataset, encodes every base table into
+// RCFile (RCF3: zone-map footer, multi-row-group, dictionary-encoded
+// string chunks), runs the requested queries through the pushdown-aware
+// scan pipeline, and emits the per-table bytes-read/bytes-skipped
+// accounting as JSON — plus, per base table, the per-string-column
+// dictionary cardinality and encoded-vs-raw byte ratio, so the
+// compression win is observable without a benchmark run.
+// scripts/bench.sh embeds the output in BENCH_PR2.json / BENCH_PR5.json.
 //
 // Usage:
 //
-//	scanstats [-sf 0.01] [-group-rows 2048] [-queries 1,6]
+//	scanstats [-sf 0.01] [-group-rows 2048] [-queries 1,6] [-no-dict]
+//	scanstats -table-bytes lineitem [-no-dict]   # just the RCFile size
 package main
 
 import (
@@ -32,9 +36,29 @@ type tableStats struct {
 	GroupsSkipped int     `json:"groups_skipped"`
 }
 
+// columnDict describes one Str column's dictionary story: how many
+// distinct values it holds and how its modeled encoded size compares to
+// the raw length-prefixed strings.
+type columnDict struct {
+	Cardinality  int     `json:"cardinality"`
+	Dict         bool    `json:"dict"`
+	RawBytes     int64   `json:"raw_bytes"`
+	EncodedBytes int64   `json:"encoded_bytes"`
+	Ratio        float64 `json:"encoded_ratio"`
+}
+
+// tableReport is one base table's storage summary.
+type tableReport struct {
+	Rows        int                    `json:"rows"`
+	RCFileBytes int                    `json:"rcfile_bytes"`
+	StrColumns  map[string]*columnDict `json:"str_columns"`
+}
+
 type report struct {
 	SF        float64                           `json:"sf"`
 	GroupRows int                               `json:"group_rows"`
+	Dict      bool                              `json:"dict"`
+	Tables    map[string]*tableReport           `json:"tables"`
 	Queries   map[string]map[string]*tableStats `json:"queries"`
 }
 
@@ -43,7 +67,21 @@ func main() {
 	groupRows := flag.Int("group-rows", 2048, "RCFile row-group size in rows")
 	queries := flag.String("queries", "1,6", "query IDs, comma-separated")
 	seed := flag.Int64("seed", 1, "generator seed")
+	noDict := flag.Bool("no-dict", false, "disable dictionary encoding of low-cardinality string columns")
+	tableBytes := flag.String("table-bytes", "", "print only the named table's RCFile byte count and exit")
 	flag.Parse()
+
+	db := tpch.Generate(tpch.GenConfig{SF: *sf, Seed: *seed, Random64: true, NoDict: *noDict})
+
+	if *tableBytes != "" {
+		src, err := rcfile.NewSource(db.Table(*tableBytes), *groupRows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scanstats: encode", *tableBytes+":", err)
+			os.Exit(1)
+		}
+		fmt.Println(src.Bytes())
+		return
+	}
 
 	ids, err := parseIDs(*queries)
 	if err != nil {
@@ -51,17 +89,22 @@ func main() {
 		os.Exit(1)
 	}
 
-	db := tpch.Generate(tpch.GenConfig{SF: *sf, Seed: *seed, Random64: true})
+	rep := report{
+		SF: *sf, GroupRows: *groupRows, Dict: !*noDict,
+		Tables:  map[string]*tableReport{},
+		Queries: map[string]map[string]*tableStats{},
+	}
 	for _, name := range tpch.TableNames {
-		src, err := rcfile.NewSource(db.Table(name), *groupRows)
+		t := db.Table(name)
+		src, err := rcfile.NewSource(t, *groupRows)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanstats: encode", name+":", err)
 			os.Exit(1)
 		}
 		db.SetSource(name, src)
+		rep.Tables[name] = tableSummary(t, src.Bytes())
 	}
 
-	rep := report{SF: *sf, GroupRows: *groupRows, Queries: map[string]map[string]*tableStats{}}
 	for _, id := range ids {
 		_, log := tpch.RunQuery(id, db)
 		per := map[string]*tableStats{}
@@ -93,6 +136,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scanstats:", err)
 		os.Exit(1)
 	}
+}
+
+// tableSummary reports, per Str column, the dictionary cardinality and
+// the modeled encoded-vs-raw byte ratio (codes + dictionary against
+// length-prefixed strings, both pre-compression).
+func tableSummary(t *relal.Table, fileBytes int) *tableReport {
+	tr := &tableReport{
+		Rows:        t.NumRows(),
+		RCFileBytes: fileBytes,
+		StrColumns:  map[string]*columnDict{},
+	}
+	n := t.NumRows()
+	for ci, c := range t.Schema {
+		if c.Type != relal.Str {
+			continue
+		}
+		v := t.Cols[ci]
+		cd := &columnDict{Dict: v.IsDict()}
+		var raw, enc int64
+		if v.IsDict() {
+			cd.Cardinality = len(v.DictVals)
+			for _, code := range v.Dict {
+				raw += 4 + int64(len(v.DictVals[code]))
+			}
+			enc = relal.DictEncodedBytes(v.DictVals, n)
+		} else {
+			distinct := map[string]struct{}{}
+			for i := 0; i < n; i++ {
+				s := v.StrAt(int32(i))
+				distinct[s] = struct{}{}
+				raw += 4 + int64(len(s))
+			}
+			cd.Cardinality = len(distinct)
+			enc = raw
+		}
+		cd.RawBytes, cd.EncodedBytes = raw, enc
+		if raw > 0 {
+			cd.Ratio = float64(enc) / float64(raw)
+		}
+		tr.StrColumns[c.Name] = cd
+	}
+	return tr
 }
 
 func parseIDs(s string) ([]int, error) {

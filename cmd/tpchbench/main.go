@@ -36,6 +36,7 @@ func main() {
 	streamRounds := flag.Int("stream-rounds", 3, "rounds of the query list per stream")
 	streamJSON := flag.Bool("stream-json", false, "emit the stream result as JSON (for bench.sh)")
 	noTopK := flag.Bool("no-topk", false, "disable the fused TopK operator (bounded queries run unfused Sort+Limit; answers identical)")
+	noDict := flag.Bool("no-dict", false, "disable dictionary encoding of low-cardinality string columns (answers identical; kernels compare strings instead of codes)")
 	flag.Parse()
 
 	if *noTopK {
@@ -56,12 +57,12 @@ func main() {
 		runStreams(core.TPCHStreamConfig{
 			LaptopSF: *laptopSF, Seed: *seed,
 			Streams: *streams, Rounds: *streamRounds, Workers: *workers,
-			Queries: qids,
+			Queries: qids, NoDict: *noDict,
 		}, *streamJSON)
 		return
 	}
 
-	cfg := core.TPCHConfig{LaptopSF: *laptopSF, Seed: *seed, Workers: *workers, Queries: qids}
+	cfg := core.TPCHConfig{LaptopSF: *laptopSF, Seed: *seed, Workers: *workers, Queries: qids, NoDict: *noDict}
 	cfg.ScaleFactors, err = parseFloats(*sfList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tpchbench:", err)

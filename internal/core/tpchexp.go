@@ -34,6 +34,11 @@ type TPCHConfig struct {
 	// (0 = GOMAXPROCS, 1 = serial). Results are identical at every
 	// setting; only host-time execution speed changes.
 	Workers int
+	// NoDict disables dictionary encoding of low-cardinality string
+	// columns in the generated dataset (tpchbench -no-dict). Answers
+	// are identical either way; host time and modeled byte widths
+	// change.
+	NoDict bool
 }
 
 func (c TPCHConfig) withDefaults() TPCHConfig {
@@ -66,6 +71,8 @@ type TPCHStreamConfig struct {
 	Workers int
 	// Queries restricts the replayed query IDs (nil = all 22).
 	Queries []int
+	// NoDict disables dictionary encoding in the generated dataset.
+	NoDict bool
 }
 
 // RunTPCHStreams generates the shared DB and runs the stream harness.
@@ -73,7 +80,7 @@ func RunTPCHStreams(cfg TPCHStreamConfig) tpch.StreamResult {
 	if cfg.LaptopSF <= 0 {
 		cfg.LaptopSF = 0.01
 	}
-	db := tpch.Generate(tpch.GenConfig{SF: cfg.LaptopSF, Seed: cfg.Seed, Random64: true})
+	db := tpch.Generate(tpch.GenConfig{SF: cfg.LaptopSF, Seed: cfg.Seed, Random64: true, NoDict: cfg.NoDict})
 	return tpch.RunStreams(db, tpch.StreamConfig{
 		Streams: cfg.Streams,
 		Rounds:  cfg.Rounds,
@@ -111,7 +118,7 @@ func RunTPCH(cfg TPCHConfig) TPCHResult {
 		tpch.DefaultWorkers = cfg.Workers
 		defer func() { tpch.DefaultWorkers = old }()
 	}
-	db := tpch.Generate(tpch.GenConfig{SF: cfg.LaptopSF, Seed: cfg.Seed, Random64: true})
+	db := tpch.Generate(tpch.GenConfig{SF: cfg.LaptopSF, Seed: cfg.Seed, Random64: true, NoDict: cfg.NoDict})
 	res := TPCHResult{Config: cfg}
 	for _, sf := range cfg.ScaleFactors {
 		res.Hive = append(res.Hive, runHivePoint(db, sf, cfg))

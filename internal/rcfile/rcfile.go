@@ -10,12 +10,28 @@
 // layout... map tasks were CPU-bound at ~70 MB/s") appears in the cost
 // model as a per-byte decompression CPU charge.
 //
-// Version 2 of the format records a per-chunk min/max zone map in the
-// file footer. ReadCols uses the footer to decompress only the requested
-// columns, and only in row groups whose zone maps can satisfy a pushed
-// predicate — the pruning the paper's Hive never did. Every read reports
+// Version 2 added a per-chunk min/max zone map in the file footer.
+// ReadCols uses the footer to decompress only the requested columns, and
+// only in row groups whose zone maps can satisfy a pushed predicate —
+// the pruning the paper's Hive never did. Every read reports
 // ScanStats{BytesRead, BytesSkipped, GroupsSkipped} so the cost models
 // can charge (or discount) the decompression CPU per skipped byte.
+//
+// Version 3 adds dictionary-encoded string chunks. A dict-encoded relal
+// vector writes, per row group, the group-local sorted dictionary once
+// followed by the rows as packed codes (1, 2, or 4 bytes each, sized to
+// the local dictionary) — the classic column-store trick the paper's
+// Hive-vs-PDW gap turns on, since RCFile otherwise stores and
+// re-decompresses every duplicate string. The writer is adaptive per
+// chunk: it compresses both encodings and keeps the smaller, so a
+// chunk whose local cardinality approaches its row count (a date column
+// in a small row group) falls back to plain strings instead of paying
+// for a dictionary nobody shares. The chunk's footer zone map carries
+// the min/max codes alongside the min/max values, so pruning still
+// compares strings and never needs the chunk's dictionary. ReadCols
+// reassembles dict chunks into a dict-encoded vector — codes plus a
+// merged dictionary — without ever materializing a []string of row
+// values.
 //
 // Since relal tables are themselves columnar, encoding and decoding
 // move cells straight between the typed column vectors and the on-disk
@@ -29,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"elephants/internal/relal"
 )
@@ -38,6 +55,12 @@ import (
 // matches relal.DefaultScanGroupRows so in-memory scan modeling agrees
 // with the on-disk layout.
 const DefaultRowGroupRows = relal.DefaultScanGroupRows
+
+// Chunk encodings (the footer's per-chunk enc byte).
+const (
+	encPlain = byte(0) // length-prefixed strings / fixed 8-byte numerics
+	encDict  = byte(1) // group-local dictionary + packed codes (Str only)
+)
 
 // Writer serializes a table into RCFile bytes.
 type Writer struct {
@@ -52,9 +75,9 @@ func NewWriter(groupRows int) *Writer {
 	return &Writer{groupRows: groupRows}
 }
 
-// file layout (version 2):
+// file layout (version 3):
 //
-//	magic "RCF2"
+//	magic "RCF3"
 //	uint32 numColumns
 //	uint32 numGroups
 //	per group: the compressed column chunks, concatenated (chunk
@@ -62,13 +85,19 @@ func NewWriter(groupRows int) *Writer {
 //	  whole group — with pointer arithmetic instead of decompression)
 //	footer, per group:
 //	  uint32 rows
-//	  per column: uint32 compLen, zone map (typed min/max)
+//	  per column:
+//	    uint32 compLen
+//	    uint8  enc (0 plain, 1 dict)
+//	    zone map (typed min/max; dict chunks prepend min/max codes)
 //	uint32 footerLen (bytes, immediately before this trailer field)
 //
-// Column cells are encoded as length-prefixed strings for Str columns
-// and 8-byte fixed values otherwise, then gzip-compressed per chunk.
+// Plain column cells are encoded as length-prefixed strings for Str
+// columns and 8-byte fixed values otherwise. A dict chunk stores the
+// group-local sorted dictionary (uint32 count, then length-prefixed
+// values) followed by one code-width byte and the rows as packed codes.
+// Every chunk is gzip-compressed.
 
-var magic = []byte("RCF2")
+var magic = []byte("RCF3")
 
 // Write encodes t.
 func (w *Writer) Write(t *relal.Table) ([]byte, error) {
@@ -88,17 +117,28 @@ func (w *Writer) Write(t *relal.Table) ([]byte, error) {
 		}
 		binary.Write(&footer, binary.LittleEndian, uint32(hi-lo))
 		for c := range d.Schema {
-			var col bytes.Buffer
-			gz := gzip.NewWriter(&col)
-			if err := writeChunk(gz, d.Cols[c], lo, hi); err != nil {
+			v := d.Cols[c]
+			enc := encPlain
+			chunk, err := gzipChunk(func(w io.Writer) error { return writeChunk(w, v, lo, hi) })
+			if err != nil {
 				return nil, err
 			}
-			if err := gz.Close(); err != nil {
-				return nil, err
+			if v.IsDict() {
+				// Adaptive: keep the dictionary encoding only where it
+				// compresses smaller than the plain strings (ties go to
+				// plain — same bytes, simpler decode).
+				dictChunk, err := gzipChunk(func(w io.Writer) error { return writeDictChunk(w, v, lo, hi) })
+				if err != nil {
+					return nil, err
+				}
+				if len(dictChunk) < len(chunk) {
+					enc, chunk = encDict, dictChunk
+				}
 			}
-			out.Write(col.Bytes())
-			binary.Write(&footer, binary.LittleEndian, uint32(col.Len()))
-			writeZone(&footer, relal.ZoneOf(d.Cols[c], lo, hi))
+			out.Write(chunk)
+			binary.Write(&footer, binary.LittleEndian, uint32(len(chunk)))
+			footer.WriteByte(enc)
+			writeZone(&footer, relal.ZoneOf(v, lo, hi), enc)
 		}
 	}
 	out.Write(footer.Bytes())
@@ -106,8 +146,13 @@ func (w *Writer) Write(t *relal.Table) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-// writeZone appends one zone map in its typed encoding.
-func writeZone(w *bytes.Buffer, z relal.ZoneMap) {
+// writeZone appends one zone map in its typed encoding. Dict chunks
+// prepend the min/max codes to the min/max values. The codes are in the
+// writing vector's dictionary space — not the chunk's remapped local
+// space, and not any space a reader reconstructs — so they are tooling
+// introspection (and the seed for a future file-global dictionary
+// section); pruning and decoding consume only the strings.
+func writeZone(w *bytes.Buffer, z relal.ZoneMap, enc byte) {
 	switch z.Kind {
 	case relal.Int:
 		binary.Write(w, binary.LittleEndian, z.IntMin)
@@ -116,6 +161,10 @@ func writeZone(w *bytes.Buffer, z relal.ZoneMap) {
 		binary.Write(w, binary.LittleEndian, math.Float64bits(z.FloatMin))
 		binary.Write(w, binary.LittleEndian, math.Float64bits(z.FloatMax))
 	default:
+		if enc == encDict {
+			binary.Write(w, binary.LittleEndian, z.CodeMin)
+			binary.Write(w, binary.LittleEndian, z.CodeMax)
+		}
 		for _, s := range []string{z.StrMin, z.StrMax} {
 			binary.Write(w, binary.LittleEndian, uint32(len(s)))
 			w.WriteString(s)
@@ -123,8 +172,8 @@ func writeZone(w *bytes.Buffer, z relal.ZoneMap) {
 	}
 }
 
-// writeChunk streams one column's cells in rows [lo, hi) straight from
-// the typed vector.
+// writeChunk streams one plain column's cells in rows [lo, hi) straight
+// from the typed vector.
 func writeChunk(w io.Writer, v *relal.Vector, lo, hi int) error {
 	var buf [8]byte
 	switch v.Kind {
@@ -143,7 +192,8 @@ func writeChunk(w io.Writer, v *relal.Vector, lo, hi int) error {
 			}
 		}
 	case relal.Str:
-		for _, s := range v.Strs[lo:hi] {
+		for p := lo; p < hi; p++ {
+			s := v.StrAt(int32(p)) // decodes dict vectors on the way out
 			binary.LittleEndian.PutUint32(buf[:4], uint32(len(s)))
 			if _, err := w.Write(buf[:4]); err != nil {
 				return err
@@ -158,11 +208,65 @@ func writeChunk(w io.Writer, v *relal.Vector, lo, hi int) error {
 	return nil
 }
 
+// writeDictChunk writes rows [lo, hi) of a dict-encoded vector: the
+// values present in the group become its local sorted dictionary
+// (stored once), and the rows follow as packed local codes. Restricting
+// the dictionary to the group keeps sparse groups small and lets the
+// code width shrink with the local cardinality.
+func writeDictChunk(w io.Writer, v *relal.Vector, lo, hi int) error {
+	present := make([]bool, len(v.DictVals))
+	for _, c := range v.Dict[lo:hi] {
+		present[c] = true
+	}
+	remap := make([]uint32, len(v.DictVals))
+	local := []string{}
+	for code, ok := range present {
+		if ok {
+			remap[code] = uint32(len(local))
+			local = append(local, v.DictVals[code])
+		}
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(len(local)))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, s := range local {
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(s)))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, s); err != nil {
+			return err
+		}
+	}
+	width := relal.DictCodeWidth(len(local))
+	if _, err := w.Write([]byte{byte(width)}); err != nil {
+		return err
+	}
+	for _, c := range v.Dict[lo:hi] {
+		lc := remap[c]
+		switch width {
+		case 1:
+			buf[0] = byte(lc)
+		case 2:
+			binary.LittleEndian.PutUint16(buf[:2], uint16(lc))
+		default:
+			binary.LittleEndian.PutUint32(buf[:], lc)
+		}
+		if _, err := w.Write(buf[:width]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // group is the decoded footer entry for one row group.
 type group struct {
 	rows     int
 	offset   int64 // byte offset of the group's first chunk
 	compLens []uint32
+	encs     []byte
 	zones    []relal.ZoneMap
 }
 
@@ -195,6 +299,19 @@ func parse(data []byte, schema relal.Schema) (*parsed, error) {
 		}
 		return nil
 	}
+	readStr := func() (string, error) {
+		if err := need(4); err != nil {
+			return "", err
+		}
+		sl := int(binary.LittleEndian.Uint32(f[pos:]))
+		pos += 4
+		if err := need(sl); err != nil {
+			return "", err
+		}
+		s := string(f[pos : pos+sl])
+		pos += sl
+		return s, nil
+	}
 	p := &parsed{}
 	offset := int64(12)
 	for g := uint32(0); g < numGroups; g++ {
@@ -205,15 +322,23 @@ func parse(data []byte, schema relal.Schema) (*parsed, error) {
 			rows:     int(binary.LittleEndian.Uint32(f[pos:])),
 			offset:   offset,
 			compLens: make([]uint32, numCols),
+			encs:     make([]byte, numCols),
 			zones:    make([]relal.ZoneMap, numCols),
 		}
 		pos += 4
 		for c := uint32(0); c < numCols; c++ {
-			if err := need(4); err != nil {
+			if err := need(5); err != nil {
 				return nil, err
 			}
 			gr.compLens[c] = binary.LittleEndian.Uint32(f[pos:])
-			pos += 4
+			gr.encs[c] = f[pos+4]
+			pos += 5
+			if gr.encs[c] > encDict {
+				return nil, fmt.Errorf("rcfile: unknown chunk encoding %d on column %q", gr.encs[c], schema[c].Name)
+			}
+			if gr.encs[c] == encDict && schema[c].Type != relal.Str {
+				return nil, fmt.Errorf("rcfile: dict chunk on non-Str column %q", schema[c].Name)
+			}
 			z := relal.ZoneMap{Kind: schema[c].Type}
 			switch schema[c].Type {
 			case relal.Int:
@@ -231,22 +356,21 @@ func parse(data []byte, schema relal.Schema) (*parsed, error) {
 				z.FloatMax = math.Float64frombits(binary.LittleEndian.Uint64(f[pos+8:]))
 				pos += 16
 			default:
-				for k := 0; k < 2; k++ {
-					if err := need(4); err != nil {
+				if gr.encs[c] == encDict {
+					if err := need(8); err != nil {
 						return nil, err
 					}
-					sl := int(binary.LittleEndian.Uint32(f[pos:]))
-					pos += 4
-					if err := need(sl); err != nil {
-						return nil, err
-					}
-					s := string(f[pos : pos+sl])
-					pos += sl
-					if k == 0 {
-						z.StrMin = s
-					} else {
-						z.StrMax = s
-					}
+					z.CodeMin = binary.LittleEndian.Uint32(f[pos:])
+					z.CodeMax = binary.LittleEndian.Uint32(f[pos+4:])
+					z.HasCodes = true
+					pos += 8
+				}
+				var err error
+				if z.StrMin, err = readStr(); err != nil {
+					return nil, err
+				}
+				if z.StrMax, err = readStr(); err != nil {
+					return nil, err
 				}
 			}
 			gr.zones[c] = z
@@ -260,20 +384,30 @@ func parse(data []byte, schema relal.Schema) (*parsed, error) {
 	return p, nil
 }
 
-// decompressChunk inflates one chunk into the vector.
-func decompressChunk(data []byte, chunkOff int64, compLen uint32, v *relal.Vector, rows int) error {
+// gzipChunk runs one chunk encoder through gzip and returns the
+// compressed bytes.
+func gzipChunk(fn func(w io.Writer) error) ([]byte, error) {
+	var col bytes.Buffer
+	gz := gzip.NewWriter(&col)
+	if err := fn(gz); err != nil {
+		return nil, err
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+	return col.Bytes(), nil
+}
+
+// inflateChunk decompresses one chunk's payload.
+func inflateChunk(data []byte, chunkOff int64, compLen uint32) ([]byte, error) {
 	if chunkOff+int64(compLen) > int64(len(data)) {
-		return fmt.Errorf("rcfile: truncated chunk")
+		return nil, fmt.Errorf("rcfile: truncated chunk")
 	}
 	gz, err := gzip.NewReader(bytes.NewReader(data[chunkOff : chunkOff+int64(compLen)]))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	raw, err := io.ReadAll(gz)
-	if err != nil {
-		return err
-	}
-	return readChunk(raw, v, rows)
+	return io.ReadAll(gz)
 }
 
 // Read decodes an RCFile produced by Write, given the schema: every
@@ -283,11 +417,22 @@ func Read(data []byte, schema relal.Schema, name string) (*relal.Table, error) {
 	return t, err
 }
 
+// strPart is one row group's decoded slice of a Str column: either a
+// dict part (group-local vals + codes) or a raw part.
+type strPart struct {
+	vals  []string
+	codes []uint32
+	raw   []string
+}
+
 // ReadCols decodes the requested columns (nil = all, otherwise the
 // result schema is the requested names in order), skipping row groups
 // whose zone maps cannot satisfy pred. Only surviving groups'
 // requested chunks are decompressed; everything else is skipped with
 // pointer arithmetic and accounted in the stats as compressed bytes.
+// Dict-encoded Str columns come back as dict vectors — per-group
+// dictionaries merge into one sorted dictionary and the codes remap —
+// so a low-cardinality column never materializes per-row strings.
 func ReadCols(data []byte, schema relal.Schema, name string, cols []string, pred relal.ZonePredicate) (*relal.Table, relal.ScanStats, error) {
 	var stats relal.ScanStats
 	p, err := parse(data, schema)
@@ -326,6 +471,9 @@ func ReadCols(data []byte, schema relal.Schema, name string, cols []string, pred
 	}
 
 	t := relal.NewTable(name, outSchema)
+	// Str columns accumulate per-group parts and finalize below, so a
+	// run of dict chunks can merge into one dict vector.
+	strParts := make([][]strPart, len(colIdx))
 	for _, gr := range p.groups {
 		keep := pred.MayMatch(func(col string) (relal.ZoneMap, bool) {
 			for ci, c := range schema {
@@ -355,12 +503,176 @@ func ReadCols(data []byte, schema relal.Schema, name string, cols []string, pred
 			for k := 0; k < ci; k++ {
 				off += int64(gr.compLens[k])
 			}
-			if err := decompressChunk(data, off, gr.compLens[ci], t.Cols[out], gr.rows); err != nil {
+			raw, err := inflateChunk(data, off, gr.compLens[ci])
+			if err != nil {
+				return nil, stats, err
+			}
+			if schema[ci].Type == relal.Str {
+				part, err := readStrChunk(raw, gr.encs[ci], gr.rows)
+				if err != nil {
+					return nil, stats, err
+				}
+				strParts[out] = append(strParts[out], part)
+				continue
+			}
+			if err := readChunk(raw, t.Cols[out], gr.rows); err != nil {
 				return nil, stats, err
 			}
 		}
 	}
+	for out := range colIdx {
+		if parts := strParts[out]; len(parts) > 0 {
+			t.Cols[out] = assembleStrCol(parts)
+		}
+	}
 	return t, stats, nil
+}
+
+// readStrChunk decodes one Str chunk under its encoding.
+func readStrChunk(raw []byte, enc byte, rows int) (strPart, error) {
+	if enc == encDict {
+		vals, codes, err := readDictChunk(raw, rows)
+		return strPart{vals: vals, codes: codes}, err
+	}
+	v := relal.NewVector(relal.Str, rows)
+	if err := readChunk(raw, v, rows); err != nil {
+		return strPart{}, err
+	}
+	return strPart{raw: v.Strs}, nil
+}
+
+// readDictChunk decodes a dict chunk payload into its group-local
+// dictionary and codes.
+func readDictChunk(raw []byte, rows int) ([]string, []uint32, error) {
+	pos := 0
+	if pos+4 > len(raw) {
+		return nil, nil, fmt.Errorf("rcfile: truncated dict chunk")
+	}
+	dictLen := int(binary.LittleEndian.Uint32(raw[pos:]))
+	pos += 4
+	if dictLen < 0 || dictLen > len(raw) {
+		return nil, nil, fmt.Errorf("rcfile: implausible dictionary size %d", dictLen)
+	}
+	vals := make([]string, 0, dictLen)
+	for i := 0; i < dictLen; i++ {
+		if pos+4 > len(raw) {
+			return nil, nil, fmt.Errorf("rcfile: truncated dictionary")
+		}
+		n := int(binary.LittleEndian.Uint32(raw[pos:]))
+		pos += 4
+		if n < 0 || pos+n > len(raw) {
+			return nil, nil, fmt.Errorf("rcfile: truncated dictionary value")
+		}
+		vals = append(vals, string(raw[pos:pos+n]))
+		pos += n
+	}
+	if pos+1 > len(raw) {
+		return nil, nil, fmt.Errorf("rcfile: missing code width")
+	}
+	width := int(raw[pos])
+	pos++
+	if width != 1 && width != 2 && width != 4 {
+		return nil, nil, fmt.Errorf("rcfile: bad code width %d", width)
+	}
+	if pos+rows*width > len(raw) {
+		return nil, nil, fmt.Errorf("rcfile: truncated codes")
+	}
+	codes := make([]uint32, rows)
+	for i := 0; i < rows; i++ {
+		switch width {
+		case 1:
+			codes[i] = uint32(raw[pos])
+		case 2:
+			codes[i] = uint32(binary.LittleEndian.Uint16(raw[pos:]))
+		default:
+			codes[i] = binary.LittleEndian.Uint32(raw[pos:])
+		}
+		pos += width
+		if int(codes[i]) >= dictLen {
+			return nil, nil, fmt.Errorf("rcfile: code %d out of dictionary range %d", codes[i], dictLen)
+		}
+	}
+	return vals, codes, nil
+}
+
+// assembleStrCol merges a column's per-group parts into one vector.
+// All-dict parts merge their group dictionaries (sorted union) and
+// remap codes; a mix of dict and plain groups falls back to raw
+// strings in group order.
+func assembleStrCol(parts []strPart) *relal.Vector {
+	allDict := true
+	total := 0
+	for _, p := range parts {
+		if p.raw != nil {
+			allDict = false
+		}
+		total += len(p.raw) + len(p.codes)
+	}
+	if !allDict {
+		out := make([]string, 0, total)
+		for _, p := range parts {
+			if p.raw != nil {
+				out = append(out, p.raw...)
+				continue
+			}
+			for _, c := range p.codes {
+				out = append(out, p.vals[c])
+			}
+		}
+		return relal.StrsV(out)
+	}
+	// Fast path: every group saw the same dictionary (typical for the
+	// 3–7 value TPC-H flags) — codes concatenate untouched.
+	same := true
+	for _, p := range parts[1:] {
+		if !equalStrs(p.vals, parts[0].vals) {
+			same = false
+			break
+		}
+	}
+	codes := make([]uint32, 0, total)
+	if same {
+		for _, p := range parts {
+			codes = append(codes, p.codes...)
+		}
+		return relal.DictV(codes, parts[0].vals)
+	}
+	seen := make(map[string]uint32)
+	union := []string{}
+	for _, p := range parts {
+		for _, v := range p.vals {
+			if _, ok := seen[v]; !ok {
+				seen[v] = 0
+				union = append(union, v)
+			}
+		}
+	}
+	sort.Strings(union)
+	for i, v := range union {
+		seen[v] = uint32(i)
+	}
+	for _, p := range parts {
+		remap := make([]uint32, len(p.vals))
+		for lc, v := range p.vals {
+			remap[lc] = seen[v]
+		}
+		for _, c := range p.codes {
+			codes = append(codes, remap[c])
+		}
+	}
+	return relal.DictV(codes, union)
+}
+
+func equalStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ZoneMaps returns the footer's zone maps, per group per column (test
@@ -377,8 +689,8 @@ func ZoneMaps(data []byte, schema relal.Schema) ([][]relal.ZoneMap, error) {
 	return out, nil
 }
 
-// readChunk decodes one column chunk of the given row count, appending
-// onto the typed vector.
+// readChunk decodes one plain column chunk of the given row count,
+// appending onto the typed vector.
 func readChunk(raw []byte, v *relal.Vector, rows int) error {
 	pos := 0
 	switch v.Kind {

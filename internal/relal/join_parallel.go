@@ -46,6 +46,8 @@ func mix64(x uint64) uint64 {
 
 func hashIntKey(k int64) uint64 { return mix64(uint64(k)) }
 
+func hashCodeKey(k uint32) uint64 { return mix64(uint64(k)) }
+
 // hashFloatKey hashes the canonical bit pattern: -0.0 and +0.0 are equal
 // as map keys, so they must route to the same partition. (NaN needs no
 // such care — it never equals anything, in any partition.)
@@ -189,7 +191,10 @@ func matchTypedWorkers[K comparable](left, right *Table, lKeys, rKeys []K, hash 
 
 // matchIndicesWorkers dispatches the hash-join build/probe on the key
 // column type with the given worker-pool size. Keys must have identical
-// types on both sides.
+// types on both sides. Str keys whose vectors share one dictionary join
+// on the uint32 codes (code equality is value equality under a shared
+// dict); otherwise dict keys decode once, at the boundary, into a
+// string slice.
 func matchIndicesWorkers(left, right *Table, li, ri, workers int) (lIdx, rIdx []int32) {
 	if left.Schema[li].Type != right.Schema[ri].Type {
 		panic("relal: join key type mismatch: " +
@@ -201,7 +206,11 @@ func matchIndicesWorkers(left, right *Table, li, ri, workers int) (lIdx, rIdx []
 	case Float:
 		return matchTypedWorkers(left, right, left.Cols[li].Floats, right.Cols[ri].Floats, hashFloatKey, workers)
 	default:
-		return matchTypedWorkers(left, right, left.Cols[li].Strs, right.Cols[ri].Strs, hashStrKey, workers)
+		lv, rv := left.Cols[li], right.Cols[ri]
+		if lv.IsDict() && rv.IsDict() && sameDict(lv, rv) {
+			return matchTypedWorkers(left, right, lv.Dict, rv.Dict, hashCodeKey, workers)
+		}
+		return matchTypedWorkers(left, right, lv.DecodeStrs(), rv.DecodeStrs(), hashStrKey, workers)
 	}
 }
 
@@ -278,7 +287,11 @@ func keyMembershipWorkers(left, right *Table, li, ri, workers int) []bool {
 	case Float:
 		return memberTypedWorkers(left, right, left.Cols[li].Floats, right.Cols[ri].Floats, hashFloatKey, workers)
 	default:
-		return memberTypedWorkers(left, right, left.Cols[li].Strs, right.Cols[ri].Strs, hashStrKey, workers)
+		lv, rv := left.Cols[li], right.Cols[ri]
+		if lv.IsDict() && rv.IsDict() && sameDict(lv, rv) {
+			return memberTypedWorkers(left, right, lv.Dict, rv.Dict, hashCodeKey, workers)
+		}
+		return memberTypedWorkers(left, right, lv.DecodeStrs(), rv.DecodeStrs(), hashStrKey, workers)
 	}
 }
 
@@ -307,7 +320,12 @@ func (v *Vector) gatherWorkers(idx []int32, workers int) *Vector {
 	case Float:
 		out.Floats = gatherSliceWorkers(v.Floats, idx, workers)
 	default:
-		out.Strs = gatherSliceWorkers(v.Strs, idx, workers)
+		if v.DictVals != nil {
+			out.Dict = gatherSliceWorkers(v.Dict, idx, workers)
+			out.DictVals = v.DictVals
+		} else {
+			out.Strs = gatherSliceWorkers(v.Strs, idx, workers)
+		}
 	}
 	return out
 }

@@ -71,12 +71,18 @@ func (s Schema) Names() []string {
 }
 
 // Vector is one typed column: exactly the slice matching Kind is
-// populated.
+// populated. A Str vector may instead be dictionary-encoded (dict.go):
+// Dict holds per-cell uint32 codes into DictVals, a shared sorted
+// dictionary, so code order equals value order and kernels can compare
+// codes instead of strings. DictVals non-nil marks the dict variant.
 type Vector struct {
 	Kind   Type
 	Ints   []int64
 	Floats []float64
 	Strs   []string
+
+	Dict     []uint32
+	DictVals []string
 }
 
 // NewVector returns an empty vector of the given type with capacity for
@@ -111,10 +117,15 @@ func (v *Vector) Len() int {
 	case Float:
 		return len(v.Floats)
 	}
+	if v.DictVals != nil {
+		return len(v.Dict)
+	}
 	return len(v.Strs)
 }
 
-// appendFrom appends src's cell at physical index p.
+// appendFrom appends src's cell at physical index p. When both vectors
+// are dict-encoded over the same dictionary the code moves without
+// decoding; otherwise dict cells decode on the way in.
 func (v *Vector) appendFrom(src *Vector, p int32) {
 	switch v.Kind {
 	case Int:
@@ -122,7 +133,14 @@ func (v *Vector) appendFrom(src *Vector, p int32) {
 	case Float:
 		v.Floats = append(v.Floats, src.Floats[p])
 	default:
-		v.Strs = append(v.Strs, src.Strs[p])
+		if v.DictVals != nil {
+			if src.DictVals != nil && sameDict(v, src) {
+				v.Dict = append(v.Dict, src.Dict[p])
+				return
+			}
+			panic("relal: appendFrom into a dict vector with a foreign dictionary")
+		}
+		v.Strs = append(v.Strs, src.StrAt(p))
 	}
 }
 
@@ -137,7 +155,8 @@ func gatherSlice[T any](xs []T, idx []int32) []T {
 }
 
 // gather returns a dense vector holding v's cells at the given physical
-// indices, in order.
+// indices, in order. Dict vectors gather their codes and keep sharing
+// the dictionary — strings only materialize at output boundaries.
 func (v *Vector) gather(idx []int32) *Vector {
 	out := &Vector{Kind: v.Kind}
 	switch v.Kind {
@@ -146,7 +165,12 @@ func (v *Vector) gather(idx []int32) *Vector {
 	case Float:
 		out.Floats = gatherSlice(v.Floats, idx)
 	default:
-		out.Strs = gatherSlice(v.Strs, idx)
+		if v.DictVals != nil {
+			out.Dict = gatherSlice(v.Dict, idx)
+			out.DictVals = v.DictVals
+		} else {
+			out.Strs = gatherSlice(v.Strs, idx)
+		}
 	}
 	return out
 }
@@ -268,10 +292,12 @@ func (t *Table) Compacted() *Table {
 }
 
 // AvgRowBytes returns the exact average encoded row width in bytes
-// (8 per numeric column, string length + 1 otherwise), used by the
-// engines to convert cardinalities into I/O and network bytes. Unlike
-// the old row-at-a-time sampling estimate, this is computed from the
-// full column data.
+// (8 per numeric column, string length + 1 for raw strings, the packed
+// code width plus the amortized dictionary for dict-encoded strings),
+// used by the engines to convert cardinalities into I/O and network
+// bytes. Dictionary encoding therefore shows up in the cost models the
+// same way it shows up on disk: a dict column is a few bytes per row,
+// not the string's.
 func (t *Table) AvgRowBytes() int {
 	n := t.NumRows()
 	if n == 0 {
@@ -286,7 +312,15 @@ func (t *Table) AvgRowBytes() int {
 			total += 8 * n
 			continue
 		}
-		strs := t.Cols[ci].Strs
+		col := t.Cols[ci]
+		if col.DictVals != nil {
+			total += DictCodeWidth(len(col.DictVals)) * n
+			for _, s := range col.DictVals {
+				total += len(s) + 1
+			}
+			continue
+		}
+		strs := col.Strs
 		if t.sel == nil {
 			for _, s := range strs {
 				total += len(s) + 1
@@ -360,9 +394,14 @@ func (v FloatVec) Len() int {
 	return len(v.data)
 }
 
-// StrVec is a read accessor for a Str column.
+// StrVec is a read accessor for a Str column. For a dict-encoded
+// column, dict/vals are set instead of data and Get decodes through the
+// dictionary; the predicate factories in dict.go compare codes and skip
+// the decode entirely.
 type StrVec struct {
 	data []string
+	dict []uint32
+	vals []string
 	sel  []int32
 }
 
@@ -371,6 +410,9 @@ func (v StrVec) Get(i int) string {
 	if v.sel != nil {
 		i = int(v.sel[i])
 	}
+	if v.dict != nil {
+		return v.vals[v.dict[i]]
+	}
 	return v.data[i]
 }
 
@@ -378,6 +420,9 @@ func (v StrVec) Get(i int) string {
 func (v StrVec) Len() int {
 	if v.sel != nil {
 		return len(v.sel)
+	}
+	if v.dict != nil {
+		return len(v.dict)
 	}
 	return len(v.data)
 }
@@ -408,7 +453,11 @@ func (t *Table) StrCol(name string) StrVec {
 	if t.Schema[c].Type != Str {
 		panic(fmt.Sprintf("relal: column %q is not Str", name))
 	}
-	return StrVec{data: t.Cols[c].Strs, sel: t.sel}
+	col := t.Cols[c]
+	if col.DictVals != nil {
+		return StrVec{dict: col.Dict, vals: col.DictVals, sel: t.sel}
+	}
+	return StrVec{data: col.Strs, sel: t.sel}
 }
 
 // Row is one boxed tuple; elements are int64, float64, or string per
@@ -431,7 +480,7 @@ func RowsOf(t *Table) []Row {
 			case Float:
 				r[c] = v.Floats[p]
 			default:
-				r[c] = v.Strs[p]
+				r[c] = v.StrAt(p)
 			}
 		}
 		rows[i] = r
@@ -483,6 +532,10 @@ func AppendRow(t *Table, r Row) {
 			if !ok {
 				panic(fmt.Sprintf("relal: column %q expects string, got %T", t.Schema[c].Name, cell))
 			}
+			// An arbitrary appended string may not be in the dictionary;
+			// fall back to the raw representation (the vector is private
+			// here — views and aliased tables were compacted above).
+			col.decodeToRaw()
 			col.Strs = append(col.Strs, x)
 		}
 	}
@@ -898,6 +951,14 @@ func (e *Exec) Aggregate(t *Table, groupBy []string, aggs []AggSpec) *Table {
 		sch = append(sch, Column{Name: a.As, Type: typ})
 	}
 	out := NewTable(t.Name+"_agg", sch)
+	// Dict-encoded group columns stay dict-encoded on the way out: the
+	// output vector shares the input's dictionary and appendFrom moves
+	// codes, so a downstream Sort on the group keys still compares ints.
+	for k, gi := range gidx {
+		if in := t.Cols[gi]; in.DictVals != nil {
+			out.Cols[k] = DictV(make([]uint32, 0, len(order)), in.DictVals)
+		}
+	}
 	for _, acc := range order {
 		for k, gi := range gidx {
 			out.Cols[k].appendFrom(t.Cols[gi], acc.firstRow)
@@ -938,7 +999,11 @@ func (e *Exec) Aggregate(t *Table, groupBy []string, aggs []AggSpec) *Table {
 }
 
 // appendGroupKey appends the group-key encoding of physical row p onto
-// key.
+// key. A dict-encoded group column contributes its uint32 code instead
+// of the string bytes: the code↔value bijection makes the grouping (and
+// the first-seen order) identical, but the key build touches no string
+// — on Q1's (l_returnflag, l_linestatus) the composite key is two small
+// ints.
 func appendGroupKey(key []byte, t *Table, gidx []int, p int32) []byte {
 	for _, gi := range gidx {
 		col := t.Cols[gi]
@@ -948,7 +1013,11 @@ func appendGroupKey(key []byte, t *Table, gidx []int, p int32) []byte {
 		case Float:
 			key = strconv.AppendFloat(key, col.Floats[p], 'g', -1, 64)
 		default:
-			key = append(key, col.Strs[p]...)
+			if col.DictVals != nil {
+				key = strconv.AppendUint(key, uint64(col.Dict[p]), 10)
+			} else {
+				key = append(key, col.Strs[p]...)
+			}
 		}
 		key = append(key, 0)
 	}
@@ -985,7 +1054,7 @@ func (acc *accum) observe(t *Table, aidx []int, p int32) {
 				acc.maxs[ai] = f
 			}
 		default:
-			s := col.Strs[p]
+			s := col.StrAt(p)
 			// count was already incremented for this row, so
 			// count==1 marks the group's first accumulation (the
 			// zero value "" is a legitimate minimum, not a
@@ -1150,7 +1219,13 @@ func sortCmps(t *Table, keys []OrderSpec) []func(a, b int32) int {
 		case Float:
 			cmps[k] = cmpFn(col.Floats, neg)
 		default:
-			cmps[k] = cmpFn(col.Strs, neg)
+			if col.DictVals != nil {
+				// The dictionary is sorted, so code order is value
+				// order: the string sort runs as a uint32 sort.
+				cmps[k] = cmpFn(col.Dict, neg)
+			} else {
+				cmps[k] = cmpFn(col.Strs, neg)
+			}
 		}
 	}
 	return cmps

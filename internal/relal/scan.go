@@ -14,12 +14,18 @@ package relal
 import "sync/atomic"
 
 // ZoneMap is the min/max summary of one column chunk (one column within
-// one row group). Exactly the pair matching Kind is meaningful.
+// one row group). Exactly the pair matching Kind is meaningful. For a
+// dictionary-encoded Str chunk, CodeMin/CodeMax additionally carry the
+// min/max codes (the dictionary is sorted, so they pick out the same
+// values StrMin/StrMax spell out; pruning keeps comparing strings so a
+// predicate never needs the chunk's dictionary).
 type ZoneMap struct {
 	Kind               Type
 	IntMin, IntMax     int64
 	FloatMin, FloatMax float64
 	StrMin, StrMax     string
+	CodeMin, CodeMax   uint32
+	HasCodes           bool
 }
 
 // ZoneOf computes the zone map of v's cells in physical positions
@@ -49,6 +55,21 @@ func ZoneOf(v *Vector, lo, hi int) ZoneMap {
 			}
 		}
 	case Str:
+		if v.DictVals != nil {
+			// Sorted dictionary: min/max code is min/max value.
+			z.CodeMin, z.CodeMax = v.Dict[lo], v.Dict[lo]
+			for _, c := range v.Dict[lo+1 : hi] {
+				if c < z.CodeMin {
+					z.CodeMin = c
+				}
+				if c > z.CodeMax {
+					z.CodeMax = c
+				}
+			}
+			z.StrMin, z.StrMax = v.DictVals[z.CodeMin], v.DictVals[z.CodeMax]
+			z.HasCodes = true
+			return z
+		}
 		z.StrMin, z.StrMax = v.Strs[lo], v.Strs[lo]
 		for _, s := range v.Strs[lo+1 : hi] {
 			if s < z.StrMin {
@@ -313,13 +334,38 @@ func computeScanInfo(t *Table, groupRows int) *tableScanInfo {
 		bs := make([]int64, len(d.Cols))
 		for c, v := range d.Cols {
 			zs[c] = ZoneOf(v, lo, hi)
-			if v.Kind == Str {
+			switch {
+			case v.DictVals != nil:
+				// Model the adaptive RCF3 chunk: the values present in
+				// this group form its local dictionary, plus packed
+				// codes at the local width — unless the plain strings
+				// encode smaller (near-unique groups), matching the
+				// writer's per-chunk choice.
+				present := make([]bool, len(v.DictVals))
+				for _, code := range v.Dict[lo:hi] {
+					present[code] = true
+				}
+				var local []string
+				var plain int64
+				for code, ok := range present {
+					if ok {
+						local = append(local, v.DictVals[code])
+					}
+				}
+				for _, code := range v.Dict[lo:hi] {
+					plain += 4 + int64(len(v.DictVals[code]))
+				}
+				bs[c] = DictEncodedBytes(local, hi-lo)
+				if plain < bs[c] {
+					bs[c] = plain
+				}
+			case v.Kind == Str:
 				var b int64
 				for p := lo; p < hi; p++ {
 					b += encodedCellBytes(v, int32(p))
 				}
 				bs[c] = b
-			} else {
+			default:
 				bs[c] = 8 * int64(hi-lo)
 			}
 		}

@@ -77,13 +77,36 @@ func sortIndexWorkers(t *Table, cmps []func(a, b int32) int, workers int) []int3
 	// Phase 2: merge adjacent runs pairwise, doubling the run width each
 	// level. Ping-pong between idx and buf; every element is copied at
 	// every level (unpaired tail runs via the mid >= hi fast path), so
-	// after each level the destination holds the full permutation.
+	// after each level the destination holds the full permutation. Once
+	// the tree narrows below the pool size (the last levels are one or
+	// two huge merges), each merge splits at binary-searched pivots into
+	// independently mergeable segments so the idle workers stay busy —
+	// the segment boundaries depend only on the data and the tie rule,
+	// so the merged output is the same bytes the single-worker merge
+	// writes.
 	buf := make([]int32, n)
 	for width := sortMorselRows; width < n; width *= 2 {
 		pairs := (n + 2*width - 1) / (2 * width)
 		src, dst := idx, buf
-		parallelRanges(pairs, workers, func(plo, phi int) {
-			for p := plo; p < phi; p++ {
+		if pairs >= workers {
+			parallelRanges(pairs, workers, func(plo, phi int) {
+				for p := plo; p < phi; p++ {
+					lo := p * 2 * width
+					mid := lo + width
+					hi := lo + 2*width
+					if mid > n {
+						mid = n
+					}
+					if hi > n {
+						hi = n
+					}
+					mergeRuns(src, dst, lo, mid, hi, cmps)
+				}
+			})
+		} else {
+			perPair := (workers + pairs - 1) / pairs
+			var segs []mergeSeg
+			for p := 0; p < pairs; p++ {
 				lo := p * 2 * width
 				mid := lo + width
 				hi := lo + 2*width
@@ -93,12 +116,81 @@ func sortIndexWorkers(t *Table, cmps []func(a, b int32) int, workers int) []int3
 				if hi > n {
 					hi = n
 				}
-				mergeRuns(src, dst, lo, mid, hi, cmps)
+				segs = splitMerge(segs, src, lo, mid, hi, perPair, cmps)
 			}
-		})
+			parallelRanges(len(segs), workers, func(slo, shi int) {
+				for s := slo; s < shi; s++ {
+					segs[s].merge(src, dst, cmps)
+				}
+			})
+		}
 		idx, buf = buf, idx
 	}
 	return idx
+}
+
+// mergeSeg is one independently mergeable slice of a two-run merge:
+// src[llo:lhi) and src[rlo:rhi) interleave into dst starting at out.
+type mergeSeg struct {
+	llo, lhi, rlo, rhi, out int
+}
+
+func (s mergeSeg) merge(src, dst []int32, cmps []func(a, b int32) int) {
+	i, j, o := s.llo, s.rlo, s.out
+	for i < s.lhi && j < s.rhi {
+		if cmpIdx(cmps, src[i], src[j]) <= 0 {
+			dst[o] = src[i]
+			i++
+		} else {
+			dst[o] = src[j]
+			j++
+		}
+		o++
+	}
+	o += copy(dst[o:], src[i:s.lhi])
+	copy(dst[o:], src[j:s.rhi])
+}
+
+// splitMerge appends up to parts segments covering the merge of
+// src[lo:mid) and src[mid:hi). The left run splits at fixed fractions;
+// each left pivot's counterpart in the right run is the first element
+// that does not precede it under the merge's tie rule (ties take the
+// left run), found by binary search. Segment boundaries are therefore a
+// pure function of the runs — worker count only decides how many
+// pivots are tried, and empty segments collapse away — so the
+// concatenated segment merges reproduce the serial merge exactly.
+func splitMerge(segs []mergeSeg, src []int32, lo, mid, hi, parts int, cmps []func(a, b int32) int) []mergeSeg {
+	if mid >= hi || parts <= 1 {
+		return append(segs, mergeSeg{llo: lo, lhi: mid, rlo: mid, rhi: hi, out: lo})
+	}
+	ln := mid - lo
+	if parts > ln {
+		parts = ln
+	}
+	prevL, prevR := lo, mid
+	for s := 1; s <= parts; s++ {
+		var li, rj int
+		if s == parts {
+			li, rj = mid, hi
+		} else {
+			li = lo + ln*s/parts
+			pivot := src[li]
+			// First right-run element with cmp >= 0: everything before
+			// it sorts strictly ahead of the pivot and belongs to this
+			// segment; the pivot itself (and its ties) goes left-first.
+			rj = mid + sort.Search(hi-mid, func(k int) bool {
+				return cmpIdx(cmps, src[mid+k], pivot) >= 0
+			})
+		}
+		if li > prevL || rj > prevR {
+			segs = append(segs, mergeSeg{
+				llo: prevL, lhi: li, rlo: prevR, rhi: rj,
+				out: lo + (prevL - lo) + (prevR - mid),
+			})
+		}
+		prevL, prevR = li, rj
+	}
+	return segs
 }
 
 // mergeRuns stable-merges the sorted runs src[lo:mid) and src[mid:hi)

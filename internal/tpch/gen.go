@@ -222,6 +222,22 @@ func (db *DB) Table(name string) *relal.Table {
 	panic("tpch: unknown table " + name)
 }
 
+// DefaultDictColumns lists the Str columns the generator
+// dictionary-encodes by default: the spec's enumerated low-cardinality
+// columns (l_returnflag has 3 values, l_linestatus 2, l_shipmode 7,
+// o_orderpriority 5, c_mktsegment 5, p_brand 25, p_type 150, …) plus
+// the date columns (~2.4k distinct ISO strings). Every kernel operates
+// on the codes; the decoded answers are byte-identical to raw-string
+// generation.
+var DefaultDictColumns = []string{
+	"l_returnflag", "l_linestatus", "l_shipmode", "l_shipinstruct",
+	"l_shipdate", "l_commitdate", "l_receiptdate",
+	"o_orderstatus", "o_orderpriority", "o_orderdate",
+	"c_mktsegment",
+	"p_mfgr", "p_brand", "p_type", "p_container",
+	"n_name", "r_name",
+}
+
 // GenConfig controls generation.
 type GenConfig struct {
 	SF   float64
@@ -231,6 +247,12 @@ type GenConfig struct {
 	// overflow and go negative — the dbgen bug the paper found at the
 	// 16 TB scale factor and fixed with RANDOM64.
 	Random64 bool
+	// DictColumns names the Str columns to dictionary-encode after
+	// generation (nil = DefaultDictColumns). NoDict disables the
+	// encoding entirely — the `-no-dict` escape hatch in dbgen and
+	// tpchbench — leaving every Str column as raw []string.
+	DictColumns []string
+	NoDict      bool
 	// ClusterBy names a column to cluster on (e.g. "l_shipdate"): the
 	// base table owning it is rewritten in stable col-sorted order after
 	// generation, before any RCFile encoding. Zone maps only prune when
@@ -256,12 +278,39 @@ func Generate(cfg GenConfig) *DB {
 	db.Part = genPart(cfg, rng)
 	db.PartSupp = genPartSupp(cfg, rng)
 	db.Orders, db.Lineitem = genOrdersLineitem(cfg, rng)
+	if !cfg.NoDict {
+		cols := cfg.DictColumns
+		if cols == nil {
+			cols = DefaultDictColumns
+		}
+		db.encodeDictColumns(cols)
+	}
 	if cfg.ClusterBy != "" {
 		if _, err := db.Cluster(cfg.ClusterBy); err != nil {
 			panic("tpch: " + err.Error())
 		}
 	}
 	return db
+}
+
+// encodeDictColumns replaces the named Str columns' vectors with their
+// dictionary encoding (sorted distinct values + per-row codes). Run
+// before any source or scan-info caching exists, so every downstream
+// consumer — kernels, RCFile encoding, cost accounting — sees the dict
+// vectors from the start.
+func (db *DB) encodeDictColumns(cols []string) {
+	want := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		want[c] = true
+	}
+	for _, name := range TableNames {
+		t := db.Table(name)
+		for ci, c := range t.Schema {
+			if c.Type == relal.Str && want[c.Name] {
+				t.Cols[ci] = relal.EncodeDict(t.Cols[ci].Strs)
+			}
+		}
+	}
 }
 
 // Cluster rewrites the base table owning col in stable col-sorted order

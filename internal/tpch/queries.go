@@ -151,13 +151,15 @@ func discPrice(e *relal.Exec, t *relal.Table, name string) *relal.Table {
 	})
 }
 
-// q1: scan lineitem, filter by shipdate, wide aggregation, sort.
+// q1: scan lineitem, filter by shipdate, wide aggregation, sort. The
+// shipdate predicate binds once through the StrVec factory: on the
+// dict-encoded column it compares a uint32 code against a threshold,
+// and the (l_returnflag, l_linestatus) group keys aggregate as codes.
 func q1(e *relal.Exec, db *DB) *relal.Table {
 	li := scan(e, db, "lineitem",
 		[]string{"l_shipdate", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus"},
 		relal.StrAtMost("l_shipdate", "1998-09-02"))
-	sd := li.StrCol("l_shipdate")
-	f := e.Filter(li, func(i int) bool { return sd.Get(i) <= "1998-09-02" })
+	f := e.Filter(li, li.StrCol("l_shipdate").Le("1998-09-02"))
 	f = discPrice(e, f, "disc_price")
 	dp := f.FloatCol("disc_price")
 	tax := f.FloatCol("l_tax")
@@ -189,8 +191,7 @@ func q2(e *relal.Exec, db *DB) *relal.Table {
 	})
 	rt := scan(e, db, "region", []string{"r_regionkey", "r_name"},
 		relal.StrEq("r_name", "EUROPE"))
-	rname := rt.StrCol("r_name")
-	region := e.Filter(rt, func(i int) bool { return rname.Get(i) == "EUROPE" })
+	region := e.Filter(rt, rt.StrCol("r_name").Eq("EUROPE"))
 	nation := e.Join(scan(e, db, "nation", []string{"n_nationkey", "n_name", "n_regionkey"}), region, "n_regionkey", "r_regionkey")
 	supp := e.Join(scan(e, db, "supplier",
 		[]string{"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"}), nation, "s_nationkey", "n_nationkey")
@@ -225,18 +226,15 @@ func q2(e *relal.Exec, db *DB) *relal.Table {
 func q3(e *relal.Exec, db *DB) *relal.Table {
 	ct := scan(e, db, "customer", []string{"c_custkey", "c_mktsegment"},
 		relal.StrEq("c_mktsegment", "BUILDING"))
-	seg := ct.StrCol("c_mktsegment")
-	cust := e.Filter(ct, func(i int) bool { return seg.Get(i) == "BUILDING" })
+	cust := e.Filter(ct, ct.StrCol("c_mktsegment").Eq("BUILDING"))
 	ot := scan(e, db, "orders",
 		[]string{"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"},
 		relal.StrAtMost("o_orderdate", "1995-03-15"))
-	odate := ot.StrCol("o_orderdate")
-	ord := e.Filter(ot, func(i int) bool { return odate.Get(i) < "1995-03-15" })
+	ord := e.Filter(ot, ot.StrCol("o_orderdate").Lt("1995-03-15"))
 	lt := scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"},
 		relal.StrAtLeast("l_shipdate", "1995-03-15"))
-	sdate := lt.StrCol("l_shipdate")
-	li := e.Filter(lt, func(i int) bool { return sdate.Get(i) > "1995-03-15" })
+	li := e.Filter(lt, lt.StrCol("l_shipdate").Gt("1995-03-15"))
 	co := e.Join(ord, cust, "o_custkey", "c_custkey")
 	col := e.Join(li, co, "l_orderkey", "o_orderkey")
 	col = discPrice(e, col, "revenue_item")
@@ -254,11 +252,7 @@ func q4(e *relal.Exec, db *DB) *relal.Table {
 	ot := scan(e, db, "orders",
 		[]string{"o_orderkey", "o_orderdate", "o_orderpriority"},
 		relal.StrBetween("o_orderdate", "1993-07-01", "1993-10-01"))
-	odate := ot.StrCol("o_orderdate")
-	ord := e.Filter(ot, func(i int) bool {
-		d := odate.Get(i)
-		return d >= "1993-07-01" && d < "1993-10-01"
-	})
+	ord := e.Filter(ot, ot.StrCol("o_orderdate").Range("1993-07-01", "1993-10-01"))
 	lt := scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_commitdate", "l_receiptdate"})
 	cdate := lt.StrCol("l_commitdate")
@@ -278,19 +272,14 @@ func q4(e *relal.Exec, db *DB) *relal.Table {
 func q5(e *relal.Exec, db *DB) *relal.Table {
 	rt := scan(e, db, "region", []string{"r_regionkey", "r_name"},
 		relal.StrEq("r_name", "ASIA"))
-	rname := rt.StrCol("r_name")
-	region := e.Filter(rt, func(i int) bool { return rname.Get(i) == "ASIA" })
+	region := e.Filter(rt, rt.StrCol("r_name").Eq("ASIA"))
 	nr := e.Join(scan(e, db, "nation", []string{"n_nationkey", "n_name", "n_regionkey"}), region, "n_regionkey", "r_regionkey")
 	snr := e.Join(scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), nr, "s_nationkey", "n_nationkey")
 	lsnr := e.Join(scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"}), snr, "l_suppkey", "s_suppkey")
 	ot := scan(e, db, "orders", []string{"o_orderkey", "o_custkey", "o_orderdate"},
 		relal.StrBetween("o_orderdate", "1994-01-01", "1995-01-01"))
-	odate := ot.StrCol("o_orderdate")
-	ord := e.Filter(ot, func(i int) bool {
-		d := odate.Get(i)
-		return d >= "1994-01-01" && d < "1995-01-01"
-	})
+	ord := e.Filter(ot, ot.StrCol("o_orderdate").Range("1994-01-01", "1995-01-01"))
 	lo := e.Join(lsnr, ord, "l_orderkey", "o_orderkey")
 	// Customer must be in the same nation as the supplier.
 	loc := e.Join(lo, scan(e, db, "customer", []string{"c_custkey", "c_nationkey"}), "o_custkey", "c_custkey")
@@ -304,20 +293,21 @@ func q5(e *relal.Exec, db *DB) *relal.Table {
 	return e.Sort(agg, relal.OrderSpec{Col: "revenue", Desc: true})
 }
 
-// q6: single-table revenue forecast.
+// q6: single-table revenue forecast. The shipdate window binds once as
+// a code range over the dictionary — per row the date test is two
+// uint32 compares, no string ever touched.
 func q6(e *relal.Exec, db *DB) *relal.Table {
 	li := scan(e, db, "lineitem",
 		[]string{"l_quantity", "l_extendedprice", "l_discount", "l_shipdate"},
 		relal.StrBetween("l_shipdate", "1994-01-01", "1995-01-01"),
 		relal.FloatBetween("l_discount", 0.05-1e-9, 0.07+1e-9),
 		relal.FloatAtMost("l_quantity", 24))
-	sd := li.StrCol("l_shipdate")
+	inYear := li.StrCol("l_shipdate").Range("1994-01-01", "1995-01-01")
 	disc := li.FloatCol("l_discount")
 	qty := li.FloatCol("l_quantity")
 	f := e.Filter(li, func(i int) bool {
-		d := sd.Get(i)
 		dc := disc.Get(i)
-		return d >= "1994-01-01" && d < "1995-01-01" &&
+		return inYear(i) &&
 			dc >= 0.05-1e-9 && dc <= 0.07+1e-9 &&
 			qty.Get(i) < 24
 	})
@@ -334,11 +324,7 @@ func q7(e *relal.Exec, db *DB) *relal.Table {
 	lt := scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"},
 		relal.StrBetween("l_shipdate", "1995-01-01", "1996-12-31"))
-	sdate := lt.StrCol("l_shipdate")
-	li := e.Filter(lt, func(i int) bool {
-		d := sdate.Get(i)
-		return d >= "1995-01-01" && d <= "1996-12-31"
-	})
+	li := e.Filter(lt, lt.StrCol("l_shipdate").Between("1995-01-01", "1996-12-31"))
 	ls := e.Join(li, scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), "l_suppkey", "s_suppkey")
 	lso := e.Join(ls, scan(e, db, "orders", []string{"o_orderkey", "o_custkey"}), "l_orderkey", "o_orderkey")
 	lsoc := e.Join(lso, scan(e, db, "customer", []string{"c_custkey", "c_nationkey"}), "o_custkey", "c_custkey")
@@ -378,25 +364,19 @@ func q7(e *relal.Exec, db *DB) *relal.Table {
 func q8(e *relal.Exec, db *DB) *relal.Table {
 	pt := scan(e, db, "part", []string{"p_partkey", "p_type"},
 		relal.StrEq("p_type", "ECONOMY ANODIZED STEEL"))
-	ptype := pt.StrCol("p_type")
-	part := e.Filter(pt, func(i int) bool { return ptype.Get(i) == "ECONOMY ANODIZED STEEL" })
+	part := e.Filter(pt, pt.StrCol("p_type").Eq("ECONOMY ANODIZED STEEL"))
 	lp := e.Join(scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"}), part, "l_partkey", "p_partkey")
 	lps := e.Join(lp, scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), "l_suppkey", "s_suppkey")
 	ot := scan(e, db, "orders", []string{"o_orderkey", "o_custkey", "o_orderdate"},
 		relal.StrBetween("o_orderdate", "1995-01-01", "1996-12-31"))
-	odate := ot.StrCol("o_orderdate")
-	ord := e.Filter(ot, func(i int) bool {
-		d := odate.Get(i)
-		return d >= "1995-01-01" && d <= "1996-12-31"
-	})
+	ord := e.Filter(ot, ot.StrCol("o_orderdate").Between("1995-01-01", "1996-12-31"))
 	lpso := e.Join(lps, ord, "l_orderkey", "o_orderkey")
 	lpsoc := e.Join(lpso, scan(e, db, "customer", []string{"c_custkey", "c_nationkey"}), "o_custkey", "c_custkey")
 	// Customer nation must be in AMERICA.
 	rt := scan(e, db, "region", []string{"r_regionkey", "r_name"},
 		relal.StrEq("r_name", "AMERICA"))
-	rname := rt.StrCol("r_name")
-	region := e.Filter(rt, func(i int) bool { return rname.Get(i) == "AMERICA" })
+	region := e.Filter(rt, rt.StrCol("r_name").Eq("AMERICA"))
 	nr := e.Join(scan(e, db, "nation", []string{"n_nationkey", "n_regionkey"}), region, "n_regionkey", "r_regionkey")
 	custAm := e.Join(lpsoc, nr, "c_nationkey", "n_nationkey")
 	// Supplier nation name (shares the nation table's vectors).
@@ -409,10 +389,10 @@ func q8(e *relal.Exec, db *DB) *relal.Table {
 	aod := all.StrCol("o_orderdate")
 	all = e.ExtendStr(all, "o_year", func(i int) string { return aod.Get(i)[:4] })
 	all = discPrice(e, all, "volume")
-	asn := all.StrCol("supp_nation")
+	isBrazil := all.StrCol("supp_nation").Eq("BRAZIL")
 	avol := all.FloatCol("volume")
 	all = e.ExtendFloat(all, "brazil_volume", func(i int) float64 {
-		if asn.Get(i) == "BRAZIL" {
+		if isBrazil(i) {
 			return avol.Get(i)
 		}
 		return 0.0
@@ -472,16 +452,11 @@ func q9(e *relal.Exec, db *DB) *relal.Table {
 func q10(e *relal.Exec, db *DB) *relal.Table {
 	ot := scan(e, db, "orders", []string{"o_orderkey", "o_custkey", "o_orderdate"},
 		relal.StrBetween("o_orderdate", "1993-10-01", "1994-01-01"))
-	odate := ot.StrCol("o_orderdate")
-	ord := e.Filter(ot, func(i int) bool {
-		d := odate.Get(i)
-		return d >= "1993-10-01" && d < "1994-01-01"
-	})
+	ord := e.Filter(ot, ot.StrCol("o_orderdate").Range("1993-10-01", "1994-01-01"))
 	lt := scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"},
 		relal.StrEq("l_returnflag", "R"))
-	rf := lt.StrCol("l_returnflag")
-	li := e.Filter(lt, func(i int) bool { return rf.Get(i) == "R" })
+	li := e.Filter(lt, lt.StrCol("l_returnflag").Eq("R"))
 	lo := e.Join(li, ord, "l_orderkey", "o_orderkey")
 	loc := e.Join(lo, scan(e, db, "customer",
 		[]string{"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_comment"}), "o_custkey", "c_custkey")
@@ -497,8 +472,7 @@ func q10(e *relal.Exec, db *DB) *relal.Table {
 func q11(e *relal.Exec, db *DB) *relal.Table {
 	nt := scan(e, db, "nation", []string{"n_nationkey", "n_name"},
 		relal.StrEq("n_name", "GERMANY"))
-	nname := nt.StrCol("n_name")
-	nation := e.Filter(nt, func(i int) bool { return nname.Get(i) == "GERMANY" })
+	nation := e.Filter(nt, nt.StrCol("n_name").Eq("GERMANY"))
 	sn := e.Join(scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), nation, "s_nationkey", "n_nationkey")
 	ps := e.Join(scan(e, db, "partsupp",
 		[]string{"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"}), sn, "ps_suppkey", "s_suppkey")
@@ -527,24 +501,22 @@ func q12(e *relal.Exec, db *DB) *relal.Table {
 	lt := scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipmode"},
 		relal.StrBetween("l_receiptdate", "1994-01-01", "1995-01-01"))
-	mode := lt.StrCol("l_shipmode")
+	wantMode := lt.StrCol("l_shipmode").In("MAIL", "SHIP")
+	inYear := lt.StrCol("l_receiptdate").Range("1994-01-01", "1995-01-01")
 	commit := lt.StrCol("l_commitdate")
 	receipt := lt.StrCol("l_receiptdate")
 	ship := lt.StrCol("l_shipdate")
 	li := e.Filter(lt, func(i int) bool {
-		m := mode.Get(i)
-		if m != "MAIL" && m != "SHIP" {
+		if !wantMode(i) {
 			return false
 		}
-		c, r := commit.Get(i), receipt.Get(i)
-		return c < r && ship.Get(i) < c &&
-			r >= "1994-01-01" && r < "1995-01-01"
+		c := commit.Get(i)
+		return c < receipt.Get(i) && ship.Get(i) < c && inYear(i)
 	})
 	lo := e.Join(li, scan(e, db, "orders", []string{"o_orderkey", "o_orderpriority"}), "l_orderkey", "o_orderkey")
-	prio := lo.StrCol("o_orderpriority")
+	isHigh := lo.StrCol("o_orderpriority").In("1-URGENT", "2-HIGH")
 	lo = e.ExtendInt(lo, "high_line", func(i int) int64 {
-		p := prio.Get(i)
-		if p == "1-URGENT" || p == "2-HIGH" {
+		if isHigh(i) {
 			return 1
 		}
 		return 0
@@ -612,17 +584,15 @@ func q14(e *relal.Exec, db *DB) *relal.Table {
 	lt := scan(e, db, "lineitem",
 		[]string{"l_partkey", "l_extendedprice", "l_discount", "l_shipdate"},
 		relal.StrBetween("l_shipdate", "1995-09-01", "1995-10-01"))
-	sdate := lt.StrCol("l_shipdate")
-	li := e.Filter(lt, func(i int) bool {
-		d := sdate.Get(i)
-		return d >= "1995-09-01" && d < "1995-10-01"
-	})
+	li := e.Filter(lt, lt.StrCol("l_shipdate").Range("1995-09-01", "1995-10-01"))
 	lp := e.Join(li, scan(e, db, "part", []string{"p_partkey", "p_type"}), "l_partkey", "p_partkey")
 	lp = discPrice(e, lp, "rev")
-	ptype := lp.StrCol("p_type")
+	// Prefix match as a code range: PROMO-typed parts are contiguous in
+	// the sorted p_type dictionary.
+	isPromo := lp.StrCol("p_type").HasPrefix("PROMO")
 	rev := lp.FloatCol("rev")
 	lp = e.ExtendFloat(lp, "promo_rev", func(i int) float64 {
-		if strings.HasPrefix(ptype.Get(i), "PROMO") {
+		if isPromo(i) {
 			return rev.Get(i)
 		}
 		return 0.0
@@ -647,11 +617,7 @@ func q15(e *relal.Exec, db *DB) *relal.Table {
 	lt := scan(e, db, "lineitem",
 		[]string{"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"},
 		relal.StrBetween("l_shipdate", "1996-01-01", "1996-04-01"))
-	sdate := lt.StrCol("l_shipdate")
-	li := e.Filter(lt, func(i int) bool {
-		d := sdate.Get(i)
-		return d >= "1996-01-01" && d < "1996-04-01"
-	})
+	li := e.Filter(lt, lt.StrCol("l_shipdate").Range("1996-01-01", "1996-04-01"))
 	li = discPrice(e, li, "rev")
 	revenue := e.Aggregate(li, []string{"l_suppkey"}, []relal.AggSpec{
 		{Fn: "sum", Col: "rev", As: "total_revenue"},
@@ -676,13 +642,11 @@ func q16(e *relal.Exec, db *DB) *relal.Table {
 	sizes := map[int64]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}
 	pt := scan(e, db, "part", []string{"p_partkey", "p_brand", "p_type", "p_size"},
 		relal.IntBetween("p_size", 3, 49))
-	brand := pt.StrCol("p_brand")
-	ptype := pt.StrCol("p_type")
+	notBrand45 := pt.StrCol("p_brand").Ne("Brand#45")
+	isMedPolished := pt.StrCol("p_type").HasPrefix("MEDIUM POLISHED")
 	psize := pt.IntCol("p_size")
 	part := e.Filter(pt, func(i int) bool {
-		return brand.Get(i) != "Brand#45" &&
-			!strings.HasPrefix(ptype.Get(i), "MEDIUM POLISHED") &&
-			sizes[psize.Get(i)]
+		return notBrand45(i) && !isMedPolished(i) && sizes[psize.Get(i)]
 	})
 	st := scan(e, db, "supplier", []string{"s_suppkey", "s_comment"})
 	scomment := st.StrCol("s_comment")
@@ -713,10 +677,10 @@ func q17(e *relal.Exec, db *DB) *relal.Table {
 	pt := scan(e, db, "part", []string{"p_partkey", "p_brand", "p_container"},
 		relal.StrEq("p_brand", "Brand#23"),
 		relal.StrEq("p_container", "MED BOX"))
-	brand := pt.StrCol("p_brand")
-	container := pt.StrCol("p_container")
+	wantBrand := pt.StrCol("p_brand").Eq("Brand#23")
+	wantContainer := pt.StrCol("p_container").Eq("MED BOX")
 	part := e.Filter(pt, func(i int) bool {
-		return brand.Get(i) == "Brand#23" && container.Get(i) == "MED BOX"
+		return wantBrand(i) && wantContainer(i)
 	})
 	lp := e.Join(scan(e, db, "lineitem",
 		[]string{"l_partkey", "l_quantity", "l_extendedprice"}), part, "l_partkey", "p_partkey")
@@ -770,37 +734,30 @@ func q19(e *relal.Exec, db *DB) *relal.Table {
 			relal.StrEq("l_shipinstruct", "DELIVER IN PERSON")),
 		scan(e, db, "part", []string{"p_partkey", "p_brand", "p_size", "p_container"}),
 		"l_partkey", "p_partkey")
+	// Every string leg of the three-branch predicate binds to codes
+	// once; per row the branch dispatch is integer compares only.
 	brand := lp.StrCol("p_brand")
 	container := lp.StrCol("p_container")
+	b12, b23, b34 := brand.Eq("Brand#12"), brand.Eq("Brand#23"), brand.Eq("Brand#34")
+	cSM := container.In("SM CASE", "SM BOX", "SM PACK", "SM PKG")
+	cMED := container.In("MED BAG", "MED BOX", "MED PKG", "MED PACK")
+	cLG := container.In("LG CASE", "LG BOX", "LG PACK", "LG PKG")
+	wantMode := lp.StrCol("l_shipmode").In("AIR", "REG AIR")
+	wantInstr := lp.StrCol("l_shipinstruct").Eq("DELIVER IN PERSON")
 	qty := lp.FloatCol("l_quantity")
 	size := lp.IntCol("p_size")
-	mode := lp.StrCol("l_shipmode")
-	instr := lp.StrCol("l_shipinstruct")
-	sm := func(c string, set ...string) bool {
-		for _, x := range set {
-			if c == x {
-				return true
-			}
-		}
-		return false
-	}
 	f := e.Filter(lp, func(i int) bool {
-		if m := mode.Get(i); m != "AIR" && m != "REG AIR" {
+		if !wantMode(i) || !wantInstr(i) {
 			return false
 		}
-		if instr.Get(i) != "DELIVER IN PERSON" {
-			return false
-		}
-		b := brand.Get(i)
-		c := container.Get(i)
 		q := qty.Get(i)
 		sz := size.Get(i)
 		switch {
-		case b == "Brand#12" && sm(c, "SM CASE", "SM BOX", "SM PACK", "SM PKG") && q >= 1 && q <= 11 && sz >= 1 && sz <= 5:
+		case b12(i) && cSM(i) && q >= 1 && q <= 11 && sz >= 1 && sz <= 5:
 			return true
-		case b == "Brand#23" && sm(c, "MED BAG", "MED BOX", "MED PKG", "MED PACK") && q >= 10 && q <= 20 && sz >= 1 && sz <= 10:
+		case b23(i) && cMED(i) && q >= 10 && q <= 20 && sz >= 1 && sz <= 10:
 			return true
-		case b == "Brand#34" && sm(c, "LG CASE", "LG BOX", "LG PACK", "LG PKG") && q >= 20 && q <= 30 && sz >= 1 && sz <= 15:
+		case b34(i) && cLG(i) && q >= 20 && q <= 30 && sz >= 1 && sz <= 15:
 			return true
 		}
 		return false
@@ -812,16 +769,11 @@ func q19(e *relal.Exec, db *DB) *relal.Table {
 // q20: suppliers with surplus forest parts in CANADA.
 func q20(e *relal.Exec, db *DB) *relal.Table {
 	pt := scan(e, db, "part", []string{"p_partkey", "p_name"})
-	pname := pt.StrCol("p_name")
-	part := e.Filter(pt, func(i int) bool { return strings.HasPrefix(pname.Get(i), "forest") })
+	part := e.Filter(pt, pt.StrCol("p_name").HasPrefix("forest"))
 	lt := scan(e, db, "lineitem",
 		[]string{"l_partkey", "l_suppkey", "l_quantity", "l_shipdate"},
 		relal.StrBetween("l_shipdate", "1994-01-01", "1995-01-01"))
-	sdate := lt.StrCol("l_shipdate")
-	li := e.Filter(lt, func(i int) bool {
-		d := sdate.Get(i)
-		return d >= "1994-01-01" && d < "1995-01-01"
-	})
+	li := e.Filter(lt, lt.StrCol("l_shipdate").Range("1994-01-01", "1995-01-01"))
 	shipped := e.Aggregate(li, []string{"l_partkey", "l_suppkey"}, []relal.AggSpec{
 		{Fn: "sum", Col: "l_quantity", As: "sum_qty"},
 	})
@@ -842,8 +794,7 @@ func q20(e *relal.Exec, db *DB) *relal.Table {
 	})
 	nt := scan(e, db, "nation", []string{"n_nationkey", "n_name"},
 		relal.StrEq("n_name", "CANADA"))
-	nname := nt.StrCol("n_name")
-	nation := e.Filter(nt, func(i int) bool { return nname.Get(i) == "CANADA" })
+	nation := e.Filter(nt, nt.StrCol("n_name").Eq("CANADA"))
 	supp := e.Join(scan(e, db, "supplier",
 		[]string{"s_suppkey", "s_name", "s_address", "s_nationkey"}), nation, "s_nationkey", "n_nationkey")
 	final := e.SemiJoin(supp, surplus, "s_suppkey", "ps_suppkey")
@@ -881,8 +832,7 @@ func q21(e *relal.Exec, db *DB) *relal.Table {
 	// and exactly one late supplier (this one), on F orders.
 	ot := scan(e, db, "orders", []string{"o_orderkey", "o_orderstatus"},
 		relal.StrEq("o_orderstatus", "F"))
-	ostatus := ot.StrCol("o_orderstatus")
-	ord := e.Filter(ot, func(i int) bool { return ostatus.Get(i) == "F" })
+	ord := e.Filter(ot, ot.StrCol("o_orderstatus").Eq("F"))
 	lko := late.IntCol("l_orderkey")
 	lateRows := e.Filter(late, func(i int) bool {
 		ok := lko.Get(i)
@@ -893,8 +843,7 @@ func q21(e *relal.Exec, db *DB) *relal.Table {
 		[]string{"s_suppkey", "s_name", "s_nationkey"}), "l_suppkey", "s_suppkey")
 	nt := scan(e, db, "nation", []string{"n_nationkey", "n_name"},
 		relal.StrEq("n_name", "SAUDI ARABIA"))
-	nname := nt.StrCol("n_name")
-	nation := e.Filter(nt, func(i int) bool { return nname.Get(i) == "SAUDI ARABIA" })
+	nation := e.Filter(nt, nt.StrCol("n_name").Eq("SAUDI ARABIA"))
 	lsn := e.Join(ls, nation, "s_nationkey", "n_nationkey")
 	// One row per (order, supplier) — dedup before counting.
 	dedup := e.Aggregate(lsn, []string{"s_name", "l_orderkey"}, []relal.AggSpec{

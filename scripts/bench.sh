@@ -15,6 +15,10 @@
 #                   (workers=1 vs GOMAXPROCS) plus stream throughput
 #                   with the fused TopK operator off vs on
 #                   (cmd/tpchbench -no-topk vs default)
+#   BENCH_PR5.json  dictionary-encoding win: Q1/Q6/Q3 ns/op + allocs/op
+#                   over RCF3-backed scans with dict on vs -no-dict,
+#                   plus the RCFile lineitem bytes on disk for both
+#                   encodings (cmd/scanstats -table-bytes)
 #
 # Usage:
 #
@@ -166,3 +170,35 @@ unfused=$(go run ./cmd/tpchbench -streams "$cores" -stream-rounds "$rounds" -lap
 	echo '}'
 } > "$out4"
 echo "wrote $out4"
+
+# ---- BENCH_PR5.json: dictionary-encoded string columns ----
+out5="BENCH_PR5.json"
+
+draw=$(go test -run xxx -bench 'BenchmarkTPCHDictQuery' -benchtime "${BENCHTIME:-3x}" -benchmem ./internal/tpch/)
+dq() { echo "$draw" | awk -v pat="Q$1/dict=$2" '$1 ~ pat {print $3, $7; exit}'; }
+set -- $(dq 1 on);  q1on_ns=$1;  q1on_al=$2
+set -- $(dq 1 off); q1off_ns=$1; q1off_al=$2
+set -- $(dq 6 on);  q6on_ns=$1;  q6on_al=$2
+set -- $(dq 6 off); q6off_ns=$1; q6off_al=$2
+set -- $(dq 3 on);  q3on_ns=$1;  q3on_al=$2
+set -- $(dq 3 off); q3off_ns=$1; q3off_al=$2
+[ -n "$q1on_ns" ] && [ -n "$q1off_ns" ] && [ -n "$q6on_ns" ] && [ -n "$q3on_ns" ] || {
+	echo "bench.sh: TPCHDictQuery results missing" >&2; exit 1; }
+
+li_dict=$(go run ./cmd/scanstats -sf 0.01 -group-rows 2048 -table-bytes lineitem)
+li_raw=$(go run ./cmd/scanstats -sf 0.01 -group-rows 2048 -table-bytes lineitem -no-dict)
+[ -n "$li_dict" ] && [ -n "$li_raw" ] || { echo "bench.sh: lineitem byte counts missing" >&2; exit 1; }
+
+{
+	echo '{'
+	echo '  "benchmark": "BenchmarkTPCHDictQuery (Q1/Q6/Q3 over RCF3-backed scans, SF 0.01, workers=1, host time) + cmd/scanstats -table-bytes (RCFile lineitem on-disk bytes, group-rows 2048)",'
+	echo '  "note": "dict=on is the default generator path (codes + shared sorted dictionaries end to end); dict=off is tpchbench/dbgen -no-dict. Answers are byte-identical; only host time, allocations, and encoded bytes change.",'
+	echo '  "queries": {'
+	echo "    \"Q1\": {\"dict_on\": {\"ns_op\": $q1on_ns, \"allocs_op\": $q1on_al}, \"dict_off\": {\"ns_op\": $q1off_ns, \"allocs_op\": $q1off_al}, \"speedup\": $(sp "$q1off_ns" "$q1on_ns")},"
+	echo "    \"Q6\": {\"dict_on\": {\"ns_op\": $q6on_ns, \"allocs_op\": $q6on_al}, \"dict_off\": {\"ns_op\": $q6off_ns, \"allocs_op\": $q6off_al}, \"speedup\": $(sp "$q6off_ns" "$q6on_ns")},"
+	echo "    \"Q3\": {\"dict_on\": {\"ns_op\": $q3on_ns, \"allocs_op\": $q3on_al}, \"dict_off\": {\"ns_op\": $q3off_ns, \"allocs_op\": $q3off_al}, \"speedup\": $(sp "$q3off_ns" "$q3on_ns")}"
+	echo '  },'
+	echo "  \"rcfile_lineitem_bytes\": {\"dict_on\": $li_dict, \"dict_off\": $li_raw, \"ratio\": $(awk -v a="$li_dict" -v b="$li_raw" 'BEGIN { printf "%.4f", a / b }')}"
+	echo '}'
+} > "$out5"
+echo "wrote $out5"
