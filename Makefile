@@ -17,17 +17,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Concurrent-stream golden tests + differential parallel-join/sort/dict
-# suites under the race detector (CI's `streams` job).
+# Concurrent-stream golden tests (including the cache golden matrix and
+# shared-scheduler suites) + differential parallel-join/sort/dict suites
+# under the race detector (CI's `streams` job).
 streams:
-	$(GO) test -race -run 'Stream|JoinParallel|SortParallel|TopK|Dict' ./...
+	$(GO) test -race -run 'Stream|JoinParallel|SortParallel|TopK|Dict|Cache|Sched|Epoch' ./...
 
-# Short fuzz runs over the join key-partitioning, sort/top-K, and RCF3
-# dict-chunk round-trip paths.
+# Short fuzz runs over the join key-partitioning, sort/top-K, RCF3
+# dict-chunk round-trip, and chunk-cache key/eviction paths.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzJoinKeys -fuzztime 15s ./internal/relal/
 	$(GO) test -run xxx -fuzz FuzzSortKeys -fuzztime 15s ./internal/relal/
 	$(GO) test -run xxx -fuzz FuzzDictRoundTrip -fuzztime 15s ./internal/rcfile/
+	$(GO) test -run xxx -fuzz FuzzChunkCache -fuzztime 15s ./internal/rcfile/
 
 vet:
 	$(GO) vet ./...

@@ -34,6 +34,11 @@ type tableStats struct {
 	ReadFrac      float64 `json:"read_frac"`
 	GroupsRead    int     `json:"groups_read"`
 	GroupsSkipped int     `json:"groups_skipped"`
+	// BytesFromCache ⊆ BytesRead: compressed bytes whose decoded chunks
+	// came from the shared chunk cache instead of fresh inflation.
+	BytesFromCache int64 `json:"bytes_from_cache"`
+	CacheHits      int   `json:"cache_hits"`
+	CacheMisses    int   `json:"cache_misses"`
 }
 
 // columnDict describes one Str column's dictionary story: how many
@@ -51,13 +56,26 @@ type columnDict struct {
 type tableReport struct {
 	Rows        int                    `json:"rows"`
 	RCFileBytes int                    `json:"rcfile_bytes"`
+	FileID      string                 `json:"file_id"`
 	StrColumns  map[string]*columnDict `json:"str_columns"`
+}
+
+// storageReport is the file-level storage total, deduplicated by
+// content-derived file ID: a file served through several sources (or two
+// byte-identical encodings) is charged once, so dictionary bytes are not
+// double-counted the way summing per-source sizes would.
+type storageReport struct {
+	TotalBytes  int64 `json:"total_bytes"`
+	UniqueBytes int64 `json:"unique_bytes"`
+	UniqueFiles int   `json:"unique_files"`
 }
 
 type report struct {
 	SF        float64                           `json:"sf"`
 	GroupRows int                               `json:"group_rows"`
 	Dict      bool                              `json:"dict"`
+	CacheMB   int                               `json:"cache_mb"`
+	Storage   storageReport                     `json:"storage"`
 	Tables    map[string]*tableReport           `json:"tables"`
 	Queries   map[string]map[string]*tableStats `json:"queries"`
 }
@@ -68,6 +86,7 @@ func main() {
 	queries := flag.String("queries", "1,6", "query IDs, comma-separated")
 	seed := flag.Int64("seed", 1, "generator seed")
 	noDict := flag.Bool("no-dict", false, "disable dictionary encoding of low-cardinality string columns")
+	cacheMB := flag.Int("cache-mb", 0, "attach a shared decompressed-chunk cache of this many MiB (0 = none)")
 	tableBytes := flag.String("table-bytes", "", "print only the named table's RCFile byte count and exit")
 	flag.Parse()
 
@@ -90,10 +109,15 @@ func main() {
 	}
 
 	rep := report{
-		SF: *sf, GroupRows: *groupRows, Dict: !*noDict,
+		SF: *sf, GroupRows: *groupRows, Dict: !*noDict, CacheMB: *cacheMB,
 		Tables:  map[string]*tableReport{},
 		Queries: map[string]map[string]*tableStats{},
 	}
+	var cache *rcfile.ChunkCache
+	if *cacheMB > 0 {
+		cache = rcfile.NewChunkCache(int64(*cacheMB) << 20)
+	}
+	seenFiles := map[uint64]bool{}
 	for _, name := range tpch.TableNames {
 		t := db.Table(name)
 		src, err := rcfile.NewSource(t, *groupRows)
@@ -101,9 +125,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "scanstats: encode", name+":", err)
 			os.Exit(1)
 		}
+		src.SetCache(cache)
 		db.SetSource(name, src)
-		rep.Tables[name] = tableSummary(t, src.Bytes())
+		tr := tableSummary(t, src.Bytes())
+		tr.FileID = fmt.Sprintf("%016x", src.FileID())
+		rep.Tables[name] = tr
+		rep.Storage.TotalBytes += int64(src.Bytes())
+		if !seenFiles[src.FileID()] {
+			seenFiles[src.FileID()] = true
+			rep.Storage.UniqueBytes += int64(src.Bytes())
+		}
 	}
+	rep.Storage.UniqueFiles = len(seenFiles)
 
 	for _, id := range ids {
 		_, log := tpch.RunQuery(id, db)
@@ -121,6 +154,9 @@ func main() {
 			ts.BytesSkipped += step.ScanBytesSkipped
 			ts.GroupsRead += step.ScanGroupsRead
 			ts.GroupsSkipped += step.ScanGroupsSkipped
+			ts.BytesFromCache += step.ScanBytesFromCache
+			ts.CacheHits += step.ScanCacheHits
+			ts.CacheMisses += step.ScanCacheMisses
 		}
 		for _, ts := range per {
 			if tot := ts.BytesRead + ts.BytesSkipped; tot > 0 {

@@ -13,6 +13,7 @@
 //
 //	tpchbench [-laptop-sf 0.002] [-sf 250,1000,4000,16000] [-queries 1,5,19] [-workers N]
 //	tpchbench -streams N [-stream-rounds R] [-stream-json] [-laptop-sf 0.01] [-workers N]
+//	          [-stream-rcfile] [-cache-mb M] [-no-result-cache] [-no-chunk-cache]
 package main
 
 import (
@@ -35,6 +36,10 @@ func main() {
 	streams := flag.Int("streams", 0, "run N concurrent query streams instead of the paper tables")
 	streamRounds := flag.Int("stream-rounds", 3, "rounds of the query list per stream")
 	streamJSON := flag.Bool("stream-json", false, "emit the stream result as JSON (for bench.sh)")
+	streamRCFile := flag.Bool("stream-rcfile", false, "back stream scans with RCFile-encoded tables (enables the chunk cache)")
+	cacheMB := flag.Int("cache-mb", 64, "shared decompressed-chunk cache capacity in MiB (with -stream-rcfile)")
+	noResultCache := flag.Bool("no-result-cache", false, "disable per-(query, epoch) result memoization across rounds")
+	noChunkCache := flag.Bool("no-chunk-cache", false, "disable the shared decompressed-chunk cache (with -stream-rcfile)")
 	noTopK := flag.Bool("no-topk", false, "disable the fused TopK operator (bounded queries run unfused Sort+Limit; answers identical)")
 	noDict := flag.Bool("no-dict", false, "disable dictionary encoding of low-cardinality string columns (answers identical; kernels compare strings instead of codes)")
 	flag.Parse()
@@ -58,6 +63,8 @@ func main() {
 			LaptopSF: *laptopSF, Seed: *seed,
 			Streams: *streams, Rounds: *streamRounds, Workers: *workers,
 			Queries: qids, NoDict: *noDict,
+			RCFile: *streamRCFile, CacheMB: *cacheMB,
+			NoResultCache: *noResultCache, NoChunkCache: *noChunkCache,
 		}, *streamJSON)
 		return
 	}
@@ -85,11 +92,19 @@ func main() {
 // runStreams executes the concurrent-stream harness and prints either a
 // human summary or the JSON blob bench.sh embeds.
 func runStreams(cfg core.TPCHStreamConfig, asJSON bool) {
-	res := core.RunTPCHStreams(cfg)
+	res, err := core.RunTPCHStreams(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpchbench:", err)
+		os.Exit(1)
+	}
 	if asJSON {
-		fmt.Printf("{\"streams\": %d, \"rounds\": %d, \"workers\": %d, \"queries\": %d, \"elapsed_ms\": %.1f, \"qps\": %.2f, \"topk_fusion\": %v, \"per_query_ms\": {",
-			res.Streams, res.Rounds, res.Workers, res.Queries,
+		fmt.Printf("{\"streams\": %d, \"rounds\": %d, \"workers\": %d, \"pool_workers\": %d, \"queries\": %d, \"elapsed_ms\": %.1f, \"qps\": %.2f, \"topk_fusion\": %v",
+			res.Streams, res.Rounds, res.Workers, res.PoolWorkers, res.Queries,
 			float64(res.Elapsed.Microseconds())/1000, res.QPS, tpch.TopKFusion)
+		fmt.Printf(", \"result_cache_hits\": %d, \"chunk_cache\": {\"hits\": %d, \"misses\": %d, \"hit_ratio\": %.3f, \"bytes_from_cache\": %d}",
+			res.ResultCacheHits, res.Scanned.CacheHits, res.Scanned.CacheMisses,
+			res.Scanned.CacheHitRatio(), res.Scanned.BytesFromCache)
+		fmt.Print(", \"per_query_ms\": {")
 		for i, id := range res.QueryIDs() {
 			if i > 0 {
 				fmt.Print(", ")
@@ -106,12 +121,15 @@ func runStreams(cfg core.TPCHStreamConfig, asJSON bool) {
 		fmt.Println("}}")
 		return
 	}
-	fmt.Printf("Concurrent query streams: %d stream(s) x %d round(s), %d morsel worker(s) per query\n",
-		res.Streams, res.Rounds, res.Workers)
+	fmt.Printf("Concurrent query streams: %d stream(s) x %d round(s), shared pool of %d worker(s), %d admitted per query\n",
+		res.Streams, res.Rounds, res.PoolWorkers, res.Workers)
 	fmt.Printf("  %d queries in %v  =>  %.2f queries/sec (topk fusion %v)\n",
 		res.Queries, res.Elapsed, res.QPS, tpch.TopKFusion)
 	fmt.Printf("  scan accounting: %d B read, %d B skipped (%.0f%% skipped)\n",
 		res.Scanned.BytesRead, res.Scanned.BytesSkipped, 100*res.Scanned.SkippedFrac())
+	fmt.Printf("  caches: %d result-cache hit(s); chunk cache %d hit / %d miss (%.0f%% hit ratio), %d B served from cache\n",
+		res.ResultCacheHits, res.Scanned.CacheHits, res.Scanned.CacheMisses,
+		100*res.Scanned.CacheHitRatio(), res.Scanned.BytesFromCache)
 	fmt.Println("  cumulative wall time per query (all streams), with sort-kernel share:")
 	for _, id := range res.QueryIDs() {
 		share := 0.0

@@ -14,6 +14,7 @@ import (
 	"elephants/internal/hive"
 	"elephants/internal/metrics"
 	"elephants/internal/pdw"
+	"elephants/internal/rcfile"
 	"elephants/internal/sim"
 	"elephants/internal/tpch"
 )
@@ -73,21 +74,60 @@ type TPCHStreamConfig struct {
 	Queries []int
 	// NoDict disables dictionary encoding in the generated dataset.
 	NoDict bool
+	// RCFile swaps every base-table source for an RCFile encoding, so
+	// streams scan through real compressed storage (and the chunk cache
+	// has something to serve).
+	RCFile bool
+	// GroupRows is the RCFile row-group size (0 = 4096). Only used with
+	// RCFile.
+	GroupRows int
+	// CacheMB bounds the shared decompressed-chunk cache in MiB
+	// (0 = 64). Only used with RCFile.
+	CacheMB int
+	// NoChunkCache runs RCFile scans without the shared chunk cache:
+	// every scan re-inflates its chunks.
+	NoChunkCache bool
+	// NoResultCache disables per-(query, epoch) result memoization in
+	// the stream harness.
+	NoResultCache bool
 }
 
 // RunTPCHStreams generates the shared DB and runs the stream harness.
-func RunTPCHStreams(cfg TPCHStreamConfig) tpch.StreamResult {
+func RunTPCHStreams(cfg TPCHStreamConfig) (tpch.StreamResult, error) {
 	if cfg.LaptopSF <= 0 {
 		cfg.LaptopSF = 0.01
 	}
 	db := tpch.Generate(tpch.GenConfig{SF: cfg.LaptopSF, Seed: cfg.Seed, Random64: true, NoDict: cfg.NoDict})
+	if cfg.RCFile {
+		groupRows := cfg.GroupRows
+		if groupRows <= 0 {
+			groupRows = 4096
+		}
+		var cache *rcfile.ChunkCache
+		if !cfg.NoChunkCache {
+			cacheMB := cfg.CacheMB
+			if cacheMB <= 0 {
+				cacheMB = 64
+			}
+			cache = rcfile.NewChunkCache(int64(cacheMB) << 20)
+		}
+		for _, name := range tpch.TableNames {
+			src, err := rcfile.NewSource(db.Table(name), groupRows)
+			if err != nil {
+				return tpch.StreamResult{}, fmt.Errorf("encode %s: %w", name, err)
+			}
+			src.SetCache(cache)
+			db.SetSource(name, src)
+		}
+	}
 	return tpch.RunStreams(db, tpch.StreamConfig{
-		Streams: cfg.Streams,
-		Rounds:  cfg.Rounds,
-		Workers: cfg.Workers,
-		Queries: cfg.Queries,
-		Warmup:  true,
-	})
+		Streams:       cfg.Streams,
+		Rounds:        cfg.Rounds,
+		Workers:       cfg.Workers,
+		Queries:       cfg.Queries,
+		Warmup:        true,
+		NoResultCache: cfg.NoResultCache,
+	}), nil
 }
 
 // TPCHPoint holds one system's measurements at one scale factor.

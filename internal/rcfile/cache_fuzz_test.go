@@ -1,0 +1,102 @@
+package rcfile
+
+import (
+	"testing"
+)
+
+// refLRU is a deliberately naive model of the cache's contract: a slice
+// ordered MRU-first, evicting from the tail while over capacity. The
+// fuzz target replays the same operations against it and the real
+// ChunkCache and requires identical hits, residency, order, and bounds.
+type refLRU struct {
+	capacity int64
+	used     int64
+	keys     []chunkKey
+	sizes    map[chunkKey]int64
+}
+
+func (r *refLRU) find(k chunkKey) int {
+	for i, x := range r.keys {
+		if x == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refLRU) get(k chunkKey) bool {
+	i := r.find(k)
+	if i < 0 {
+		return false
+	}
+	r.keys = append(r.keys[:i], r.keys[i+1:]...)
+	r.keys = append([]chunkKey{k}, r.keys...)
+	return true
+}
+
+func (r *refLRU) put(k chunkKey, size int64) {
+	if i := r.find(k); i >= 0 {
+		r.used += size - r.sizes[k]
+		r.keys = append(r.keys[:i], r.keys[i+1:]...)
+	} else {
+		r.used += size
+	}
+	r.sizes[k] = size
+	r.keys = append([]chunkKey{k}, r.keys...)
+	for r.used > r.capacity && len(r.keys) > 0 {
+		tail := r.keys[len(r.keys)-1]
+		r.keys = r.keys[:len(r.keys)-1]
+		r.used -= r.sizes[tail]
+		delete(r.sizes, tail)
+	}
+}
+
+// FuzzChunkCache fuzzes the chunk-cache key and eviction path: byte
+// triples become get/put operations over a small key space with varying
+// entry sizes, checked op-by-op against the reference model. The
+// capacity bound must hold after every operation.
+func FuzzChunkCache(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{7, 0xff, 31, 7, 0xff, 31, 6, 0xff, 0})
+	f.Add([]byte{1, 2, 30, 1, 6, 30, 1, 10, 30, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		capacity := int64(80)
+		if len(data) > 0 {
+			capacity = 64 * (1 + int64(data[0]%64))
+		}
+		c := NewChunkCache(capacity)
+		ref := &refLRU{capacity: capacity, sizes: map[chunkKey]int64{}}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, kb, sb := data[i], data[i+1], data[i+2]
+			key := chunkKey{
+				file:  uint64(kb % 4),
+				group: int(kb>>2) % 4,
+				col:   int(kb>>4) % 4,
+			}
+			if op%2 == 0 {
+				ints := make([]int64, int(sb)%32)
+				cd := chunkData{ints: ints}
+				c.put(key, cd)
+				ref.put(key, cd.sizeBytes())
+			} else {
+				_, gotHit := c.get(key)
+				if wantHit := ref.get(key); gotHit != wantHit {
+					t.Fatalf("op %d: get(%v) hit=%v, model says %v", i/3, key, gotHit, wantHit)
+				}
+			}
+			if c.UsedBytes() > capacity {
+				t.Fatalf("op %d: used %d exceeds capacity %d", i/3, c.UsedBytes(), capacity)
+			}
+			if c.Len() != len(ref.keys) {
+				t.Fatalf("op %d: %d resident, model has %d", i/3, c.Len(), len(ref.keys))
+			}
+			got := c.lru.Keys()
+			for j, k := range got {
+				if k != ref.keys[j] {
+					t.Fatalf("op %d: recency order %v, model %v", i/3, got, ref.keys)
+				}
+			}
+		}
+	})
+}

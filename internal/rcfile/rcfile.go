@@ -434,6 +434,16 @@ type strPart struct {
 // dictionaries merge into one sorted dictionary and the codes remap —
 // so a low-cardinality column never materializes per-row strings.
 func ReadCols(data []byte, schema relal.Schema, name string, cols []string, pred relal.ZonePredicate) (*relal.Table, relal.ScanStats, error) {
+	return readColsCached(data, schema, name, cols, pred, nil, 0)
+}
+
+// readColsCached is ReadCols with an optional shared chunk cache: when
+// cache is non-nil, each surviving chunk is looked up under
+// (file, group, column) before inflating, and fresh decodes are
+// inserted. Hits keep counting toward BytesRead (the scan logically
+// decoded those bytes — the skipped fraction the cost models replay is
+// cache-invariant) and additionally toward BytesFromCache/CacheHits.
+func readColsCached(data []byte, schema relal.Schema, name string, cols []string, pred relal.ZonePredicate, cache *ChunkCache, file uint64) (*relal.Table, relal.ScanStats, error) {
 	var stats relal.ScanStats
 	p, err := parse(data, schema)
 	if err != nil {
@@ -474,7 +484,7 @@ func ReadCols(data []byte, schema relal.Schema, name string, cols []string, pred
 	// Str columns accumulate per-group parts and finalize below, so a
 	// run of dict chunks can merge into one dict vector.
 	strParts := make([][]strPart, len(colIdx))
-	for _, gr := range p.groups {
+	for g, gr := range p.groups {
 		keep := pred.MayMatch(func(col string) (relal.ZoneMap, bool) {
 			for ci, c := range schema {
 				if c.Name == col {
@@ -499,25 +509,39 @@ func ReadCols(data []byte, schema relal.Schema, name string, cols []string, pred
 			}
 		}
 		for out, ci := range colIdx {
-			off := gr.offset
-			for k := 0; k < ci; k++ {
-				off += int64(gr.compLens[k])
+			var cd chunkData
+			hit := false
+			key := chunkKey{file: file, group: g, col: ci}
+			if cache != nil {
+				cd, hit = cache.get(key)
 			}
-			raw, err := inflateChunk(data, off, gr.compLens[ci])
-			if err != nil {
-				return nil, stats, err
-			}
-			if schema[ci].Type == relal.Str {
-				part, err := readStrChunk(raw, gr.encs[ci], gr.rows)
+			if hit {
+				stats.BytesFromCache += int64(gr.compLens[ci])
+				stats.CacheHits++
+			} else {
+				if cache != nil {
+					stats.CacheMisses++
+				}
+				off := gr.offset
+				for k := 0; k < ci; k++ {
+					off += int64(gr.compLens[k])
+				}
+				raw, err := inflateChunk(data, off, gr.compLens[ci])
 				if err != nil {
 					return nil, stats, err
 				}
-				strParts[out] = append(strParts[out], part)
+				if cd, err = decodeChunk(raw, schema[ci].Type, gr.encs[ci], gr.rows); err != nil {
+					return nil, stats, err
+				}
+				if cache != nil {
+					cache.put(key, cd)
+				}
+			}
+			if schema[ci].Type == relal.Str {
+				strParts[out] = append(strParts[out], cd.str)
 				continue
 			}
-			if err := readChunk(raw, t.Cols[out], gr.rows); err != nil {
-				return nil, stats, err
-			}
+			appendChunk(t.Cols[out], cd)
 		}
 	}
 	for out := range colIdx {
@@ -526,6 +550,33 @@ func ReadCols(data []byte, schema relal.Schema, name string, cols []string, pred
 		}
 	}
 	return t, stats, nil
+}
+
+// decodeChunk inflates one chunk payload into its standalone decoded
+// form — a fresh slice, not an append onto a caller vector — so the
+// result is safe to share through the chunk cache.
+func decodeChunk(raw []byte, kind relal.Type, enc byte, rows int) (chunkData, error) {
+	if kind == relal.Str {
+		part, err := readStrChunk(raw, enc, rows)
+		return chunkData{str: part}, err
+	}
+	v := relal.NewVector(kind, rows)
+	if err := readChunk(raw, v, rows); err != nil {
+		return chunkData{}, err
+	}
+	return chunkData{ints: v.Ints, floats: v.Floats}, nil
+}
+
+// appendChunk copies a decoded numeric chunk onto the output vector
+// (cached chunks are shared across queries, so the output never aliases
+// them).
+func appendChunk(v *relal.Vector, cd chunkData) {
+	switch v.Kind {
+	case relal.Int:
+		v.Ints = append(v.Ints, cd.ints...)
+	case relal.Float:
+		v.Floats = append(v.Floats, cd.floats...)
+	}
 }
 
 // readStrChunk decodes one Str chunk under its encoding.
@@ -737,11 +788,15 @@ func readChunk(raw []byte, v *relal.Vector, rows int) error {
 //
 // A Source is safe for concurrent scans: the encoded bytes are read-only
 // and the cumulative byte accounting goes through an atomic counter, so
-// query streams can share one Source per table.
+// query streams can share one Source per table. Attaching a shared
+// ChunkCache (SetCache, before serving scans) makes repeated reads of
+// hot chunks skip the gzip inflation entirely.
 type Source struct {
 	name    string
 	schema  relal.Schema
 	data    []byte
+	id      uint64 // content hash of data; the chunk cache's file key
+	cache   *ChunkCache
 	counter relal.ScanCounter
 }
 
@@ -751,8 +806,19 @@ func NewSource(t *relal.Table, groupRows int) (*Source, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Source{name: t.Name, schema: t.Schema, data: data}, nil
+	return &Source{name: t.Name, schema: t.Schema, data: data, id: fileID(data)}, nil
 }
+
+// SetCache attaches a shared decompressed-chunk cache. Call before the
+// Source starts serving scans; concurrent scans then share the cache
+// safely (the cache locks internally, the field itself is not mutated
+// again).
+func (s *Source) SetCache(c *ChunkCache) { s.cache = c }
+
+// FileID returns the content-derived file identity chunk-cache keys and
+// per-file accounting dedupe on: two Sources over byte-identical files
+// report the same ID.
+func (s *Source) FileID() uint64 { return s.id }
 
 // SrcName returns the table name.
 func (s *Source) SrcName() string { return s.name }
@@ -765,7 +831,7 @@ func (s *Source) Bytes() int { return len(s.data) }
 
 // ScanTable implements relal.Source.
 func (s *Source) ScanTable(cols []string, pred relal.ZonePredicate) (*relal.Table, relal.ScanStats) {
-	t, stats, err := ReadCols(s.data, s.schema, s.name, cols, pred)
+	t, stats, err := readColsCached(s.data, s.schema, s.name, cols, pred, s.cache, s.id)
 	if err != nil {
 		panic("rcfile: " + err.Error())
 	}

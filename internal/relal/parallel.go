@@ -1,29 +1,24 @@
 // Morsel-driven parallelism: kernels split their input into fixed-size
-// morsels of logical rows and dispatch them to a small worker pool. Every
-// kernel merges per-morsel results in morsel order and accumulates
-// per-group state in global row order, so the output — including
-// floating-point aggregate bits — is identical for any worker count and
-// any morsel size. That invariant is what lets the TPC-H golden snapshot
-// stay byte-for-byte stable while Exec.Parallelism varies.
+// morsels of logical rows and dispatch them to the shared scheduler's
+// worker pool (sched.go). Every kernel merges per-morsel results in
+// morsel order and accumulates per-group state in global row order, so
+// the output — including floating-point aggregate bits — is identical
+// for any worker count and any morsel size. That invariant is what lets
+// the TPC-H golden snapshot stay byte-for-byte stable while
+// Exec.Parallelism varies.
 package relal
-
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
 
 // MorselRows is the number of logical rows per morsel. Large enough that
 // per-morsel bookkeeping is negligible, small enough that a scan over a
 // few hundred thousand rows still load-balances across a pool.
 const MorselRows = 8192
 
-// workers resolves the Exec.Parallelism knob: 0 (the zero value) sizes
-// the pool to GOMAXPROCS, 1 forces the serial kernels, n > 1 uses n
-// workers.
+// workers resolves the Exec.Parallelism knob into the query's admission
+// cap on the shared scheduler: 0 (the zero value) caps at the pool size,
+// 1 forces the serial kernels, n > 1 admits up to n concurrent morsels.
 func (e *Exec) workers() int {
 	if e == nil || e.Parallelism <= 0 {
-		return runtime.GOMAXPROCS(0)
+		return PoolSize()
 	}
 	return e.Parallelism
 }
@@ -40,7 +35,8 @@ func parallelMorsels(n, workers int, fn func(m, lo, hi int)) {
 
 // parallelMorselsSize is parallelMorsels with an explicit morsel size —
 // the join kernels use their own (test-shrinkable) size so the
-// multi-morsel merge is exercisable on small tables.
+// multi-morsel merge is exercisable on small tables. workers is the
+// job's admission cap on the shared pool, not a goroutine count.
 func parallelMorselsSize(n, size, workers int, fn func(m, lo, hi int)) {
 	morsels := (n + size - 1) / size
 	if workers > morsels {
@@ -57,32 +53,21 @@ func parallelMorselsSize(n, size, workers int, fn func(m, lo, hi int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				m := int(next.Add(1)) - 1
-				if m >= morsels {
-					return
-				}
-				lo := m * size
-				hi := lo + size
-				if hi > n {
-					hi = n
-				}
-				fn(m, lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	globalSched.run(morsels, workers, func(m int) {
+		lo := m * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(m, lo, hi)
+	})
 }
 
-// parallelRanges splits [0, n) into one contiguous range per worker and
-// runs fn over each. Used where per-item work is uniform and tiny
-// (remapping an index column) or where items are whole groups.
+// parallelRanges splits [0, n) into one contiguous range per admitted
+// worker and runs fn over each. Used where per-item work is uniform and
+// tiny (remapping an index column) or where items are whole groups. The
+// range boundaries are a pure function of (n, workers), so results stay
+// deterministic however the shared pool interleaves them.
 func parallelRanges(n, workers int, fn func(lo, hi int)) {
 	if workers > n {
 		workers = n
@@ -93,20 +78,14 @@ func parallelRanges(n, workers int, fn func(lo, hi int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
 	per := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	globalSched.run(workers, workers, func(w int) {
 		lo, hi := w*per, (w+1)*per
 		if hi > n {
 			hi = n
 		}
-		go func(lo, hi int) {
-			defer wg.Done()
-			if lo < hi {
-				fn(lo, hi)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		if lo < hi {
+			fn(lo, hi)
+		}
+	})
 }

@@ -603,6 +603,12 @@ type Step struct {
 	// ScanGroupsRead/ScanGroupsSkipped count the row groups decoded vs
 	// zone-pruned by the scan.
 	ScanGroupsRead, ScanGroupsSkipped int
+	// ScanBytesFromCache is the portion of ScanBytesRead served from a
+	// shared decompressed-chunk cache (subset of ScanBytesRead, so the
+	// cost models' skipped fractions are cache-invariant), with the
+	// corresponding per-chunk lookup counters.
+	ScanBytesFromCache             int64
+	ScanCacheHits, ScanCacheMisses int
 }
 
 // StepLog accumulates steps in execution order.
@@ -621,10 +627,13 @@ func (l *StepLog) Add(s Step) { l.Steps = append(l.Steps, s) }
 // Exec is the execution context threading the log through operators.
 type Exec struct {
 	Log StepLog
-	// Parallelism sizes the morsel worker pool: 0 = GOMAXPROCS,
-	// 1 = serial, n > 1 = n workers. Kernels are written so the result —
-	// including floating-point aggregate bits and group emission order —
-	// is identical for every setting.
+	// Parallelism is this query's admission cap on the shared morsel
+	// scheduler (sched.go): 0 = the pool size (PoolSize), 1 = serial,
+	// n > 1 = at most n of this query's morsels in flight at once. The
+	// pool itself is process-wide and sized to GOMAXPROCS, so N
+	// concurrent queries never oversubscribe the cores. Kernels are
+	// written so the result — including floating-point aggregate bits
+	// and group emission order — is identical for every setting.
 	Parallelism int
 }
 

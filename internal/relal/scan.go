@@ -185,14 +185,24 @@ func (p ZonePredicate) MayMatch(zone func(col string) (ZoneMap, bool)) bool {
 // ScanStats reports what a pushdown-aware scan touched, in encoded
 // column-chunk bytes.
 type ScanStats struct {
-	// BytesRead is the chunk bytes actually decompressed (requested
-	// columns in surviving row groups).
+	// BytesRead is the chunk bytes the scan logically decoded (requested
+	// columns in surviving row groups), whether served by fresh
+	// decompression or by a shared chunk cache.
 	BytesRead int64
 	// BytesSkipped is the chunk bytes never decompressed: unrequested
 	// columns plus every column of zone-pruned groups.
 	BytesSkipped int64
+	// BytesFromCache is the portion of BytesRead served from a shared
+	// decompressed-chunk cache instead of fresh gzip inflation. Keeping
+	// it a subset of BytesRead (rather than a third bucket) means the
+	// skipped fraction the cost models replay is identical with caching
+	// on or off.
+	BytesFromCache int64
 	// GroupsRead/GroupsSkipped count row groups decoded vs pruned.
 	GroupsRead, GroupsSkipped int
+	// CacheHits/CacheMisses count chunk-cache lookups. Both stay zero
+	// when no cache is attached, so hit ratio 0/0 means "uncached".
+	CacheHits, CacheMisses int
 }
 
 // SkippedFrac returns the fraction of total bytes the scan skipped.
@@ -204,13 +214,26 @@ func (s ScanStats) SkippedFrac() float64 {
 	return float64(s.BytesSkipped) / float64(tot)
 }
 
+// CacheHitRatio returns CacheHits/(CacheHits+CacheMisses), or 0 before
+// any cached lookup (including the no-cache configuration).
+func (s ScanStats) CacheHitRatio() float64 {
+	tot := s.CacheHits + s.CacheMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(tot)
+}
+
 // Add accumulates other into s. Plain field addition — for accumulation
 // across goroutines (streams sharing one Source) use ScanCounter.
 func (s *ScanStats) Add(other ScanStats) {
 	s.BytesRead += other.BytesRead
 	s.BytesSkipped += other.BytesSkipped
+	s.BytesFromCache += other.BytesFromCache
 	s.GroupsRead += other.GroupsRead
 	s.GroupsSkipped += other.GroupsSkipped
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
 }
 
 // ScanCounter accumulates ScanStats atomically. Sources embed one so
@@ -219,15 +242,20 @@ func (s *ScanStats) Add(other ScanStats) {
 // comes from the Step log, which is private to each Exec.
 type ScanCounter struct {
 	bytesRead, bytesSkipped   atomic.Int64
+	bytesFromCache            atomic.Int64
 	groupsRead, groupsSkipped atomic.Int64
+	cacheHits, cacheMisses    atomic.Int64
 }
 
 // Observe folds one scan's stats into the counter.
 func (c *ScanCounter) Observe(s ScanStats) {
 	c.bytesRead.Add(s.BytesRead)
 	c.bytesSkipped.Add(s.BytesSkipped)
+	c.bytesFromCache.Add(s.BytesFromCache)
 	c.groupsRead.Add(int64(s.GroupsRead))
 	c.groupsSkipped.Add(int64(s.GroupsSkipped))
+	c.cacheHits.Add(int64(s.CacheHits))
+	c.cacheMisses.Add(int64(s.CacheMisses))
 }
 
 // Total returns the accumulated stats. Each field is read atomically; a
@@ -235,10 +263,13 @@ func (c *ScanCounter) Observe(s ScanStats) {
 // as of some interleaving, which is all a throughput report needs.
 func (c *ScanCounter) Total() ScanStats {
 	return ScanStats{
-		BytesRead:     c.bytesRead.Load(),
-		BytesSkipped:  c.bytesSkipped.Load(),
-		GroupsRead:    int(c.groupsRead.Load()),
-		GroupsSkipped: int(c.groupsSkipped.Load()),
+		BytesRead:      c.bytesRead.Load(),
+		BytesSkipped:   c.bytesSkipped.Load(),
+		BytesFromCache: c.bytesFromCache.Load(),
+		GroupsRead:     int(c.groupsRead.Load()),
+		GroupsSkipped:  int(c.groupsSkipped.Load()),
+		CacheHits:      int(c.cacheHits.Load()),
+		CacheMisses:    int(c.cacheMisses.Load()),
 	}
 }
 
@@ -480,6 +511,8 @@ func (e *Exec) ScanSource(src Source, cols []string, pred ZonePredicate) *Table 
 		LeftBase:      name,
 		ScanBytesRead: stats.BytesRead, ScanBytesSkipped: stats.BytesSkipped,
 		ScanGroupsRead: stats.GroupsRead, ScanGroupsSkipped: stats.GroupsSkipped,
+		ScanBytesFromCache: stats.BytesFromCache,
+		ScanCacheHits:      stats.CacheHits, ScanCacheMisses: stats.CacheMisses,
 	})
 	return t
 }

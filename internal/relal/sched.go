@@ -1,0 +1,217 @@
+// Shared morsel scheduler: one process-wide worker pool serving every
+// Exec, every query, every stream. Before this existed each parallel
+// kernel call spawned its own goroutines, so N concurrent query streams
+// × W workers oversubscribed the cores N-fold; now the pool is sized to
+// GOMAXPROCS once and queries submit morsel jobs to it.
+//
+// Fairness and admission are both per job. A job's admission cap is the
+// submitting Exec's Parallelism (its per-query concurrency budget): at
+// most cap workers execute the job's morsels at any moment, so one wide
+// scan cannot monopolize the pool. Among eligible jobs workers claim
+// morsels round-robin (a rotating cursor over the active-job list), so
+// concurrent streams make proportional progress instead of FIFO
+// convoying.
+//
+// The determinism contract is untouched: a job's morsel index set and
+// per-morsel row ranges are fixed by the submit call, only the
+// assignment of morsels to workers is dynamic — exactly the freedom the
+// kernels already tolerated, since every kernel merges per-morsel state
+// in morsel order. The golden snapshot stays byte-identical at any pool
+// size, stream count, and admission cap.
+//
+// Liveness: the submitting goroutine participates in its own job
+// (caller-runs) whenever the admission cap has room, so a job makes
+// progress even when every pool worker is busy elsewhere, and a kernel
+// running inside a pool worker can itself submit without deadlock. Pool
+// workers never block — they run one morsel at a time and return to the
+// scheduler — so a parked submitter is always eventually served.
+package relal
+
+import (
+	"runtime"
+	"sync"
+)
+
+// schedJob is one submitted batch of work items (morsels or ranges).
+// All bookkeeping fields are guarded by the scheduler mutex.
+type schedJob struct {
+	items   int            // total work items; fixed at submit
+	next    int            // next unclaimed item index
+	running int            // goroutines currently executing an item (incl. submitter)
+	cap     int            // admission cap: max concurrent executors
+	done    int            // completed items
+	fin     chan struct{}  // closed when done == items
+	run     func(item int) // executes one item; must not touch job state
+}
+
+// scheduler is the process-wide pool. The zero value is usable; workers
+// start lazily on the first parallel submission.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    []*schedJob // active jobs in round-robin order
+	cursor  int         // next jobs index to offer a worker
+	size    int         // pool size, fixed at first start
+	started bool
+}
+
+var globalSched = &scheduler{}
+
+// PoolSize returns the shared scheduler's worker-pool size — the value
+// an Exec.Parallelism of 0 resolves to, and the "cores" figure harnesses
+// should report instead of streams × workers. The size is pinned to
+// GOMAXPROCS at first resolution so it stays stable for the process
+// lifetime even if GOMAXPROCS changes later.
+func PoolSize() int {
+	globalSched.mu.Lock()
+	defer globalSched.mu.Unlock()
+	return globalSched.sizeLocked()
+}
+
+func (s *scheduler) sizeLocked() int {
+	if s.size == 0 {
+		s.size = runtime.GOMAXPROCS(0)
+	}
+	return s.size
+}
+
+func (s *scheduler) startLocked() {
+	if s.started {
+		return
+	}
+	s.started = true
+	if s.cond == nil {
+		s.cond = sync.NewCond(&s.mu)
+	}
+	for i := 0; i < s.sizeLocked(); i++ {
+		go s.worker()
+	}
+}
+
+// claimJobLocked claims the next item of j if its admission cap has room.
+// Claiming the last item retires the job from the active list (nothing
+// left to hand out; completion is tracked separately by done/fin).
+func (s *scheduler) claimJobLocked(j *schedJob) (int, bool) {
+	if j.next >= j.items || j.running >= j.cap {
+		return 0, false
+	}
+	item := j.next
+	j.next++
+	j.running++
+	if j.next == j.items {
+		s.removeLocked(j)
+	}
+	return item, true
+}
+
+// claimLocked scans the active jobs round-robin from the cursor and
+// claims one item from the first eligible job. After a claim the cursor
+// points at the claimed job's successor, so the next claim offers the
+// following job first (round-robin fairness at morsel granularity).
+func (s *scheduler) claimLocked() (*schedJob, int) {
+	n := len(s.jobs)
+	for i := 0; i < n; i++ {
+		idx := (s.cursor + i) % n
+		j := s.jobs[idx]
+		if item, ok := s.claimJobLocked(j); ok {
+			switch m := len(s.jobs); {
+			case m == 0:
+				s.cursor = 0
+			case m < n:
+				// The claim retired j, shifting its successor into idx.
+				s.cursor = idx % m
+			default:
+				s.cursor = (idx + 1) % m
+			}
+			return j, item
+		}
+	}
+	return nil, 0
+}
+
+// removeLocked drops j from the active list (idempotent) and keeps the
+// cursor pointing at the same successor job.
+func (s *scheduler) removeLocked(j *schedJob) {
+	for i, x := range s.jobs {
+		if x == j {
+			s.jobs = append(s.jobs[:i], s.jobs[i+1:]...)
+			if s.cursor > i {
+				s.cursor--
+			}
+			if len(s.jobs) > 0 {
+				s.cursor %= len(s.jobs)
+			} else {
+				s.cursor = 0
+			}
+			return
+		}
+	}
+}
+
+// finishLocked records one completed item and returns whether the job is
+// fully done. It wakes a parked worker when the completion may have
+// reopened the job's admission cap.
+func (s *scheduler) finishLocked(j *schedJob) bool {
+	j.running--
+	j.done++
+	if j.done == j.items {
+		close(j.fin)
+		return true
+	}
+	if j.next < j.items && j.running < j.cap {
+		s.cond.Signal()
+	}
+	return false
+}
+
+// worker is one pool goroutine: claim a single item, run it outside the
+// lock, repeat; park when nothing is eligible. Running one item per
+// claim (instead of draining a job) is what makes the round-robin fair
+// at morsel granularity.
+func (s *scheduler) worker() {
+	s.mu.Lock()
+	for {
+		j, item := s.claimLocked()
+		if j == nil {
+			s.cond.Wait()
+			continue
+		}
+		s.mu.Unlock()
+		j.run(item)
+		s.mu.Lock()
+		s.finishLocked(j)
+	}
+}
+
+// run submits items work units with the given admission cap and blocks
+// until all of them have completed. The caller participates in its own
+// job while the cap has room, then waits for pool workers to finish the
+// remainder.
+func (s *scheduler) run(items, cap int, fn func(item int)) {
+	if items <= 0 {
+		return
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	j := &schedJob{items: items, cap: cap, fin: make(chan struct{}), run: fn}
+	s.mu.Lock()
+	s.startLocked()
+	s.jobs = append(s.jobs, j)
+	s.cond.Broadcast()
+	for {
+		item, ok := s.claimJobLocked(j)
+		if !ok {
+			break
+		}
+		s.mu.Unlock()
+		j.run(item)
+		s.mu.Lock()
+		if s.finishLocked(j) {
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.mu.Unlock()
+	<-j.fin
+}

@@ -1,0 +1,146 @@
+package relal
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolSizeStable(t *testing.T) {
+	a := PoolSize()
+	if a < 1 {
+		t.Fatalf("PoolSize() = %d, want >= 1", a)
+	}
+	if b := PoolSize(); b != a {
+		t.Fatalf("PoolSize() changed between calls: %d then %d", a, b)
+	}
+}
+
+// TestSchedRunsEveryItemOnce drives the global pool hard: many
+// concurrent submitters, each expecting every one of its items to run
+// exactly once.
+func TestSchedRunsEveryItemOnce(t *testing.T) {
+	const submitters, items = 8, 100
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counts := make([]atomic.Int32, items)
+			globalSched.run(items, 3, func(item int) {
+				counts[item].Add(1)
+			})
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Errorf("item %d ran %d times, want 1", i, got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSchedAdmissionCap checks a job never has more than cap items
+// executing at once, whatever the pool size.
+func TestSchedAdmissionCap(t *testing.T) {
+	const cap = 2
+	var cur, peak atomic.Int32
+	globalSched.run(32, cap, func(int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > cap {
+		t.Fatalf("peak concurrency %d exceeds admission cap %d", p, cap)
+	}
+}
+
+// TestSchedNestedSubmit pins the caller-runs liveness property: a work
+// item may itself submit a job (a kernel inside a pool worker calling a
+// parallel kernel) without deadlocking, even when the outer job already
+// saturates the pool.
+func TestSchedNestedSubmit(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var total atomic.Int32
+		globalSched.run(2*PoolSize()+2, PoolSize()+1, func(int) {
+			globalSched.run(4, 2, func(int) {
+				total.Add(1)
+			})
+		})
+		if got, want := total.Load(), int32(4*(2*PoolSize()+2)); got != want {
+			t.Errorf("nested items run %d times, want %d", got, want)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested submit deadlocked")
+	}
+}
+
+// TestSchedRoundRobinClaim unit-tests the claim order on a private
+// scheduler (no workers): with two active jobs, successive claims must
+// alternate between them rather than draining the first.
+func TestSchedRoundRobinClaim(t *testing.T) {
+	s := &scheduler{}
+	mk := func() *schedJob {
+		return &schedJob{items: 4, cap: 4, fin: make(chan struct{}), run: func(int) {}}
+	}
+	a, b := mk(), mk()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs = []*schedJob{a, b}
+	var order []*schedJob
+	for i := 0; i < 8; i++ {
+		j, _ := s.claimLocked()
+		if j == nil {
+			t.Fatalf("claim %d returned no job", i)
+		}
+		order = append(order, j)
+	}
+	for i, j := range order {
+		want := a
+		if i%2 == 1 {
+			want = b
+		}
+		if j != want {
+			t.Fatalf("claim %d went to the wrong job (drained instead of alternating)", i)
+		}
+	}
+	if j, _ := s.claimLocked(); j != nil {
+		t.Fatal("claims continued past item exhaustion")
+	}
+	if len(s.jobs) != 0 {
+		t.Fatalf("%d jobs still active after all items claimed", len(s.jobs))
+	}
+}
+
+// TestSchedCapBlocksClaim checks the admission gate at the claim level:
+// a job at its cap yields no items until one finishes.
+func TestSchedCapBlocksClaim(t *testing.T) {
+	s := &scheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	j := &schedJob{items: 3, cap: 1, fin: make(chan struct{}), run: func(int) {}}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs = []*schedJob{j}
+	if _, ok := s.claimJobLocked(j); !ok {
+		t.Fatal("first claim refused")
+	}
+	if _, ok := s.claimJobLocked(j); ok {
+		t.Fatal("claim admitted past cap")
+	}
+	s.finishLocked(j)
+	if _, ok := s.claimJobLocked(j); !ok {
+		t.Fatal("claim refused after cap reopened")
+	}
+}

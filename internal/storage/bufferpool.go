@@ -1,19 +1,16 @@
 package storage
 
-import "container/list"
-
 // BufferPool models page residency with LRU replacement. It does not hold
 // page bytes (the functional layer does); it answers "was this page in
 // memory?" so the engine can charge simulated I/O for misses, and tracks
-// dirty pages so checkpoints can charge write I/O.
+// dirty pages so checkpoints can charge write I/O. The eviction core is
+// the shared ByteLRU (lru.go), instantiated with unit weights so the
+// capacity counts pages.
 type BufferPool struct {
-	capacity int
-	lru      *list.List // front = most recently used; values are PageID
-	pages    map[PageID]*list.Element
-	dirty    map[PageID]bool
-
-	hits   int64
-	misses int64
+	lru     *ByteLRU[PageID, struct{}]
+	dirty   map[PageID]bool
+	victim  PageID // last eviction observed by the onEvict hook
+	evicted bool
 }
 
 // NewBufferPool returns a pool that can hold capacity pages (>= 1).
@@ -21,16 +18,15 @@ func NewBufferPool(capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
-		capacity: capacity,
-		lru:      list.New(),
-		pages:    make(map[PageID]*list.Element),
-		dirty:    make(map[PageID]bool),
-	}
+	b := &BufferPool{dirty: make(map[PageID]bool)}
+	b.lru = NewByteLRU[PageID, struct{}](int64(capacity), func(id PageID, _ struct{}) {
+		b.victim, b.evicted = id, true
+	})
+	return b
 }
 
 // Capacity returns the pool capacity in pages.
-func (b *BufferPool) Capacity() int { return b.capacity }
+func (b *BufferPool) Capacity() int { return int(b.lru.Capacity()) }
 
 // Len returns the number of resident pages.
 func (b *BufferPool) Len() int { return b.lru.Len() }
@@ -39,35 +35,26 @@ func (b *BufferPool) Len() int { return b.lru.Len() }
 // resident (hit) and, if bringing it in evicted a dirty page, the evicted
 // page's ID (evictedDirty=false means nothing dirty was written back).
 func (b *BufferPool) Touch(id PageID) (hit bool, evicted PageID, evictedDirty bool) {
-	if el, ok := b.pages[id]; ok {
-		b.lru.MoveToFront(el)
-		b.hits++
+	if _, ok := b.lru.Get(id); ok {
 		return true, 0, false
 	}
-	b.misses++
-	if b.lru.Len() >= b.capacity {
-		back := b.lru.Back()
-		victim := back.Value.(PageID)
-		b.lru.Remove(back)
-		delete(b.pages, victim)
-		evictedDirty = b.dirty[victim]
-		delete(b.dirty, victim)
-		evicted = victim
+	b.evicted = false
+	b.lru.Put(id, struct{}{}, 1)
+	if b.evicted {
+		evicted = b.victim
+		evictedDirty = b.dirty[evicted]
+		delete(b.dirty, evicted)
 	}
-	b.pages[id] = b.lru.PushFront(id)
 	return false, evicted, evictedDirty
 }
 
 // Contains reports whether the page is resident without touching it.
-func (b *BufferPool) Contains(id PageID) bool {
-	_, ok := b.pages[id]
-	return ok
-}
+func (b *BufferPool) Contains(id PageID) bool { return b.lru.Contains(id) }
 
 // MarkDirty marks a resident page dirty. Marking a non-resident page is a
 // no-op (the write already went to simulated disk).
 func (b *BufferPool) MarkDirty(id PageID) {
-	if _, ok := b.pages[id]; ok {
+	if b.lru.Contains(id) {
 		b.dirty[id] = true
 	}
 }
@@ -85,12 +72,13 @@ func (b *BufferPool) FlushAll() int {
 
 // HitRate returns hits/(hits+misses), or 0 before any access.
 func (b *BufferPool) HitRate() float64 {
-	total := b.hits + b.misses
+	hits, misses := b.lru.Stats()
+	total := hits + misses
 	if total == 0 {
 		return 0
 	}
-	return float64(b.hits) / float64(total)
+	return float64(hits) / float64(total)
 }
 
 // Stats returns cumulative hit and miss counts.
-func (b *BufferPool) Stats() (hits, misses int64) { return b.hits, b.misses }
+func (b *BufferPool) Stats() (hits, misses int64) { return b.lru.Stats() }

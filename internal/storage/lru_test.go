@@ -1,0 +1,69 @@
+package storage
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestByteLRUEvictionOrder(t *testing.T) {
+	var evicted []string
+	c := NewByteLRU[string, int](10, func(k string, _ int) { evicted = append(evicted, k) })
+	c.Put("a", 1, 4)
+	c.Put("b", 2, 4)
+	if got := c.Keys(); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Fatalf("Keys() = %v, want [b a] (MRU first)", got)
+	}
+	// Touch a so b becomes the cold end, then overflow: b must go first.
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Put("c", 3, 4)
+	if !reflect.DeepEqual(evicted, []string{"b"}) {
+		t.Fatalf("evicted %v, want [b] (LRU evicts the cold end)", evicted)
+	}
+	if got := c.Keys(); !reflect.DeepEqual(got, []string{"c", "a"}) {
+		t.Fatalf("Keys() after eviction = %v, want [c a]", got)
+	}
+	if c.UsedBytes() != 8 {
+		t.Fatalf("UsedBytes() = %d, want 8", c.UsedBytes())
+	}
+}
+
+func TestByteLRUReplaceAdjustsWeight(t *testing.T) {
+	c := NewByteLRU[string, int](10, nil)
+	c.Put("a", 1, 3)
+	c.Put("a", 2, 7)
+	if c.Len() != 1 || c.UsedBytes() != 7 {
+		t.Fatalf("Len=%d Used=%d after replace, want 1/7", c.Len(), c.UsedBytes())
+	}
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("Get(a) = %d after replace, want 2", v)
+	}
+}
+
+func TestByteLRUOversizedEntry(t *testing.T) {
+	c := NewByteLRU[string, int](10, nil)
+	c.Put("a", 1, 4)
+	c.Put("huge", 2, 100)
+	if c.Contains("huge") {
+		t.Fatal("entry wider than capacity stayed resident")
+	}
+	if c.UsedBytes() > c.Capacity() {
+		t.Fatalf("UsedBytes %d exceeds capacity %d", c.UsedBytes(), c.Capacity())
+	}
+}
+
+func TestByteLRUStats(t *testing.T) {
+	c := NewByteLRU[string, int](10, nil)
+	c.Put("a", 1, 1)
+	c.Get("a")
+	c.Get("missing")
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("Stats() = %d/%d, want 1/1", h, m)
+	}
+	// Contains must not touch recency or stats.
+	c.Contains("missing")
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("Contains changed stats: %d/%d", h, m)
+	}
+}

@@ -1,0 +1,163 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"elephants/internal/rcfile"
+	"elephants/internal/relal"
+)
+
+// attachCachedRCFile swaps every base-table source for an RCFile
+// encoding sharing one chunk cache (nil = uncached).
+func attachCachedRCFile(t testing.TB, db *DB, groupRows int, cache *rcfile.ChunkCache) {
+	t.Helper()
+	for _, name := range TableNames {
+		src, err := rcfile.NewSource(db.Table(name), groupRows)
+		if err != nil {
+			t.Fatalf("encode %s: %v", name, err)
+		}
+		src.SetCache(cache)
+		db.SetSource(name, src)
+	}
+}
+
+// TestCacheGoldenMatrix is the caching acceptance gate: across the full
+// {workers} x {streams} matrix and three cache modes — both tiers off,
+// both on, and a chunk cache too small to hold the working set (every
+// insert evicts) — two rounds of RCFile-backed streams must reproduce
+// the golden snapshot byte-for-byte. Run under -race (the CI streams
+// job does) this also proves both cache tiers are data-race free.
+func TestCacheGoldenMatrix(t *testing.T) {
+	want := goldenSections(t)
+	db := Generate(GenConfig{SF: goldenSF, Seed: 1, Random64: true})
+	qids := []int{1, 3, 6, 13}
+	modes := []struct {
+		name         string
+		chunkCap     int64 // 0 = no chunk cache
+		noResult     bool
+		wantChunkHit bool
+	}{
+		{name: "off", chunkCap: 0, noResult: true},
+		{name: "on", chunkCap: 64 << 20, noResult: false, wantChunkHit: true},
+		{name: "tiny", chunkCap: 1, noResult: false},
+	}
+	for _, workers := range []int{1, 4} {
+		for _, streams := range []int{1, 4} {
+			for _, mode := range modes {
+				name := fmt.Sprintf("workers=%d_streams=%d_cache=%s", workers, streams, mode.name)
+				t.Run(name, func(t *testing.T) {
+					var cache *rcfile.ChunkCache
+					if mode.chunkCap > 0 {
+						cache = rcfile.NewChunkCache(mode.chunkCap)
+					}
+					attachCachedRCFile(t, db, 1024, cache)
+					res := RunStreams(db, StreamConfig{
+						Streams:       streams,
+						Rounds:        2,
+						Workers:       workers,
+						Queries:       qids,
+						NoResultCache: mode.noResult,
+						Check:         goldenCheck(want),
+					})
+					for _, err := range res.Errors {
+						t.Error(err)
+					}
+					if res.Queries != streams*2*len(qids) {
+						t.Fatalf("answered %d queries, want %d", res.Queries, streams*2*len(qids))
+					}
+					if mode.noResult {
+						if res.ResultCacheHits != 0 {
+							t.Fatalf("result cache disabled but served %d hits", res.ResultCacheHits)
+						}
+					} else {
+						// Round 2 of every stream must be memoized: its
+						// keys were stored during round 1 at the latest.
+						if min := streams * len(qids); res.ResultCacheHits < min {
+							t.Fatalf("result cache served %d hits, want >= %d", res.ResultCacheHits, min)
+						}
+					}
+					if mode.wantChunkHit && res.Scanned.CacheHits == 0 {
+						t.Fatal("chunk cache saw no hits although queries share scan columns")
+					}
+					if mode.chunkCap == 0 && (res.Scanned.CacheHits != 0 || res.Scanned.BytesFromCache != 0) {
+						t.Fatalf("cacheless run reported cache traffic: %+v", res.Scanned)
+					}
+					if res.Scanned.BytesFromCache > res.Scanned.BytesRead {
+						t.Fatalf("BytesFromCache %d exceeds BytesRead %d",
+							res.Scanned.BytesFromCache, res.Scanned.BytesRead)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestResultCacheEpochInvalidation bumps the DB epoch mid-run (from the
+// per-answer Check hook) and pins the memoization behavior: the round
+// after a bump must recompute, the round after that is served from the
+// memo again — and every answer stays golden throughout.
+func TestResultCacheEpochInvalidation(t *testing.T) {
+	want := goldenSections(t)
+	db := Generate(GenConfig{SF: goldenSF, Seed: 1, Random64: true})
+	bumped := false
+	res := RunStreams(db, StreamConfig{
+		Streams: 1,
+		Rounds:  3,
+		Queries: []int{6},
+		Check: func(stream, round, id int, out *relal.Table) error {
+			if round == 0 && !bumped {
+				bumped = true
+				db.BumpEpoch()
+			}
+			return goldenCheck(want)(stream, round, id, out)
+		},
+	})
+	for _, err := range res.Errors {
+		t.Error(err)
+	}
+	// Round 0 computes at epoch E, then the bump moves the DB to E+1:
+	// round 1 misses (new key) and recomputes, round 2 hits round 1's
+	// entry. Without invalidation this would be 2 hits.
+	if res.ResultCacheHits != 1 {
+		t.Fatalf("ResultCacheHits = %d after a mid-run epoch bump, want 1", res.ResultCacheHits)
+	}
+}
+
+// TestEpochBumpsOnMutation pins which operations advance the epoch.
+func TestEpochBumpsOnMutation(t *testing.T) {
+	db := Generate(GenConfig{SF: 0.001, Seed: 1, Random64: true})
+	e0 := db.Epoch()
+	db.SetSource("lineitem", relal.NewTableSource(db.Lineitem))
+	if db.Epoch() != e0+1 {
+		t.Fatalf("SetSource moved epoch %d -> %d, want +1", e0, db.Epoch())
+	}
+	if _, err := db.Cluster("l_shipdate"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != e0+2 {
+		t.Fatalf("Cluster moved epoch to %d, want %d", db.Epoch(), e0+2)
+	}
+	db.BumpEpoch()
+	if db.Epoch() != e0+3 {
+		t.Fatalf("BumpEpoch moved epoch to %d, want %d", db.Epoch(), e0+3)
+	}
+}
+
+// TestStreamReportsSharedPool pins the oversubscription-reporting fix:
+// the result carries the shared pool size, and the per-stream admission
+// cap never exceeds it — no streams × workers arithmetic.
+func TestStreamReportsSharedPool(t *testing.T) {
+	db := Generate(GenConfig{SF: 0.001, Seed: 1, Random64: true})
+	res := RunStreams(db, StreamConfig{Streams: 3, Workers: 1000, Queries: []int{6}})
+	if res.PoolWorkers != relal.PoolSize() {
+		t.Fatalf("PoolWorkers = %d, want relal.PoolSize() = %d", res.PoolWorkers, relal.PoolSize())
+	}
+	if res.Workers > res.PoolWorkers {
+		t.Fatalf("admitted workers %d exceed the pool %d", res.Workers, res.PoolWorkers)
+	}
+	res = RunStreams(db, StreamConfig{Streams: 1, Queries: []int{6}})
+	if res.Workers != res.PoolWorkers {
+		t.Fatalf("Workers = %d with the cap unset, want pool size %d", res.Workers, res.PoolWorkers)
+	}
+}

