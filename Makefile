@@ -18,17 +18,19 @@ race:
 	$(GO) test -race ./...
 
 # Concurrent-stream golden tests (including the cache golden matrix and
-# shared-scheduler suites) + differential parallel-join/sort/dict suites
-# under the race detector (CI's `streams` job).
+# shared-scheduler suites) + differential parallel-join/sort/dict and
+# chunk-encoding suites under the race detector (CI's `streams` job).
 streams:
-	$(GO) test -race -run 'Stream|JoinParallel|SortParallel|TopK|Dict|Cache|Sched|Epoch' ./...
+	$(GO) test -race -run 'Stream|JoinParallel|SortParallel|TopK|Dict|Cache|Sched|Epoch|Encoding' ./...
 
-# Short fuzz runs over the join key-partitioning, sort/top-K, RCF3
-# dict-chunk round-trip, and chunk-cache key/eviction paths.
+# Short fuzz runs over the join key-partitioning, sort/top-K, RCF4
+# dict-chunk and RLE/delta-chunk round-trips, and chunk-cache
+# key/eviction paths.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzJoinKeys -fuzztime 15s ./internal/relal/
 	$(GO) test -run xxx -fuzz FuzzSortKeys -fuzztime 15s ./internal/relal/
 	$(GO) test -run xxx -fuzz FuzzDictRoundTrip -fuzztime 15s ./internal/rcfile/
+	$(GO) test -run xxx -fuzz FuzzRLEDelta -fuzztime 15s ./internal/rcfile/
 	$(GO) test -run xxx -fuzz FuzzChunkCache -fuzztime 15s ./internal/rcfile/
 
 vet:

@@ -8,10 +8,18 @@
 // compression win is observable without a benchmark run.
 // scripts/bench.sh embeds the output in BENCH_PR2.json / BENCH_PR5.json.
 //
+// With -enc it instead prints the per-chunk encoding census: for every
+// column of every base table, how many chunks landed on each encoding
+// (plain, gdict, gdict+rle, rle, delta) and each encoding's share of
+// the column's compressed bytes — the writer's adaptive per-chunk
+// choice made observable. -cluster re-sorts a base table first, which
+// is what turns sorted-column chunks into runs.
+//
 // Usage:
 //
-//	scanstats [-sf 0.01] [-group-rows 2048] [-queries 1,6] [-no-dict]
-//	scanstats -table-bytes lineitem [-no-dict]   # just the RCFile size
+//	scanstats [-sf 0.01] [-group-rows 2048] [-queries 1,6] [-no-dict] [-no-rle] [-no-delta]
+//	scanstats -table-bytes lineitem [-no-dict] [-cluster l_shipdate]   # just the RCFile size
+//	scanstats -enc [-cluster l_shipdate]                               # encoding histogram
 package main
 
 import (
@@ -86,19 +94,39 @@ func main() {
 	queries := flag.String("queries", "1,6", "query IDs, comma-separated")
 	seed := flag.Int64("seed", 1, "generator seed")
 	noDict := flag.Bool("no-dict", false, "disable dictionary encoding of low-cardinality string columns")
+	noRLE := flag.Bool("no-rle", false, "disable run-length chunk encoding (RCFile writer and scan model)")
+	noDelta := flag.Bool("no-delta", false, "disable delta chunk encoding (RCFile writer and scan model)")
+	cluster := flag.String("cluster", "", "cluster the owning base table on this column before encoding (e.g. l_shipdate)")
+	encMode := flag.Bool("enc", false, "print the per-column chunk-encoding histogram and exit")
 	cacheMB := flag.Int("cache-mb", 0, "attach a shared decompressed-chunk cache of this many MiB (0 = none)")
 	tableBytes := flag.String("table-bytes", "", "print only the named table's RCFile byte count and exit")
 	flag.Parse()
 
+	relal.ModelRLE, relal.ModelDelta = !*noRLE, !*noDelta
+	opts := rcfile.WriterOpts{NoRLE: *noRLE, NoDelta: *noDelta}
 	db := tpch.Generate(tpch.GenConfig{SF: *sf, Seed: *seed, Random64: true, NoDict: *noDict})
+	if *cluster != "" {
+		if _, err := db.Cluster(*cluster); err != nil {
+			fmt.Fprintln(os.Stderr, "scanstats:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *tableBytes != "" {
-		src, err := rcfile.NewSource(db.Table(*tableBytes), *groupRows)
+		src, err := rcfile.NewSourceOpts(db.Table(*tableBytes), *groupRows, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanstats: encode", *tableBytes+":", err)
 			os.Exit(1)
 		}
 		fmt.Println(src.Bytes())
+		return
+	}
+
+	if *encMode {
+		if err := printEncReport(db, *groupRows, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "scanstats:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -120,7 +148,7 @@ func main() {
 	seenFiles := map[uint64]bool{}
 	for _, name := range tpch.TableNames {
 		t := db.Table(name)
-		src, err := rcfile.NewSource(t, *groupRows)
+		src, err := rcfile.NewSourceOpts(t, *groupRows, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanstats: encode", name+":", err)
 			os.Exit(1)
@@ -214,6 +242,68 @@ func tableSummary(t *relal.Table, fileBytes int) *tableReport {
 		tr.StrColumns[c.Name] = cd
 	}
 	return tr
+}
+
+// encColumn is one column's chunk-encoding census: chunk counts and
+// compressed-byte shares keyed by encoding name, zero encodings omitted.
+type encColumn struct {
+	Type      string             `json:"type"`
+	Chunks    map[string]int     `json:"chunks"`
+	CompBytes map[string]int64   `json:"comp_bytes"`
+	ByteShare map[string]float64 `json:"byte_share"`
+}
+
+// printEncReport encodes every base table and emits the per-column
+// encoding histogram straight from the RCFile footers (no chunk is
+// decompressed, no query runs).
+func printEncReport(db *tpch.DB, groupRows int, opts rcfile.WriterOpts) error {
+	rep := map[string]map[string]*encColumn{}
+	for _, name := range tpch.TableNames {
+		t := db.Table(name)
+		src, err := rcfile.NewSourceOpts(t, groupRows, opts)
+		if err != nil {
+			return fmt.Errorf("encode %s: %w", name, err)
+		}
+		cols := map[string]*encColumn{}
+		for ci, st := range src.EncodingStats() {
+			ec := &encColumn{
+				Type:      typeName(t.Schema[ci].Type),
+				Chunks:    map[string]int{},
+				CompBytes: map[string]int64{},
+				ByteShare: map[string]float64{},
+			}
+			var total int64
+			for _, b := range st.CompBytes {
+				total += b
+			}
+			for e, n := range st.Chunks {
+				if n == 0 {
+					continue
+				}
+				ec.Chunks[rcfile.EncNames[e]] = n
+				ec.CompBytes[rcfile.EncNames[e]] = st.CompBytes[e]
+				if total > 0 {
+					ec.ByteShare[rcfile.EncNames[e]] = float64(st.CompBytes[e]) / float64(total)
+				}
+			}
+			cols[t.Schema[ci].Name] = ec
+		}
+		rep[name] = cols
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func typeName(t relal.Type) string {
+	switch t {
+	case relal.Int:
+		return "int"
+	case relal.Float:
+		return "float"
+	default:
+		return "str"
+	}
 }
 
 func parseIDs(s string) ([]int, error) {

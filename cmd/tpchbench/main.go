@@ -42,6 +42,8 @@ func main() {
 	noChunkCache := flag.Bool("no-chunk-cache", false, "disable the shared decompressed-chunk cache (with -stream-rcfile)")
 	noTopK := flag.Bool("no-topk", false, "disable the fused TopK operator (bounded queries run unfused Sort+Limit; answers identical)")
 	noDict := flag.Bool("no-dict", false, "disable dictionary encoding of low-cardinality string columns (answers identical; kernels compare strings instead of codes)")
+	noRLE := flag.Bool("no-rle", false, "disable run-length chunk encoding in RCFiles and the scan model (answers identical)")
+	noDelta := flag.Bool("no-delta", false, "disable delta/frame-of-reference chunk encoding in RCFiles and the scan model (answers identical)")
 	flag.Parse()
 
 	if *noTopK {
@@ -62,14 +64,15 @@ func main() {
 		runStreams(core.TPCHStreamConfig{
 			LaptopSF: *laptopSF, Seed: *seed,
 			Streams: *streams, Rounds: *streamRounds, Workers: *workers,
-			Queries: qids, NoDict: *noDict,
+			Queries: qids, NoDict: *noDict, NoRLE: *noRLE, NoDelta: *noDelta,
 			RCFile: *streamRCFile, CacheMB: *cacheMB,
 			NoResultCache: *noResultCache, NoChunkCache: *noChunkCache,
 		}, *streamJSON)
 		return
 	}
 
-	cfg := core.TPCHConfig{LaptopSF: *laptopSF, Seed: *seed, Workers: *workers, Queries: qids, NoDict: *noDict}
+	cfg := core.TPCHConfig{LaptopSF: *laptopSF, Seed: *seed, Workers: *workers, Queries: qids,
+		NoDict: *noDict, NoRLE: *noRLE, NoDelta: *noDelta}
 	cfg.ScaleFactors, err = parseFloats(*sfList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tpchbench:", err)

@@ -15,6 +15,7 @@ import (
 	"elephants/internal/metrics"
 	"elephants/internal/pdw"
 	"elephants/internal/rcfile"
+	"elephants/internal/relal"
 	"elephants/internal/sim"
 	"elephants/internal/tpch"
 )
@@ -40,6 +41,12 @@ type TPCHConfig struct {
 	// are identical either way; host time and modeled byte widths
 	// change.
 	NoDict bool
+	// NoRLE / NoDelta disable the run-length and delta chunk encodings
+	// in the scan cost model (and any RCFile written while they are
+	// set), pinning those columns at plain/gdict widths. Answers are
+	// identical either way.
+	NoRLE   bool
+	NoDelta bool
 }
 
 func (c TPCHConfig) withDefaults() TPCHConfig {
@@ -74,6 +81,10 @@ type TPCHStreamConfig struct {
 	Queries []int
 	// NoDict disables dictionary encoding in the generated dataset.
 	NoDict bool
+	// NoRLE / NoDelta disable the run-length and delta chunk encodings
+	// in the written RCFiles and the scan cost model.
+	NoRLE   bool
+	NoDelta bool
 	// RCFile swaps every base-table source for an RCFile encoding, so
 	// streams scan through real compressed storage (and the chunk cache
 	// has something to serve).
@@ -92,11 +103,21 @@ type TPCHStreamConfig struct {
 	NoResultCache bool
 }
 
+// applyEncodingModel points the relal scan cost model at the same
+// encoding toggles the RCFile writer gets, so modeled chunk widths and
+// written chunk layouts stay in lockstep. Returns a restore func.
+func applyEncodingModel(noRLE, noDelta bool) func() {
+	oldRLE, oldDelta := relal.ModelRLE, relal.ModelDelta
+	relal.ModelRLE, relal.ModelDelta = !noRLE, !noDelta
+	return func() { relal.ModelRLE, relal.ModelDelta = oldRLE, oldDelta }
+}
+
 // RunTPCHStreams generates the shared DB and runs the stream harness.
 func RunTPCHStreams(cfg TPCHStreamConfig) (tpch.StreamResult, error) {
 	if cfg.LaptopSF <= 0 {
 		cfg.LaptopSF = 0.01
 	}
+	defer applyEncodingModel(cfg.NoRLE, cfg.NoDelta)()
 	db := tpch.Generate(tpch.GenConfig{SF: cfg.LaptopSF, Seed: cfg.Seed, Random64: true, NoDict: cfg.NoDict})
 	if cfg.RCFile {
 		groupRows := cfg.GroupRows
@@ -112,7 +133,8 @@ func RunTPCHStreams(cfg TPCHStreamConfig) (tpch.StreamResult, error) {
 			cache = rcfile.NewChunkCache(int64(cacheMB) << 20)
 		}
 		for _, name := range tpch.TableNames {
-			src, err := rcfile.NewSource(db.Table(name), groupRows)
+			src, err := rcfile.NewSourceOpts(db.Table(name), groupRows,
+				rcfile.WriterOpts{NoRLE: cfg.NoRLE, NoDelta: cfg.NoDelta})
 			if err != nil {
 				return tpch.StreamResult{}, fmt.Errorf("encode %s: %w", name, err)
 			}
@@ -158,6 +180,7 @@ func RunTPCH(cfg TPCHConfig) TPCHResult {
 		tpch.DefaultWorkers = cfg.Workers
 		defer func() { tpch.DefaultWorkers = old }()
 	}
+	defer applyEncodingModel(cfg.NoRLE, cfg.NoDelta)()
 	db := tpch.Generate(tpch.GenConfig{SF: cfg.LaptopSF, Seed: cfg.Seed, Random64: true, NoDict: cfg.NoDict})
 	res := TPCHResult{Config: cfg}
 	for _, sf := range cfg.ScaleFactors {

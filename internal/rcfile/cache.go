@@ -31,25 +31,29 @@ type chunkKey struct {
 	col   int
 }
 
-// chunkData is the decoded form of one column chunk. Exactly one of the
-// fields matching the column type is populated; Str chunks keep the
-// strPart representation so dict chunks stay codes + dictionary all the
-// way into the assembled vector.
+// chunkData is the decoded form of one column chunk. The fields
+// matching the column type are populated; run-length chunks keep their
+// run list (ends set, one value per run) and Str chunks keep the
+// strPart representation — global codes or raw strings — all the way
+// into the assembled vector.
 type chunkData struct {
 	ints   []int64
 	floats []float64
+	ends   []int32 // run ends for a numeric RLE chunk; nil = flat
 	str    strPart
 }
 
 // sizeBytes estimates the decoded chunk's resident size for the LRU
-// bound: slice payloads plus a string-header charge.
+// bound: slice payloads plus a string-header charge. Run-length chunks
+// hold one entry per run, so their charge is the encoded footprint —
+// a clustered column's chunks cost the cache almost nothing, and more
+// of them stay resident at the same capacity.
 func (d chunkData) sizeBytes() int64 {
 	b := int64(64) // struct + bookkeeping overhead
 	b += 8 * int64(len(d.ints)+len(d.floats))
+	b += 4 * int64(len(d.ends))
 	b += 4 * int64(len(d.str.codes))
-	for _, s := range d.str.vals {
-		b += 16 + int64(len(s))
-	}
+	b += 4 * int64(len(d.str.ends))
 	for _, s := range d.str.raw {
 		b += 16 + int64(len(s))
 	}

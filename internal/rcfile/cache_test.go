@@ -33,6 +33,65 @@ func sameRows(t *testing.T, a, b *relal.Table) {
 	}
 }
 
+// runnyTable builds rows with long runs in every column: RLE bait for
+// the int and float columns and gdict+rle for the dict string column.
+func runnyTable(rows int) *relal.Table {
+	keys := make([]int64, rows)
+	vals := make([]float64, rows)
+	strs := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		keys[i] = int64(i / 256)
+		vals[i] = float64(i / 512)
+		strs[i] = []string{"aa", "bb", "cc"}[(i/256)%3]
+	}
+	return relal.NewTable("t", relal.Schema{
+		{Name: "k", Type: relal.Int},
+		{Name: "v", Type: relal.Float},
+		{Name: "s", Type: relal.Str},
+	}, relal.IntsV(keys), relal.FloatsV(vals), relal.EncodeDict(strs))
+}
+
+// TestChunkCacheChargesEncodedFootprint: cache weight accounting
+// follows the decoded representation, and run-list chunks keep their
+// run form — so at the same capacity, the same runny data written with
+// run encodings enabled keeps every chunk resident while the
+// plain-written file is forced to evict. Cache capacity buys coverage
+// in proportion to how well the data encodes.
+func TestChunkCacheChargesEncodedFootprint(t *testing.T) {
+	tab := runnyTable(8192)
+	resident := func(opts WriterOpts, capacity int64) (chunks int, used int64, misses int64) {
+		src, err := NewSourceOpts(tab, 512, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := NewChunkCache(capacity)
+		src.SetCache(cache)
+		src.ScanTable(nil, nil) // populate
+		src.ScanTable(nil, nil) // re-read: misses here mean evictions
+		_, m := cache.Stats()
+		return cache.Len(), cache.UsedBytes(), m
+	}
+	const capacity = 16 << 10
+	encChunks, encUsed, encMisses := resident(WriterOpts{}, capacity)
+	plainChunks, plainUsed, plainMisses := resident(WriterOpts{NoRLE: true, NoDelta: true}, capacity)
+	if encChunks <= plainChunks {
+		t.Errorf("resident chunks: enc %d, want > plain %d", encChunks, plainChunks)
+	}
+	// 8192 rows / 512-row groups × 3 columns = 48 chunks; run-encoded
+	// they all fit in 16 KiB, so the second scan is eviction-free.
+	if encChunks != 48 {
+		t.Errorf("enc-on resident chunks = %d, want all 48", encChunks)
+	}
+	if encMisses != 48 {
+		t.Errorf("enc-on misses = %d, want 48 (first scan only)", encMisses)
+	}
+	if plainMisses <= encMisses {
+		t.Errorf("plain misses = %d, want > %d (capacity evictions)", plainMisses, encMisses)
+	}
+	t.Logf("capacity %d B: enc-on %d chunks / %d B resident, plain %d chunks / %d B",
+		int64(capacity), encChunks, encUsed, plainChunks, plainUsed)
+}
+
 func TestChunkCacheServesRepeatScans(t *testing.T) {
 	cache := NewChunkCache(1 << 20)
 	src := cachedSource(t, 500, 64, cache)

@@ -17,21 +17,28 @@
 // ScanStats{BytesRead, BytesSkipped, GroupsSkipped} so the cost models
 // can charge (or discount) the decompression CPU per skipped byte.
 //
-// Version 3 adds dictionary-encoded string chunks. A dict-encoded relal
-// vector writes, per row group, the group-local sorted dictionary once
-// followed by the rows as packed codes (1, 2, or 4 bytes each, sized to
-// the local dictionary) — the classic column-store trick the paper's
-// Hive-vs-PDW gap turns on, since RCFile otherwise stores and
-// re-decompresses every duplicate string. The writer is adaptive per
-// chunk: it compresses both encodings and keeps the smaller, so a
-// chunk whose local cardinality approaches its row count (a date column
-// in a small row group) falls back to plain strings instead of paying
-// for a dictionary nobody shares. The chunk's footer zone map carries
-// the min/max codes alongside the min/max values, so pruning still
-// compares strings and never needs the chunk's dictionary. ReadCols
-// reassembles dict chunks into a dict-encoded vector — codes plus a
-// merged dictionary — without ever materializing a []string of row
-// values.
+// Version 3 added dictionary-encoded string chunks with group-local
+// dictionaries. Version 4 replaces those with one file-global
+// dictionary per Str column (stored once in the footer) and adds the
+// lightweight encodings a clustered columnar layout earns:
+//
+//	enc 0 plain      length-prefixed strings / fixed 8-byte numerics
+//	enc 1 gdict      frame-of-reference packed global codes (Str)
+//	enc 2 gdict+rle  run-length encoded global codes (Str)
+//	enc 3 rle        run-length encoded values (Int/Float)
+//	enc 4 delta      frame-of-reference packed values (Int)
+//
+// The writer is adaptive per chunk: it compresses every applicable
+// candidate and keeps the smallest (ties go to plain — same bytes,
+// simpler decode). On data clustered by a sort column the dominant
+// chunks collapse to runs; on sequential keys delta packs 8-byte
+// integers into 1–4. The decoder hands run-encoded chunks to the engine
+// as relal run vectors — Filter and Aggregate consume them run-at-a-time
+// without ever materializing per-row slices — and global-code chunks
+// reassemble against the file dictionary with no per-group union merge.
+// The modeled chunk sizes in relal's scan accounting (RLEChunkBytes,
+// DeltaChunkBytes, GDictChunkBytes, GDictRLEChunkBytes) are these
+// encodings' exact pre-compression payload formulas.
 //
 // Since relal tables are themselves columnar, encoding and decoding
 // move cells straight between the typed column vectors and the on-disk
@@ -45,7 +52,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 
 	"elephants/internal/relal"
 )
@@ -58,50 +64,85 @@ const DefaultRowGroupRows = relal.DefaultScanGroupRows
 
 // Chunk encodings (the footer's per-chunk enc byte).
 const (
-	encPlain = byte(0) // length-prefixed strings / fixed 8-byte numerics
-	encDict  = byte(1) // group-local dictionary + packed codes (Str only)
+	encPlain    = byte(0) // length-prefixed strings / fixed 8-byte numerics
+	encGDict    = byte(1) // FOR-packed global codes (Str)
+	encGDictRLE = byte(2) // run-length encoded global codes (Str)
+	encRLE      = byte(3) // run-length encoded values (Int/Float)
+	encDelta    = byte(4) // FOR-packed values (Int)
+	numEncs     = 5
 )
+
+// EncNames names the chunk encodings, indexed by enc byte (tooling).
+var EncNames = [numEncs]string{"plain", "gdict", "gdict+rle", "rle", "delta"}
+
+// WriterOpts disables individual encodings (the -no-rle / -no-delta
+// escape hatches). Plain and gdict are always available.
+type WriterOpts struct {
+	NoRLE   bool // never emit enc 2 or enc 3 chunks
+	NoDelta bool // never emit enc 4 chunks
+}
 
 // Writer serializes a table into RCFile bytes.
 type Writer struct {
 	groupRows int
+	opts      WriterOpts
 }
 
-// NewWriter returns a writer with the given row-group size (0 = default).
-func NewWriter(groupRows int) *Writer {
+// NewWriter returns a writer with the given row-group size (0 = default)
+// and every encoding enabled.
+func NewWriter(groupRows int) *Writer { return NewWriterOpts(groupRows, WriterOpts{}) }
+
+// NewWriterOpts returns a writer with explicit encoding toggles.
+func NewWriterOpts(groupRows int, opts WriterOpts) *Writer {
 	if groupRows <= 0 {
 		groupRows = DefaultRowGroupRows
 	}
-	return &Writer{groupRows: groupRows}
+	return &Writer{groupRows: groupRows, opts: opts}
 }
 
-// file layout (version 3):
+// file layout (version 4):
 //
-//	magic "RCF3"
+//	magic "RCF4"
 //	uint32 numColumns
 //	uint32 numGroups
 //	per group: the compressed column chunks, concatenated (chunk
 //	  lengths live in the footer, so a reader can skip any chunk — or a
 //	  whole group — with pointer arithmetic instead of decompression)
-//	footer, per group:
-//	  uint32 rows
-//	  per column:
-//	    uint32 compLen
-//	    uint8  enc (0 plain, 1 dict)
-//	    zone map (typed min/max; dict chunks prepend min/max codes)
+//	footer:
+//	  global dictionary section, per column:
+//	    uint8 flag (1 = dictionary follows)
+//	    uint32 compLen, then a gzip blob holding uint32 count and
+//	    count length-prefixed values (sorted)
+//	  per group:
+//	    uint32 rows
+//	    per column:
+//	      uint32 compLen
+//	      uint8  enc
+//	      zone map (typed min/max; enc 1/2 prepend min/max global codes)
 //	uint32 footerLen (bytes, immediately before this trailer field)
 //
-// Plain column cells are encoded as length-prefixed strings for Str
-// columns and 8-byte fixed values otherwise. A dict chunk stores the
-// group-local sorted dictionary (uint32 count, then length-prefixed
-// values) followed by one code-width byte and the rows as packed codes.
-// Every chunk is gzip-compressed.
+// Chunk payloads (before gzip):
+//
+//	plain      Str: rows × (u32 len + bytes); numeric: rows × 8 bytes
+//	gdict      u8 width, u32 codeBase, rows × width (code − codeBase)
+//	gdict+rle  u8 width, u32 codeBase, u32 runs,
+//	           runs × (width bytes code − codeBase, u32 runLen)
+//	rle        u32 runs, runs × (8-byte value, u32 runLen)
+//	delta      u8 width, 8-byte base (chunk min), rows × width
+//	           (value − base, little-endian)
+//
+// width ∈ {0, 1, 2, 4} (relal.FORWidth); width 0 means every row equals
+// the base. Every chunk is gzip-compressed.
 
-var magic = []byte("RCF3")
+var magic = []byte("RCF4")
 
 // Write encodes t.
 func (w *Writer) Write(t *relal.Table) ([]byte, error) {
 	d := t.Compacted() // dense vectors; no-op unless t is a view
+	cols := make([]*relal.Vector, len(d.Cols))
+	for i, v := range d.Cols {
+		cols[i] = v.Flat()
+	}
 	var out bytes.Buffer
 	out.Write(magic)
 	binary.Write(&out, binary.LittleEndian, uint32(len(d.Schema)))
@@ -109,6 +150,36 @@ func (w *Writer) Write(t *relal.Table) ([]byte, error) {
 	numGroups := (n + w.groupRows - 1) / w.groupRows
 	binary.Write(&out, binary.LittleEndian, uint32(numGroups))
 	var footer bytes.Buffer
+	for _, v := range cols {
+		if !v.IsDict() {
+			footer.WriteByte(0)
+			continue
+		}
+		vals := v.DictVals
+		blob, err := gzipChunk(func(w io.Writer) error {
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], uint32(len(vals)))
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
+			for _, s := range vals {
+				binary.LittleEndian.PutUint32(buf[:], uint32(len(s)))
+				if _, err := w.Write(buf[:]); err != nil {
+					return err
+				}
+				if _, err := io.WriteString(w, s); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		footer.WriteByte(1)
+		binary.Write(&footer, binary.LittleEndian, uint32(len(blob)))
+		footer.Write(blob)
+	}
 	for g := 0; g < numGroups; g++ {
 		lo := g * w.groupRows
 		hi := lo + w.groupRows
@@ -117,23 +188,10 @@ func (w *Writer) Write(t *relal.Table) ([]byte, error) {
 		}
 		binary.Write(&footer, binary.LittleEndian, uint32(hi-lo))
 		for c := range d.Schema {
-			v := d.Cols[c]
-			enc := encPlain
-			chunk, err := gzipChunk(func(w io.Writer) error { return writeChunk(w, v, lo, hi) })
+			v := cols[c]
+			enc, chunk, err := w.encodeChunk(v, lo, hi)
 			if err != nil {
 				return nil, err
-			}
-			if v.IsDict() {
-				// Adaptive: keep the dictionary encoding only where it
-				// compresses smaller than the plain strings (ties go to
-				// plain — same bytes, simpler decode).
-				dictChunk, err := gzipChunk(func(w io.Writer) error { return writeDictChunk(w, v, lo, hi) })
-				if err != nil {
-					return nil, err
-				}
-				if len(dictChunk) < len(chunk) {
-					enc, chunk = encDict, dictChunk
-				}
 			}
 			out.Write(chunk)
 			binary.Write(&footer, binary.LittleEndian, uint32(len(chunk)))
@@ -146,12 +204,120 @@ func (w *Writer) Write(t *relal.Table) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-// writeZone appends one zone map in its typed encoding. Dict chunks
-// prepend the min/max codes to the min/max values. The codes are in the
-// writing vector's dictionary space — not the chunk's remapped local
-// space, and not any space a reader reconstructs — so they are tooling
-// introspection (and the seed for a future file-global dictionary
-// section); pruning and decoding consume only the strings.
+// encodeChunk picks the chunk encoding for rows [lo, hi) of v by the
+// modeled (pre-gzip) payload sizes — the same formulas, candidate
+// order, and strict-less-than ties relal's scan model charges, so the
+// bytes the cost models replay are the bytes the writer lays down. Only
+// the winner is compressed.
+func (w *Writer) encodeChunk(v *relal.Vector, lo, hi int) (byte, []byte, error) {
+	rows := hi - lo
+	enc := encPlain
+	fn := func(wr io.Writer) error { return writePlainChunk(wr, v, lo, hi) }
+	switch {
+	case v.IsDict():
+		cmin, cmax := minMaxCodes(v.Dict[lo:hi])
+		width := relal.FORWidth(uint64(cmax - cmin))
+		best := relal.GDictChunkBytes(rows, width)
+		enc = encGDict
+		fn = func(wr io.Writer) error { return writeGDictChunk(wr, v.Dict[lo:hi], cmin, width) }
+		if !w.opts.NoRLE {
+			runs := countRuns(v.Dict[lo:hi])
+			if rle := relal.GDictRLEChunkBytes(runs, width); rle < best {
+				best, enc = rle, encGDictRLE
+				fn = func(wr io.Writer) error { return writeGDictRLEChunk(wr, v.Dict[lo:hi], cmin, width) }
+			}
+		}
+		var plain int64
+		for _, c := range v.Dict[lo:hi] {
+			plain += 4 + int64(len(v.DictVals[c]))
+		}
+		if plain < best {
+			enc = encPlain
+			fn = func(wr io.Writer) error { return writePlainChunk(wr, v, lo, hi) }
+		}
+	case v.Kind == relal.Int:
+		best := 8 * int64(rows)
+		if !w.opts.NoDelta {
+			imin, imax := minMaxInts(v.Ints[lo:hi])
+			if width := relal.FORWidth(uint64(imax) - uint64(imin)); width < 8 {
+				if fb := relal.DeltaChunkBytes(rows, width); fb < best {
+					best, enc = fb, encDelta
+					fn = func(wr io.Writer) error { return writeDeltaChunk(wr, v.Ints[lo:hi], imin, width) }
+				}
+			}
+		}
+		if !w.opts.NoRLE {
+			if rle := relal.RLEChunkBytes(countRuns(v.Ints[lo:hi])); rle < best {
+				enc = encRLE
+				fn = func(wr io.Writer) error { return writeRLEChunk(wr, v, lo, hi) }
+			}
+		}
+	case v.Kind == relal.Float:
+		if !w.opts.NoRLE {
+			if rle := relal.RLEChunkBytes(countRuns(v.Floats[lo:hi])); rle < 8*int64(rows) {
+				enc = encRLE
+				fn = func(wr io.Writer) error { return writeRLEChunk(wr, v, lo, hi) }
+			}
+		}
+	}
+	chunk, err := gzipChunk(fn)
+	if err != nil {
+		return 0, nil, err
+	}
+	return enc, chunk, nil
+}
+
+func minMaxCodes(codes []uint32) (uint32, uint32) {
+	if len(codes) == 0 {
+		return 0, 0
+	}
+	mn, mx := codes[0], codes[0]
+	for _, c := range codes[1:] {
+		if c < mn {
+			mn = c
+		}
+		if c > mx {
+			mx = c
+		}
+	}
+	return mn, mx
+}
+
+func minMaxInts(xs []int64) (int64, int64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx
+}
+
+// countRuns counts maximal runs of equal adjacent values.
+func countRuns[T comparable](xs []T) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[i-1] {
+			runs++
+		}
+	}
+	return runs
+}
+
+// writeZone appends one zone map in its typed encoding. Global-code
+// chunks (enc 1/2) prepend the chunk's min/max codes — absolute indices
+// into the file dictionary — so code-space tooling and the dense
+// aggregation planner can size code ranges without decompression;
+// pruning consumes only the strings.
 func writeZone(w *bytes.Buffer, z relal.ZoneMap, enc byte) {
 	switch z.Kind {
 	case relal.Int:
@@ -161,7 +327,7 @@ func writeZone(w *bytes.Buffer, z relal.ZoneMap, enc byte) {
 		binary.Write(w, binary.LittleEndian, math.Float64bits(z.FloatMin))
 		binary.Write(w, binary.LittleEndian, math.Float64bits(z.FloatMax))
 	default:
-		if enc == encDict {
+		if enc == encGDict || enc == encGDictRLE {
 			binary.Write(w, binary.LittleEndian, z.CodeMin)
 			binary.Write(w, binary.LittleEndian, z.CodeMax)
 		}
@@ -172,9 +338,9 @@ func writeZone(w *bytes.Buffer, z relal.ZoneMap, enc byte) {
 	}
 }
 
-// writeChunk streams one plain column's cells in rows [lo, hi) straight
-// from the typed vector.
-func writeChunk(w io.Writer, v *relal.Vector, lo, hi int) error {
+// writePlainChunk streams one plain column's cells in rows [lo, hi)
+// straight from the typed vector.
+func writePlainChunk(w io.Writer, v *relal.Vector, lo, hi int) error {
 	var buf [8]byte
 	switch v.Kind {
 	case relal.Int:
@@ -208,53 +374,109 @@ func writeChunk(w io.Writer, v *relal.Vector, lo, hi int) error {
 	return nil
 }
 
-// writeDictChunk writes rows [lo, hi) of a dict-encoded vector: the
-// values present in the group become its local sorted dictionary
-// (stored once), and the rows follow as packed local codes. Restricting
-// the dictionary to the group keeps sparse groups small and lets the
-// code width shrink with the local cardinality.
-func writeDictChunk(w io.Writer, v *relal.Vector, lo, hi int) error {
-	present := make([]bool, len(v.DictVals))
-	for _, c := range v.Dict[lo:hi] {
-		present[c] = true
-	}
-	remap := make([]uint32, len(v.DictVals))
-	local := []string{}
-	for code, ok := range present {
-		if ok {
-			remap[code] = uint32(len(local))
-			local = append(local, v.DictVals[code])
-		}
-	}
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], uint32(len(local)))
-	if _, err := w.Write(buf[:]); err != nil {
+// putPacked writes the low width bytes of x, little-endian (width 0
+// writes nothing).
+func putPacked(w io.Writer, x uint64, width int) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], x)
+	_, err := w.Write(buf[:width])
+	return err
+}
+
+// writeGDictChunk packs global codes frame-of-reference: the chunk's
+// minimum code is the base, every row stores code − base in width bytes.
+func writeGDictChunk(w io.Writer, codes []uint32, base uint32, width int) error {
+	var hdr [5]byte
+	hdr[0] = byte(width)
+	binary.LittleEndian.PutUint32(hdr[1:], base)
+	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	for _, s := range local {
-		binary.LittleEndian.PutUint32(buf[:], uint32(len(s)))
+	for _, c := range codes {
+		if err := putPacked(w, uint64(c-base), width); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeGDictRLEChunk writes global codes as (code − base, runLen) runs.
+func writeGDictRLEChunk(w io.Writer, codes []uint32, base uint32, width int) error {
+	runs := countRuns(codes)
+	var hdr [9]byte
+	hdr[0] = byte(width)
+	binary.LittleEndian.PutUint32(hdr[1:], base)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(runs))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [4]byte
+	for i := 0; i < len(codes); {
+		j := i + 1
+		for j < len(codes) && codes[j] == codes[i] {
+			j++
+		}
+		if err := putPacked(w, uint64(codes[i]-base), width); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(buf[:], uint32(j-i))
 		if _, err := w.Write(buf[:]); err != nil {
 			return err
 		}
-		if _, err := io.WriteString(w, s); err != nil {
-			return err
+		i = j
+	}
+	return nil
+}
+
+// writeRLEChunk writes a numeric column's rows [lo, hi) as
+// (value, runLen) runs.
+func writeRLEChunk(w io.Writer, v *relal.Vector, lo, hi int) error {
+	bits := func(i int) uint64 {
+		if v.Kind == relal.Int {
+			return uint64(v.Ints[i])
+		}
+		return math.Float64bits(v.Floats[i])
+	}
+	runs := 0
+	if hi > lo {
+		runs = 1
+		for i := lo + 1; i < hi; i++ {
+			if bits(i) != bits(i-1) {
+				runs++
+			}
 		}
 	}
-	width := relal.DictCodeWidth(len(local))
-	if _, err := w.Write([]byte{byte(width)}); err != nil {
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(runs))
+	if _, err := w.Write(buf[:4]); err != nil {
 		return err
 	}
-	for _, c := range v.Dict[lo:hi] {
-		lc := remap[c]
-		switch width {
-		case 1:
-			buf[0] = byte(lc)
-		case 2:
-			binary.LittleEndian.PutUint16(buf[:2], uint16(lc))
-		default:
-			binary.LittleEndian.PutUint32(buf[:], lc)
+	for i := lo; i < hi; {
+		j := i + 1
+		for j < hi && bits(j) == bits(i) {
+			j++
 		}
-		if _, err := w.Write(buf[:width]); err != nil {
+		binary.LittleEndian.PutUint64(buf[:8], bits(i))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(j-i))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// writeDeltaChunk packs ints frame-of-reference: the chunk minimum is
+// the 8-byte base, every row stores value − base in width bytes.
+func writeDeltaChunk(w io.Writer, xs []int64, base int64, width int) error {
+	var hdr [9]byte
+	hdr[0] = byte(width)
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(base))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		if err := putPacked(w, uint64(x)-uint64(base), width); err != nil {
 			return err
 		}
 	}
@@ -273,7 +495,24 @@ type group struct {
 // parsed is the decoded file structure (footer only — chunk bytes stay
 // compressed until a read asks for them).
 type parsed struct {
+	dicts  [][]string // per column; nil = no global dictionary
 	groups []group
+}
+
+// validEnc reports whether enc is legal for a column of the given type
+// (dict-code encodings additionally require the global dictionary).
+func validEnc(enc byte, kind relal.Type, hasDict bool) bool {
+	switch enc {
+	case encPlain:
+		return true
+	case encGDict, encGDictRLE:
+		return kind == relal.Str && hasDict
+	case encRLE:
+		return kind == relal.Int || kind == relal.Float
+	case encDelta:
+		return kind == relal.Int
+	}
+	return false
 }
 
 // parse validates the header against the schema and decodes the footer.
@@ -312,7 +551,59 @@ func parse(data []byte, schema relal.Schema) (*parsed, error) {
 		pos += sl
 		return s, nil
 	}
-	p := &parsed{}
+	p := &parsed{dicts: make([][]string, numCols)}
+	for c := uint32(0); c < numCols; c++ {
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		flag := f[pos]
+		pos++
+		if flag == 0 {
+			continue
+		}
+		if schema[c].Type != relal.Str {
+			return nil, fmt.Errorf("rcfile: dictionary on non-Str column %q", schema[c].Name)
+		}
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		compLen := int(binary.LittleEndian.Uint32(f[pos:]))
+		pos += 4
+		if err := need(compLen); err != nil {
+			return nil, err
+		}
+		gz, err := gzip.NewReader(bytes.NewReader(f[pos : pos+compLen]))
+		if err != nil {
+			return nil, err
+		}
+		blob, err := io.ReadAll(gz)
+		if err != nil {
+			return nil, err
+		}
+		pos += compLen
+		if len(blob) < 4 {
+			return nil, fmt.Errorf("rcfile: truncated dictionary")
+		}
+		count := int(binary.LittleEndian.Uint32(blob))
+		if count < 0 || count > len(blob) {
+			return nil, fmt.Errorf("rcfile: implausible dictionary size %d", count)
+		}
+		vals := make([]string, 0, count)
+		bp := 4
+		for i := 0; i < count; i++ {
+			if bp+4 > len(blob) {
+				return nil, fmt.Errorf("rcfile: truncated dictionary")
+			}
+			sl := int(binary.LittleEndian.Uint32(blob[bp:]))
+			bp += 4
+			if sl < 0 || bp+sl > len(blob) {
+				return nil, fmt.Errorf("rcfile: truncated dictionary value")
+			}
+			vals = append(vals, string(blob[bp:bp+sl]))
+			bp += sl
+		}
+		p.dicts[c] = vals
+	}
 	offset := int64(12)
 	for g := uint32(0); g < numGroups; g++ {
 		if err := need(4); err != nil {
@@ -333,11 +624,8 @@ func parse(data []byte, schema relal.Schema) (*parsed, error) {
 			gr.compLens[c] = binary.LittleEndian.Uint32(f[pos:])
 			gr.encs[c] = f[pos+4]
 			pos += 5
-			if gr.encs[c] > encDict {
-				return nil, fmt.Errorf("rcfile: unknown chunk encoding %d on column %q", gr.encs[c], schema[c].Name)
-			}
-			if gr.encs[c] == encDict && schema[c].Type != relal.Str {
-				return nil, fmt.Errorf("rcfile: dict chunk on non-Str column %q", schema[c].Name)
+			if !validEnc(gr.encs[c], schema[c].Type, p.dicts[c] != nil) {
+				return nil, fmt.Errorf("rcfile: bad chunk encoding %d on column %q", gr.encs[c], schema[c].Name)
 			}
 			z := relal.ZoneMap{Kind: schema[c].Type}
 			switch schema[c].Type {
@@ -356,7 +644,7 @@ func parse(data []byte, schema relal.Schema) (*parsed, error) {
 				z.FloatMax = math.Float64frombits(binary.LittleEndian.Uint64(f[pos+8:]))
 				pos += 16
 			default:
-				if gr.encs[c] == encDict {
+				if gr.encs[c] == encGDict || gr.encs[c] == encGDictRLE {
 					if err := need(8); err != nil {
 						return nil, err
 					}
@@ -417,11 +705,11 @@ func Read(data []byte, schema relal.Schema, name string) (*relal.Table, error) {
 	return t, err
 }
 
-// strPart is one row group's decoded slice of a Str column: either a
-// dict part (group-local vals + codes) or a raw part.
+// strPart is one row group's decoded slice of a Str column: global
+// codes (flat, or run-encoded when ends is set) or raw strings.
 type strPart struct {
-	vals  []string
 	codes []uint32
+	ends  []int32 // chunk-local exclusive run ends; nil = one code per row
 	raw   []string
 }
 
@@ -430,25 +718,26 @@ type strPart struct {
 // whose zone maps cannot satisfy pred. Only surviving groups'
 // requested chunks are decompressed; everything else is skipped with
 // pointer arithmetic and accounted in the stats as compressed bytes.
-// Dict-encoded Str columns come back as dict vectors — per-group
-// dictionaries merge into one sorted dictionary and the codes remap —
-// so a low-cardinality column never materializes per-row strings.
+// Columns whose surviving chunks are all run-length encoded come back
+// as relal run vectors — the engine's run-aware kernels consume them
+// without expansion — and global-code chunks reassemble against the
+// file dictionary with no merging.
 func ReadCols(data []byte, schema relal.Schema, name string, cols []string, pred relal.ZonePredicate) (*relal.Table, relal.ScanStats, error) {
-	return readColsCached(data, schema, name, cols, pred, nil, 0)
+	p, err := parse(data, schema)
+	if err != nil {
+		return nil, relal.ScanStats{}, err
+	}
+	return readColsCached(data, p, schema, name, cols, pred, nil, 0)
 }
 
-// readColsCached is ReadCols with an optional shared chunk cache: when
-// cache is non-nil, each surviving chunk is looked up under
-// (file, group, column) before inflating, and fresh decodes are
+// readColsCached is the parse-once read path, with an optional shared
+// chunk cache: when cache is non-nil, each surviving chunk is looked up
+// under (file, group, column) before inflating, and fresh decodes are
 // inserted. Hits keep counting toward BytesRead (the scan logically
 // decoded those bytes — the skipped fraction the cost models replay is
 // cache-invariant) and additionally toward BytesFromCache/CacheHits.
-func readColsCached(data []byte, schema relal.Schema, name string, cols []string, pred relal.ZonePredicate, cache *ChunkCache, file uint64) (*relal.Table, relal.ScanStats, error) {
+func readColsCached(data []byte, p *parsed, schema relal.Schema, name string, cols []string, pred relal.ZonePredicate, cache *ChunkCache, file uint64) (*relal.Table, relal.ScanStats, error) {
 	var stats relal.ScanStats
-	p, err := parse(data, schema)
-	if err != nil {
-		return nil, stats, err
-	}
 	// Resolve the projection: out column i reads file column colIdx[i].
 	var colIdx []int
 	outSchema := schema
@@ -481,9 +770,10 @@ func readColsCached(data []byte, schema relal.Schema, name string, cols []string
 	}
 
 	t := relal.NewTable(name, outSchema)
-	// Str columns accumulate per-group parts and finalize below, so a
-	// run of dict chunks can merge into one dict vector.
-	strParts := make([][]strPart, len(colIdx))
+	// Every column accumulates its surviving groups' decoded chunks and
+	// assembles once at the end, so a column whose chunks are all runs
+	// becomes a single run vector.
+	parts := make([][]chunkData, len(colIdx))
 	for g, gr := range p.groups {
 		keep := pred.MayMatch(func(col string) (relal.ZoneMap, bool) {
 			for ci, c := range schema {
@@ -530,200 +820,377 @@ func readColsCached(data []byte, schema relal.Schema, name string, cols []string
 				if err != nil {
 					return nil, stats, err
 				}
-				if cd, err = decodeChunk(raw, schema[ci].Type, gr.encs[ci], gr.rows); err != nil {
+				if cd, err = decodeChunk(raw, schema[ci].Type, gr.encs[ci], gr.rows, p.dicts[ci]); err != nil {
 					return nil, stats, err
 				}
 				if cache != nil {
 					cache.put(key, cd)
 				}
 			}
-			if schema[ci].Type == relal.Str {
-				strParts[out] = append(strParts[out], cd.str)
-				continue
-			}
-			appendChunk(t.Cols[out], cd)
+			parts[out] = append(parts[out], cd)
 		}
 	}
-	for out := range colIdx {
-		if parts := strParts[out]; len(parts) > 0 {
-			t.Cols[out] = assembleStrCol(parts)
+	for out, ci := range colIdx {
+		if len(parts[out]) > 0 {
+			t.Cols[out] = assembleCol(schema[ci].Type, parts[out], p.dicts[ci])
 		}
 	}
 	return t, stats, nil
 }
 
 // decodeChunk inflates one chunk payload into its standalone decoded
-// form — a fresh slice, not an append onto a caller vector — so the
-// result is safe to share through the chunk cache.
-func decodeChunk(raw []byte, kind relal.Type, enc byte, rows int) (chunkData, error) {
-	if kind == relal.Str {
-		part, err := readStrChunk(raw, enc, rows)
-		return chunkData{str: part}, err
-	}
-	v := relal.NewVector(kind, rows)
-	if err := readChunk(raw, v, rows); err != nil {
-		return chunkData{}, err
-	}
-	return chunkData{ints: v.Ints, floats: v.Floats}, nil
-}
-
-// appendChunk copies a decoded numeric chunk onto the output vector
-// (cached chunks are shared across queries, so the output never aliases
-// them).
-func appendChunk(v *relal.Vector, cd chunkData) {
-	switch v.Kind {
-	case relal.Int:
-		v.Ints = append(v.Ints, cd.ints...)
-	case relal.Float:
-		v.Floats = append(v.Floats, cd.floats...)
-	}
-}
-
-// readStrChunk decodes one Str chunk under its encoding.
-func readStrChunk(raw []byte, enc byte, rows int) (strPart, error) {
-	if enc == encDict {
-		vals, codes, err := readDictChunk(raw, rows)
-		return strPart{vals: vals, codes: codes}, err
-	}
-	v := relal.NewVector(relal.Str, rows)
-	if err := readChunk(raw, v, rows); err != nil {
-		return strPart{}, err
-	}
-	return strPart{raw: v.Strs}, nil
-}
-
-// readDictChunk decodes a dict chunk payload into its group-local
-// dictionary and codes.
-func readDictChunk(raw []byte, rows int) ([]string, []uint32, error) {
-	pos := 0
-	if pos+4 > len(raw) {
-		return nil, nil, fmt.Errorf("rcfile: truncated dict chunk")
-	}
-	dictLen := int(binary.LittleEndian.Uint32(raw[pos:]))
-	pos += 4
-	if dictLen < 0 || dictLen > len(raw) {
-		return nil, nil, fmt.Errorf("rcfile: implausible dictionary size %d", dictLen)
-	}
-	vals := make([]string, 0, dictLen)
-	for i := 0; i < dictLen; i++ {
-		if pos+4 > len(raw) {
-			return nil, nil, fmt.Errorf("rcfile: truncated dictionary")
+// form — fresh slices, not appends onto a caller vector — so the result
+// is safe to share through the chunk cache. Run-length chunks stay run
+// lists; global-code chunks stay codes (the dictionary lives in the
+// parsed footer, not the cache entry).
+func decodeChunk(raw []byte, kind relal.Type, enc byte, rows int, dict []string) (chunkData, error) {
+	switch enc {
+	case encPlain:
+		if kind == relal.Str {
+			v := relal.NewVector(relal.Str, rows)
+			if err := readPlainChunk(raw, v, rows); err != nil {
+				return chunkData{}, err
+			}
+			return chunkData{str: strPart{raw: v.Strs}}, nil
 		}
-		n := int(binary.LittleEndian.Uint32(raw[pos:]))
-		pos += 4
-		if n < 0 || pos+n > len(raw) {
-			return nil, nil, fmt.Errorf("rcfile: truncated dictionary value")
+		v := relal.NewVector(kind, rows)
+		if err := readPlainChunk(raw, v, rows); err != nil {
+			return chunkData{}, err
 		}
-		vals = append(vals, string(raw[pos:pos+n]))
-		pos += n
+		return chunkData{ints: v.Ints, floats: v.Floats}, nil
+	case encGDict:
+		codes, err := readGDictChunk(raw, rows, len(dict))
+		if err != nil {
+			return chunkData{}, err
+		}
+		return chunkData{str: strPart{codes: codes}}, nil
+	case encGDictRLE:
+		codes, ends, err := readGDictRLEChunk(raw, rows, len(dict))
+		if err != nil {
+			return chunkData{}, err
+		}
+		return chunkData{str: strPart{codes: codes, ends: ends}}, nil
+	case encRLE:
+		return readRLEChunk(raw, kind, rows)
+	case encDelta:
+		ints, err := readDeltaChunk(raw, rows)
+		if err != nil {
+			return chunkData{}, err
+		}
+		return chunkData{ints: ints}, nil
 	}
-	if pos+1 > len(raw) {
-		return nil, nil, fmt.Errorf("rcfile: missing code width")
+	return chunkData{}, fmt.Errorf("rcfile: unknown chunk encoding %d", enc)
+}
+
+// getPacked reads a width-byte little-endian value (width 0 reads 0).
+func getPacked(raw []byte, pos, width int) uint64 {
+	var buf [8]byte
+	copy(buf[:], raw[pos:pos+width])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// readGDictChunk decodes FOR-packed global codes.
+func readGDictChunk(raw []byte, rows, dictLen int) ([]uint32, error) {
+	if len(raw) < 5 {
+		return nil, fmt.Errorf("rcfile: truncated gdict chunk")
 	}
-	width := int(raw[pos])
-	pos++
-	if width != 1 && width != 2 && width != 4 {
-		return nil, nil, fmt.Errorf("rcfile: bad code width %d", width)
+	width := int(raw[0])
+	if width != 0 && width != 1 && width != 2 && width != 4 {
+		return nil, fmt.Errorf("rcfile: bad code width %d", width)
 	}
+	base := binary.LittleEndian.Uint32(raw[1:])
+	pos := 5
 	if pos+rows*width > len(raw) {
-		return nil, nil, fmt.Errorf("rcfile: truncated codes")
+		return nil, fmt.Errorf("rcfile: truncated codes")
 	}
 	codes := make([]uint32, rows)
-	for i := 0; i < rows; i++ {
-		switch width {
-		case 1:
-			codes[i] = uint32(raw[pos])
-		case 2:
-			codes[i] = uint32(binary.LittleEndian.Uint16(raw[pos:]))
-		default:
-			codes[i] = binary.LittleEndian.Uint32(raw[pos:])
+	for i := range codes {
+		c := base + uint32(getPacked(raw, pos, width))
+		if int(c) >= dictLen {
+			return nil, fmt.Errorf("rcfile: code %d out of dictionary range %d", c, dictLen)
 		}
+		codes[i] = c
 		pos += width
-		if int(codes[i]) >= dictLen {
-			return nil, nil, fmt.Errorf("rcfile: code %d out of dictionary range %d", codes[i], dictLen)
-		}
 	}
-	return vals, codes, nil
+	return codes, nil
 }
 
-// assembleStrCol merges a column's per-group parts into one vector.
-// All-dict parts merge their group dictionaries (sorted union) and
-// remap codes; a mix of dict and plain groups falls back to raw
-// strings in group order.
-func assembleStrCol(parts []strPart) *relal.Vector {
-	allDict := true
-	total := 0
-	for _, p := range parts {
-		if p.raw != nil {
-			allDict = false
-		}
-		total += len(p.raw) + len(p.codes)
+// readGDictRLEChunk decodes run-length encoded global codes into a
+// chunk-local run list.
+func readGDictRLEChunk(raw []byte, rows, dictLen int) ([]uint32, []int32, error) {
+	if len(raw) < 9 {
+		return nil, nil, fmt.Errorf("rcfile: truncated gdict+rle chunk")
 	}
-	if !allDict {
-		out := make([]string, 0, total)
+	width := int(raw[0])
+	if width != 0 && width != 1 && width != 2 && width != 4 {
+		return nil, nil, fmt.Errorf("rcfile: bad code width %d", width)
+	}
+	base := binary.LittleEndian.Uint32(raw[1:])
+	runs := int(binary.LittleEndian.Uint32(raw[5:]))
+	if runs < 0 || runs > rows {
+		return nil, nil, fmt.Errorf("rcfile: implausible run count %d for %d rows", runs, rows)
+	}
+	pos := 9
+	codes := make([]uint32, runs)
+	ends := make([]int32, runs)
+	total := 0
+	for k := 0; k < runs; k++ {
+		if pos+width+4 > len(raw) {
+			return nil, nil, fmt.Errorf("rcfile: truncated run")
+		}
+		c := base + uint32(getPacked(raw, pos, width))
+		if int(c) >= dictLen {
+			return nil, nil, fmt.Errorf("rcfile: code %d out of dictionary range %d", c, dictLen)
+		}
+		pos += width
+		rl := int(binary.LittleEndian.Uint32(raw[pos:]))
+		pos += 4
+		if rl <= 0 || total+rl > rows {
+			return nil, nil, fmt.Errorf("rcfile: bad run length %d", rl)
+		}
+		codes[k] = c
+		total += rl
+		ends[k] = int32(total)
+	}
+	if total != rows {
+		return nil, nil, fmt.Errorf("rcfile: runs cover %d of %d rows", total, rows)
+	}
+	return codes, ends, nil
+}
+
+// readRLEChunk decodes a numeric run-length chunk into a run list.
+func readRLEChunk(raw []byte, kind relal.Type, rows int) (chunkData, error) {
+	if len(raw) < 4 {
+		return chunkData{}, fmt.Errorf("rcfile: truncated rle chunk")
+	}
+	runs := int(binary.LittleEndian.Uint32(raw[:4]))
+	if runs < 0 || runs > rows {
+		return chunkData{}, fmt.Errorf("rcfile: implausible run count %d for %d rows", runs, rows)
+	}
+	if len(raw) < 4+12*runs {
+		return chunkData{}, fmt.Errorf("rcfile: truncated runs")
+	}
+	cd := chunkData{ends: make([]int32, runs)}
+	if kind == relal.Int {
+		cd.ints = make([]int64, runs)
+	} else {
+		cd.floats = make([]float64, runs)
+	}
+	pos := 4
+	total := 0
+	for k := 0; k < runs; k++ {
+		bits := binary.LittleEndian.Uint64(raw[pos:])
+		rl := int(binary.LittleEndian.Uint32(raw[pos+8:]))
+		pos += 12
+		if rl <= 0 || total+rl > rows {
+			return chunkData{}, fmt.Errorf("rcfile: bad run length %d", rl)
+		}
+		if kind == relal.Int {
+			cd.ints[k] = int64(bits)
+		} else {
+			cd.floats[k] = math.Float64frombits(bits)
+		}
+		total += rl
+		cd.ends[k] = int32(total)
+	}
+	if total != rows {
+		return chunkData{}, fmt.Errorf("rcfile: runs cover %d of %d rows", total, rows)
+	}
+	return cd, nil
+}
+
+// readDeltaChunk decodes FOR-packed ints.
+func readDeltaChunk(raw []byte, rows int) ([]int64, error) {
+	if len(raw) < 9 {
+		return nil, fmt.Errorf("rcfile: truncated delta chunk")
+	}
+	width := int(raw[0])
+	if width != 0 && width != 1 && width != 2 && width != 4 {
+		return nil, fmt.Errorf("rcfile: bad delta width %d", width)
+	}
+	base := uint64(binary.LittleEndian.Uint64(raw[1:]))
+	pos := 9
+	if pos+rows*width > len(raw) {
+		return nil, fmt.Errorf("rcfile: truncated deltas")
+	}
+	out := make([]int64, rows)
+	for i := range out {
+		out[i] = int64(base + getPacked(raw, pos, width))
+		pos += width
+	}
+	return out, nil
+}
+
+// rowsOf returns the row count a decoded chunk covers.
+func (d chunkData) rowsOf(kind relal.Type) int {
+	if kind == relal.Str {
+		if d.str.raw != nil {
+			return len(d.str.raw)
+		}
+		if d.str.ends != nil {
+			return int(d.str.ends[len(d.str.ends)-1])
+		}
+		return len(d.str.codes)
+	}
+	if d.ends != nil {
+		if len(d.ends) == 0 {
+			return 0
+		}
+		return int(d.ends[len(d.ends)-1])
+	}
+	return len(d.ints) + len(d.floats)
+}
+
+// assembleCol merges one column's decoded chunks, in group order, into
+// a single vector. All-run chunks concatenate into one run vector with
+// shifted ends (adjacent groups ending and starting on the same value
+// keep their two runs — ends stay strictly increasing); a mix of run
+// and flat chunks expands to a flat vector; global-code chunks become a
+// dict vector over the file dictionary.
+func assembleCol(kind relal.Type, parts []chunkData, dict []string) *relal.Vector {
+	if kind == relal.Str {
+		sps := make([]strPart, len(parts))
+		for i, p := range parts {
+			sps[i] = p.str
+		}
+		return assembleStrCol(sps, dict)
+	}
+	total, runsTotal := 0, 0
+	allRuns := true
+	for _, p := range parts {
+		total += p.rowsOf(kind)
+		if p.ends == nil {
+			allRuns = false
+		} else {
+			runsTotal += len(p.ends)
+		}
+	}
+	if allRuns {
+		ends := make([]int32, 0, runsTotal)
+		base := int32(0)
+		if kind == relal.Int {
+			vals := make([]int64, 0, runsTotal)
+			for _, p := range parts {
+				vals = append(vals, p.ints...)
+				for _, e := range p.ends {
+					ends = append(ends, base+e)
+				}
+				base = ends[len(ends)-1]
+			}
+			return relal.IntRunsV(vals, ends)
+		}
+		vals := make([]float64, 0, runsTotal)
 		for _, p := range parts {
-			if p.raw != nil {
-				out = append(out, p.raw...)
+			vals = append(vals, p.floats...)
+			for _, e := range p.ends {
+				ends = append(ends, base+e)
+			}
+			base = ends[len(ends)-1]
+		}
+		return relal.FloatRunsV(vals, ends)
+	}
+	if kind == relal.Int {
+		out := make([]int64, 0, total)
+		for _, p := range parts {
+			if p.ends == nil {
+				out = append(out, p.ints...)
 				continue
 			}
-			for _, c := range p.codes {
-				out = append(out, p.vals[c])
+			prev := int32(0)
+			for k, e := range p.ends {
+				for ; prev < e; prev++ {
+					out = append(out, p.ints[k])
+				}
+			}
+		}
+		return relal.IntsV(out)
+	}
+	out := make([]float64, 0, total)
+	for _, p := range parts {
+		if p.ends == nil {
+			out = append(out, p.floats...)
+			continue
+		}
+		prev := int32(0)
+		for k, e := range p.ends {
+			for ; prev < e; prev++ {
+				out = append(out, p.floats[k])
+			}
+		}
+	}
+	return relal.FloatsV(out)
+}
+
+// assembleStrCol merges a Str column's decoded chunks. All code-based
+// chunks share the file-global dictionary, so codes concatenate with no
+// union merge: all-RLE chunks become a dict run vector, mixed RLE/flat
+// expand to flat codes, and any raw chunk degrades the whole column to
+// raw strings in group order.
+func assembleStrCol(parts []strPart, dict []string) *relal.Vector {
+	anyRaw, allRLE := false, true
+	total, runsTotal := 0, 0
+	for _, p := range parts {
+		if p.raw != nil {
+			anyRaw = true
+			total += len(p.raw)
+			continue
+		}
+		if p.ends == nil {
+			allRLE = false
+			total += len(p.codes)
+		} else {
+			runsTotal += len(p.ends)
+			total += int(p.ends[len(p.ends)-1])
+		}
+	}
+	if anyRaw {
+		out := make([]string, 0, total)
+		for _, p := range parts {
+			switch {
+			case p.raw != nil:
+				out = append(out, p.raw...)
+			case p.ends == nil:
+				for _, c := range p.codes {
+					out = append(out, dict[c])
+				}
+			default:
+				prev := int32(0)
+				for k, e := range p.ends {
+					for ; prev < e; prev++ {
+						out = append(out, dict[p.codes[k]])
+					}
+				}
 			}
 		}
 		return relal.StrsV(out)
 	}
-	// Fast path: every group saw the same dictionary (typical for the
-	// 3–7 value TPC-H flags) — codes concatenate untouched.
-	same := true
-	for _, p := range parts[1:] {
-		if !equalStrs(p.vals, parts[0].vals) {
-			same = false
-			break
-		}
-	}
-	codes := make([]uint32, 0, total)
-	if same {
+	if allRLE && runsTotal > 0 {
+		codes := make([]uint32, 0, runsTotal)
+		ends := make([]int32, 0, runsTotal)
+		base := int32(0)
 		for _, p := range parts {
 			codes = append(codes, p.codes...)
+			for _, e := range p.ends {
+				ends = append(ends, base+e)
+			}
+			base = ends[len(ends)-1]
 		}
-		return relal.DictV(codes, parts[0].vals)
+		return relal.DictRunsV(codes, ends, dict)
 	}
-	seen := make(map[string]uint32)
-	union := []string{}
+	codes := make([]uint32, 0, total)
 	for _, p := range parts {
-		for _, v := range p.vals {
-			if _, ok := seen[v]; !ok {
-				seen[v] = 0
-				union = append(union, v)
+		if p.ends == nil {
+			codes = append(codes, p.codes...)
+			continue
+		}
+		prev := int32(0)
+		for k, e := range p.ends {
+			for ; prev < e; prev++ {
+				codes = append(codes, p.codes[k])
 			}
 		}
 	}
-	sort.Strings(union)
-	for i, v := range union {
-		seen[v] = uint32(i)
-	}
-	for _, p := range parts {
-		remap := make([]uint32, len(p.vals))
-		for lc, v := range p.vals {
-			remap[lc] = seen[v]
-		}
-		for _, c := range p.codes {
-			codes = append(codes, remap[c])
-		}
-	}
-	return relal.DictV(codes, union)
-}
-
-func equalStrs(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+	return relal.DictV(codes, dict)
 }
 
 // ZoneMaps returns the footer's zone maps, per group per column (test
@@ -740,9 +1207,34 @@ func ZoneMaps(data []byte, schema relal.Schema) ([][]relal.ZoneMap, error) {
 	return out, nil
 }
 
-// readChunk decodes one plain column chunk of the given row count,
+// ColEncStats is one column's per-encoding chunk census: how many
+// chunks the adaptive writer settled on each encoding, and their
+// compressed bytes. Indexed by enc byte (see EncNames).
+type ColEncStats struct {
+	Chunks    [numEncs]int
+	CompBytes [numEncs]int64
+}
+
+// EncodingStats reads the footer's per-chunk encoding census, one entry
+// per column (cmd/scanstats' histogram; no chunk is decompressed).
+func EncodingStats(data []byte, schema relal.Schema) ([]ColEncStats, error) {
+	p, err := parse(data, schema)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ColEncStats, len(schema))
+	for _, gr := range p.groups {
+		for c := range schema {
+			out[c].Chunks[gr.encs[c]]++
+			out[c].CompBytes[gr.encs[c]] += int64(gr.compLens[c])
+		}
+	}
+	return out, nil
+}
+
+// readPlainChunk decodes one plain column chunk of the given row count,
 // appending onto the typed vector.
-func readChunk(raw []byte, v *relal.Vector, rows int) error {
+func readPlainChunk(raw []byte, v *relal.Vector, rows int) error {
 	pos := 0
 	switch v.Kind {
 	case relal.Int:
@@ -786,15 +1278,17 @@ func readChunk(raw []byte, v *relal.Vector, rows int) error {
 // panic — a Source wraps bytes this process just encoded, so corruption
 // is a programming bug, not an I/O condition.
 //
-// A Source is safe for concurrent scans: the encoded bytes are read-only
-// and the cumulative byte accounting goes through an atomic counter, so
-// query streams can share one Source per table. Attaching a shared
-// ChunkCache (SetCache, before serving scans) makes repeated reads of
-// hot chunks skip the gzip inflation entirely.
+// A Source is safe for concurrent scans: the encoded bytes and the
+// parsed footer (decoded once, at construction) are read-only, and the
+// cumulative byte accounting goes through an atomic counter, so query
+// streams can share one Source per table. Attaching a shared ChunkCache
+// (SetCache, before serving scans) makes repeated reads of hot chunks
+// skip the gzip inflation entirely.
 type Source struct {
 	name    string
 	schema  relal.Schema
 	data    []byte
+	parsed  *parsed
 	id      uint64 // content hash of data; the chunk cache's file key
 	cache   *ChunkCache
 	counter relal.ScanCounter
@@ -802,11 +1296,20 @@ type Source struct {
 
 // NewSource encodes t with the given row-group size (0 = default).
 func NewSource(t *relal.Table, groupRows int) (*Source, error) {
-	data, err := NewWriter(groupRows).Write(t)
+	return NewSourceOpts(t, groupRows, WriterOpts{})
+}
+
+// NewSourceOpts encodes t with explicit encoding toggles.
+func NewSourceOpts(t *relal.Table, groupRows int, opts WriterOpts) (*Source, error) {
+	data, err := NewWriterOpts(groupRows, opts).Write(t)
 	if err != nil {
 		return nil, err
 	}
-	return &Source{name: t.Name, schema: t.Schema, data: data, id: fileID(data)}, nil
+	p, err := parse(data, t.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{name: t.Name, schema: t.Schema, data: data, parsed: p, id: fileID(data)}, nil
 }
 
 // SetCache attaches a shared decompressed-chunk cache. Call before the
@@ -829,9 +1332,22 @@ func (s *Source) SrcSchema() relal.Schema { return s.schema }
 // Bytes returns the encoded file size.
 func (s *Source) Bytes() int { return len(s.data) }
 
+// EncodingStats returns the per-column encoding census of the encoded
+// file (footer only, no decompression).
+func (s *Source) EncodingStats() []ColEncStats {
+	out := make([]ColEncStats, len(s.schema))
+	for _, gr := range s.parsed.groups {
+		for c := range s.schema {
+			out[c].Chunks[gr.encs[c]]++
+			out[c].CompBytes[gr.encs[c]] += int64(gr.compLens[c])
+		}
+	}
+	return out
+}
+
 // ScanTable implements relal.Source.
 func (s *Source) ScanTable(cols []string, pred relal.ZonePredicate) (*relal.Table, relal.ScanStats) {
-	t, stats, err := readColsCached(s.data, s.schema, s.name, cols, pred, s.cache, s.id)
+	t, stats, err := readColsCached(s.data, s.parsed, s.schema, s.name, cols, pred, s.cache, s.id)
 	if err != nil {
 		panic("rcfile: " + err.Error())
 	}

@@ -61,8 +61,12 @@ func EncodeDict(xs []string) *Vector {
 	return DictV(codes, vals)
 }
 
-// StrAt returns the string at physical index p, decoding a dict vector.
+// StrAt returns the string at physical index p, decoding a dict vector
+// (run vectors expand lazily).
 func (v *Vector) StrAt(p int32) string {
+	if v.RunEnds != nil {
+		v = v.Flat()
+	}
 	if v.DictVals != nil {
 		return v.DictVals[v.Dict[p]]
 	}
@@ -72,6 +76,9 @@ func (v *Vector) StrAt(p int32) string {
 // DecodeStrs materializes the vector's strings (the output-boundary
 // decode). For a raw vector this is the backing slice itself, no copy.
 func (v *Vector) DecodeStrs() []string {
+	if v.RunEnds != nil {
+		v = v.Flat()
+	}
 	if !v.IsDict() {
 		return v.Strs
 	}
@@ -85,11 +92,11 @@ func (v *Vector) DecodeStrs() []string {
 // decodeToRaw converts a dict vector to plain strings in place. Callers
 // must own the vector (AppendRow privatizes first).
 func (v *Vector) decodeToRaw() {
-	if !v.IsDict() {
+	if !v.IsDict() && v.RunEnds == nil {
 		return
 	}
 	v.Strs = v.DecodeStrs()
-	v.Dict, v.DictVals = nil, nil
+	v.Dict, v.DictVals, v.RunEnds = nil, nil, nil
 }
 
 // sameDict reports whether two dict vectors share one dictionary (the
@@ -140,42 +147,82 @@ func upperBound(vals []string, s string) uint32 {
 	return uint32(sort.Search(len(vals), func(i int) bool { return vals[i] > s }))
 }
 
-// The StrVec predicate factories below bind a string predicate to a
-// per-row closure. On a dict-backed accessor the string comparison
-// happens once, against the dictionary, and the closure compares uint32
-// codes; on a raw accessor the closure compares strings — either way
-// the row set is identical, so queries can use the factories
+// The StrVec predicate factories below compile a string predicate into
+// a Pred (pred.go). On a dict-backed accessor the string comparison
+// happens once, against the dictionary, and the per-row closure
+// compares uint32 codes; on a run-encoded column the Pred additionally
+// carries the run structure so Exec.Where decides whole runs at a
+// time; on a raw accessor the closure compares strings — the row set
+// is identical in every case, so queries use the factories
 // unconditionally.
 
-// codePred builds a code-interval predicate [lo, hi) over a dict
-// accessor.
-func (v StrVec) codePred(lo, hi uint32) func(i int) bool {
-	dict, sel := v.dict, v.sel
+// isDictBacked reports whether the accessor can compare codes (flat
+// dict or run-encoded dict column).
+func (v StrVec) isDictBacked() bool { return v.dict != nil || v.runs != nil }
+
+// codePred builds a code-interval predicate [lo, hi) over a
+// dict-backed accessor.
+func (v StrVec) codePred(lo, hi uint32) Pred {
 	if lo >= hi {
-		return func(int) bool { return false }
+		return Pred{at: func(int) bool { return false }}
 	}
+	if v.runs != nil {
+		rv, sel := v.runs, v.sel
+		if sel == nil {
+			codes := rv.Dict
+			return Pred{
+				at:      func(i int) bool { c := rv.Flat().Dict[i]; return c >= lo && c < hi },
+				runEnds: rv.RunEnds,
+				runAt:   func(k int) bool { c := codes[k]; return c >= lo && c < hi },
+			}
+		}
+		return Pred{at: func(i int) bool { c := rv.Flat().Dict[sel[i]]; return c >= lo && c < hi }}
+	}
+	dict, sel := v.dict, v.sel
 	if sel == nil {
-		return func(i int) bool { c := dict[i]; return c >= lo && c < hi }
+		return Pred{at: func(i int) bool { c := dict[i]; return c >= lo && c < hi }}
 	}
-	return func(i int) bool { c := dict[sel[i]]; return c >= lo && c < hi }
+	return Pred{at: func(i int) bool { c := dict[sel[i]]; return c >= lo && c < hi }}
+}
+
+// codeTest builds a Pred from an arbitrary per-code test (the In
+// bitmap) over a dict-backed accessor.
+func (v StrVec) codeTest(test func(c uint32) bool) Pred {
+	if v.runs != nil {
+		rv, sel := v.runs, v.sel
+		if sel == nil {
+			codes := rv.Dict
+			return Pred{
+				at:      func(i int) bool { return test(rv.Flat().Dict[i]) },
+				runEnds: rv.RunEnds,
+				runAt:   func(k int) bool { return test(codes[k]) },
+			}
+		}
+		return Pred{at: func(i int) bool { return test(rv.Flat().Dict[sel[i]]) }}
+	}
+	dict, sel := v.dict, v.sel
+	if sel == nil {
+		return Pred{at: func(i int) bool { return test(dict[i]) }}
+	}
+	return Pred{at: func(i int) bool { return test(dict[sel[i]]) }}
 }
 
 // rawPred builds a string predicate over a raw accessor.
-func (v StrVec) rawPred(ok func(s string) bool) func(i int) bool {
+func (v StrVec) rawPred(ok func(s string) bool) Pred {
 	data, sel := v.data, v.sel
 	if sel == nil {
-		return func(i int) bool { return ok(data[i]) }
+		return Pred{at: func(i int) bool { return ok(data[i]) }}
 	}
-	return func(i int) bool { return ok(data[sel[i]]) }
+	return Pred{at: func(i int) bool { return ok(data[sel[i]]) }}
 }
 
 // Eq returns a predicate for Get(i) == val. Dict-backed: one code probe
 // per row.
-func (v StrVec) Eq(val string) func(i int) bool {
-	if v.dict != nil {
+func (v StrVec) Eq(val string) Pred {
+	if v.isDictBacked() {
 		c := lowerBound(v.vals, val)
 		if int(c) >= len(v.vals) || v.vals[c] != val {
-			return func(int) bool { return false }
+			return Pred{at: func(int) bool { return false }}
 		}
 		return v.codePred(c, c+1)
 	}
@@ -183,38 +230,44 @@ func (v StrVec) Eq(val string) func(i int) bool {
 }
 
 // Ne returns a predicate for Get(i) != val.
-func (v StrVec) Ne(val string) func(i int) bool {
-	eq := v.Eq(val)
-	return func(i int) bool { return !eq(i) }
+func (v StrVec) Ne(val string) Pred {
+	if v.isDictBacked() {
+		c := lowerBound(v.vals, val)
+		if int(c) >= len(v.vals) || v.vals[c] != val {
+			return Pred{at: func(int) bool { return true }}
+		}
+		return v.codeTest(func(x uint32) bool { return x != c })
+	}
+	return v.rawPred(func(s string) bool { return s != val })
 }
 
 // Lt returns a predicate for Get(i) < val (code threshold on dict).
-func (v StrVec) Lt(val string) func(i int) bool {
-	if v.dict != nil {
+func (v StrVec) Lt(val string) Pred {
+	if v.isDictBacked() {
 		return v.codePred(0, lowerBound(v.vals, val))
 	}
 	return v.rawPred(func(s string) bool { return s < val })
 }
 
 // Le returns a predicate for Get(i) <= val.
-func (v StrVec) Le(val string) func(i int) bool {
-	if v.dict != nil {
+func (v StrVec) Le(val string) Pred {
+	if v.isDictBacked() {
 		return v.codePred(0, upperBound(v.vals, val))
 	}
 	return v.rawPred(func(s string) bool { return s <= val })
 }
 
 // Ge returns a predicate for Get(i) >= val.
-func (v StrVec) Ge(val string) func(i int) bool {
-	if v.dict != nil {
+func (v StrVec) Ge(val string) Pred {
+	if v.isDictBacked() {
 		return v.codePred(lowerBound(v.vals, val), uint32(len(v.vals)))
 	}
 	return v.rawPred(func(s string) bool { return s >= val })
 }
 
 // Gt returns a predicate for Get(i) > val.
-func (v StrVec) Gt(val string) func(i int) bool {
-	if v.dict != nil {
+func (v StrVec) Gt(val string) Pred {
+	if v.isDictBacked() {
 		return v.codePred(upperBound(v.vals, val), uint32(len(v.vals)))
 	}
 	return v.rawPred(func(s string) bool { return s > val })
@@ -222,25 +275,25 @@ func (v StrVec) Gt(val string) func(i int) bool {
 
 // Range returns a predicate for lo <= Get(i) < hi — the half-open
 // interval every TPC-H date-window filter uses.
-func (v StrVec) Range(lo, hi string) func(i int) bool {
-	if v.dict != nil {
+func (v StrVec) Range(lo, hi string) Pred {
+	if v.isDictBacked() {
 		return v.codePred(lowerBound(v.vals, lo), lowerBound(v.vals, hi))
 	}
 	return v.rawPred(func(s string) bool { return s >= lo && s < hi })
 }
 
 // Between returns a predicate for lo <= Get(i) <= hi (both inclusive).
-func (v StrVec) Between(lo, hi string) func(i int) bool {
-	if v.dict != nil {
+func (v StrVec) Between(lo, hi string) Pred {
+	if v.isDictBacked() {
 		return v.codePred(lowerBound(v.vals, lo), upperBound(v.vals, hi))
 	}
 	return v.rawPred(func(s string) bool { return s >= lo && s <= hi })
 }
 
 // In returns a predicate for Get(i) ∈ set. Dict-backed: a bitmap over
-// the dictionary, one indexed load per row.
-func (v StrVec) In(set ...string) func(i int) bool {
-	if v.dict != nil {
+// the dictionary, one indexed load per row (or per run).
+func (v StrVec) In(set ...string) Pred {
+	if v.isDictBacked() {
 		member := make([]bool, len(v.vals))
 		any := false
 		for _, val := range set {
@@ -251,13 +304,9 @@ func (v StrVec) In(set ...string) func(i int) bool {
 			}
 		}
 		if !any {
-			return func(int) bool { return false }
+			return Pred{at: func(int) bool { return false }}
 		}
-		dict, sel := v.dict, v.sel
-		if sel == nil {
-			return func(i int) bool { return member[dict[i]] }
-		}
-		return func(i int) bool { return member[dict[sel[i]]] }
+		return v.codeTest(func(c uint32) bool { return member[c] })
 	}
 	m := make(map[string]bool, len(set))
 	for _, val := range set {
@@ -269,8 +318,8 @@ func (v StrVec) In(set ...string) func(i int) bool {
 // HasPrefix returns a predicate for strings.HasPrefix(Get(i), prefix).
 // In a sorted dictionary the values sharing a prefix are contiguous, so
 // the dict-backed predicate is a code range.
-func (v StrVec) HasPrefix(prefix string) func(i int) bool {
-	if v.dict != nil {
+func (v StrVec) HasPrefix(prefix string) Pred {
+	if v.isDictBacked() {
 		lo := lowerBound(v.vals, prefix)
 		hi := lo
 		for int(hi) < len(v.vals) && strings.HasPrefix(v.vals[hi], prefix) {

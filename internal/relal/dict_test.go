@@ -63,8 +63,8 @@ func TestDictDifferential(t *testing.T) {
 
 			// Filter through the predicate factories (code ranges on the
 			// dict side) and through Get-based closures.
-			fr := e.Filter(raw, raw.StrCol("s").Range("AB", "REG"))
-			fd := e.Filter(dict, dict.StrCol("s").Range("AB", "REG"))
+			fr := e.Where(raw, raw.StrCol("s").Range("AB", "REG"))
+			fd := e.Where(dict, dict.StrCol("s").Range("AB", "REG"))
 			if render(fr) != render(fd) {
 				t.Fatalf("%s: Filter(Range) drifts", name)
 			}
@@ -127,8 +127,8 @@ func TestDictSharedDictionaryJoinMatchesDecoded(t *testing.T) {
 	raw, _ := dictPair(300, 9)
 	e := &Exec{Parallelism: 3}
 	sv := dict.StrCol("s")
-	left := e.Filter(dict, sv.Lt("R"))
-	right := e.Filter(dict, sv.Ge("AB"))
+	left := e.Where(dict, sv.Lt("R"))
+	right := e.Where(dict, sv.Ge("AB"))
 	rv := raw.StrCol("s")
 	wantL := e.Filter(raw, func(i int) bool { return rv.Get(i) < "R" })
 	wantR := e.Filter(raw, func(i int) bool { return rv.Get(i) >= "AB" })
@@ -160,16 +160,16 @@ func TestDictPredicateFactories(t *testing.T) {
 					got  bool
 					want bool
 				}{
-					{"Eq", v.Eq(p)(i), s == p},
-					{"Ne", v.Ne(p)(i), s != p},
-					{"Lt", v.Lt(p)(i), s < p},
-					{"Le", v.Le(p)(i), s <= p},
-					{"Gt", v.Gt(p)(i), s > p},
-					{"Ge", v.Ge(p)(i), s >= p},
-					{"Range", v.Range("AB", p)(i), s >= "AB" && s < p},
-					{"Between", v.Between(p, "REG")(i), s >= p && s <= "REG"},
-					{"In", v.In(p, "R")(i), s == p || s == "R"},
-					{"HasPrefix", v.HasPrefix(p)(i), strings.HasPrefix(s, p)},
+					{"Eq", v.Eq(p).At(i), s == p},
+					{"Ne", v.Ne(p).At(i), s != p},
+					{"Lt", v.Lt(p).At(i), s < p},
+					{"Le", v.Le(p).At(i), s <= p},
+					{"Gt", v.Gt(p).At(i), s > p},
+					{"Ge", v.Ge(p).At(i), s >= p},
+					{"Range", v.Range("AB", p).At(i), s >= "AB" && s < p},
+					{"Between", v.Between(p, "REG").At(i), s >= p && s <= "REG"},
+					{"In", v.In(p, "R").At(i), s == p || s == "R"},
+					{"HasPrefix", v.HasPrefix(p).At(i), strings.HasPrefix(s, p)},
 				}
 				for _, c := range checks {
 					if c.got != c.want {

@@ -1,0 +1,202 @@
+package relal
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// compressRuns turns per-row values into the (vals, ends) run form the
+// RCF4 decoder produces: one entry per maximal run of equal values.
+func compressRuns[T comparable](xs []T) ([]T, []int32) {
+	var vals []T
+	var ends []int32
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			vals = append(vals, x)
+			ends = append(ends, int32(i+1))
+		} else {
+			ends[len(ends)-1] = int32(i + 1)
+		}
+	}
+	return vals, ends
+}
+
+// encodingPair builds the same logical table twice: flat vectors versus
+// run-encoded vectors (each column compressed independently, exactly as
+// the RCF4 reader would hand them over). runLen ~ the expected run
+// length; runLen >= rows makes every column a single run.
+func encodingPair(rows, runLen int, seed int64) (flat, runs *Table) {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]int64, rows)
+	fs := make([]float64, rows)
+	ss := make([]string, rows)
+	ys := make([]int64, rows)
+	k := int64(0)
+	for i := 0; i < rows; i++ {
+		if i%runLen == 0 {
+			k += rng.Int63n(3) // sorted with plateaus: RLE/delta shape
+		}
+		ks[i] = k
+		fs[i] = float64((i/runLen)%4) * 0.25
+		ss[i] = dictPool[(i/runLen+int(seed))%len(dictPool)]
+		ys[i] = rng.Int63n(50)
+	}
+	sch := Schema{
+		{Name: "k", Type: Int},
+		{Name: "f", Type: Float},
+		{Name: "s", Type: Str},
+		{Name: "y", Type: Int},
+	}
+	dict := EncodeDict(ss)
+	flat = NewTable("t", sch, IntsV(ks), FloatsV(fs), dict, IntsV(ys))
+
+	kv, ke := compressRuns(ks)
+	fv, fe := compressRuns(fs)
+	cv, ce := compressRuns(dict.Dict)
+	yv, ye := compressRuns(ys)
+	runs = NewTable("t", sch,
+		IntRunsV(kv, ke), FloatRunsV(fv, fe),
+		DictRunsV(cv, ce, dict.DictVals), IntRunsV(yv, ye))
+	return flat, runs
+}
+
+// TestEncodingDifferential runs every kernel over flat and run-encoded
+// copies of the same data — the representations the RCF4 reader can
+// produce for one file depending on which encoding each chunk won — at
+// several worker-pool sizes, and requires bit-identical rendered
+// output. Covers the run-aware paths (Where's run zipper, Aggregate's
+// dense dict batches) and the Flat()-fallback consumers (Sort, TopK,
+// joins), through views, empty inputs, single-row tables, and
+// all-one-run columns.
+func TestEncodingDifferential(t *testing.T) {
+	oldJoin, oldSort := joinMorselRows, sortMorselRows
+	joinMorselRows, sortMorselRows = 8, 8
+	defer func() { joinMorselRows, sortMorselRows = oldJoin, oldSort }()
+
+	cases := []struct{ rows, runLen int }{
+		{0, 1},                  // empty
+		{1, 1},                  // single row = single run
+		{37, 1},                 // every run length 1 (worst case)
+		{500, 7},                // mixed runs
+		{500, 500},              // every column one run
+		{2*MorselRows + 77, 64}, // crosses morsel boundaries
+	}
+	for _, tc := range cases {
+		flat, runs := encodingPair(tc.rows, tc.runLen, int64(tc.rows)+1)
+		flatR, runsR := encodingPair(tc.rows/2+3, tc.runLen, int64(tc.rows)+2)
+		for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+			name := fmt.Sprintf("rows=%d/runLen=%d/workers=%d", tc.rows, tc.runLen, workers)
+			e := &Exec{Parallelism: workers}
+
+			// Where through the run-aware predicate factories, on every
+			// column kind, alone and conjoined with a per-row closure.
+			fFlat := e.Where(flat, flat.StrCol("s").Range("AB", "REG"))
+			fRuns := e.Where(runs, runs.StrCol("s").Range("AB", "REG"))
+			if render(fFlat) != render(fRuns) {
+				t.Fatalf("%s: Where(str Range) drifts", name)
+			}
+			if render(e.Where(flat, flat.IntCol("k").Ge(2), flat.FloatCol("f").Le(0.5))) !=
+				render(e.Where(runs, runs.IntCol("k").Ge(2), runs.FloatCol("f").Le(0.5))) {
+				t.Fatalf("%s: Where(int+float) drifts", name)
+			}
+			yFlat, yRuns := flat.IntCol("y"), runs.IntCol("y")
+			if render(e.Where(flat, flat.StrCol("s").Ne(""), PredFn(func(i int) bool { return yFlat.Get(i)%3 == 0 }))) !=
+				render(e.Where(runs, runs.StrCol("s").Ne(""), PredFn(func(i int) bool { return yRuns.Get(i)%3 == 0 }))) {
+				t.Fatalf("%s: Where(mixed run/row preds) drifts", name)
+			}
+
+			// Aggregate: dict group keys hit the dense-array fast path on
+			// the runs side; sums over run-encoded measure columns.
+			aggs := []AggSpec{
+				{Fn: "sum", Col: "y", As: "sy"},
+				{Fn: "sum", Col: "f", As: "sf"},
+				{Fn: "count", Col: "*", As: "n"},
+				{Fn: "min", Col: "s", As: "mn"},
+				{Fn: "max", Col: "k", As: "mx"},
+			}
+			if render(e.Aggregate(flat, []string{"s"}, aggs)) !=
+				render(e.Aggregate(runs, []string{"s"}, aggs)) {
+				t.Fatalf("%s: Aggregate drifts", name)
+			}
+			if render(e.Aggregate(flat, []string{"s", "k"}, aggs[:3])) !=
+				render(e.Aggregate(runs, []string{"s", "k"}, aggs[:3])) {
+				t.Fatalf("%s: Aggregate(two keys) drifts", name)
+			}
+			// ...and over views (aggregate of a filtered table).
+			if render(e.Aggregate(fFlat, []string{"s"}, aggs[:3])) !=
+				render(e.Aggregate(fRuns, []string{"s"}, aggs[:3])) {
+				t.Fatalf("%s: Aggregate-over-view drifts", name)
+			}
+
+			// Sort and TopK force Flat() expansion of every key/payload.
+			keys := []OrderSpec{{Col: "s", Desc: true}, {Col: "y"}}
+			if render(e.Sort(flat, keys...)) != render(e.Sort(runs, keys...)) {
+				t.Fatalf("%s: Sort drifts", name)
+			}
+			if render(e.TopK(flat, tc.rows/3+1, keys...)) != render(e.TopK(runs, tc.rows/3+1, keys...)) {
+				t.Fatalf("%s: TopK drifts", name)
+			}
+
+			// Joins on run-encoded str and int keys. Skipped for the
+			// morsel-crossing case: low-cardinality keys there would
+			// cross-product into millions of output rows, and the join
+			// kernels only ever see Flat() vectors anyway.
+			if tc.rows > 500 {
+				continue
+			}
+			if render(e.Join(flat, flatR, "s", "s")) != render(e.Join(runs, runsR, "s", "s")) {
+				t.Fatalf("%s: Join(str) drifts", name)
+			}
+			if render(e.Join(flat, flatR, "k", "k")) != render(e.Join(runs, runsR, "k", "k")) {
+				t.Fatalf("%s: Join(int) drifts", name)
+			}
+			if render(e.SemiJoin(flat, flatR, "s", "s")) != render(e.SemiJoin(runs, runsR, "s", "s")) {
+				t.Fatalf("%s: SemiJoin drifts", name)
+			}
+			if render(e.AntiJoin(flat, flatR, "k", "k")) != render(e.AntiJoin(runs, runsR, "k", "k")) {
+				t.Fatalf("%s: AntiJoin drifts", name)
+			}
+		}
+	}
+}
+
+// TestEncodingRunVectorBasics pins the run-vector contract: Get/Len
+// through the run form, memoized single expansion, and constructor
+// validation.
+func TestEncodingRunVectorBasics(t *testing.T) {
+	v := IntRunsV([]int64{5, 9, 5}, []int32{2, 3, 7})
+	if v.Len() != 7 || v.NumRuns() != 3 || !v.IsRuns() {
+		t.Fatalf("run vector shape: len=%d runs=%d", v.Len(), v.NumRuns())
+	}
+	want := []int64{5, 5, 9, 5, 5, 5, 5}
+	f := v.Flat()
+	if f != v.Flat() {
+		t.Error("Flat() must memoize")
+	}
+	for i, w := range want {
+		if f.Ints[i] != w {
+			t.Fatalf("flat[%d] = %d, want %d", i, f.Ints[i], w)
+		}
+	}
+	d := DictRunsV([]uint32{1, 0}, []int32{3, 4}, []string{"a", "b"})
+	df := d.Flat()
+	if !df.IsDict() || &df.DictVals[0] != &d.DictVals[0] {
+		t.Error("dict run expansion must share the dictionary")
+	}
+	for _, bad := range []func(){
+		func() { IntRunsV([]int64{1}, []int32{1, 2}) },
+		func() { IntRunsV([]int64{1, 2}, []int32{2, 2}) },
+		func() { FloatRunsV([]float64{1}, []int32{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad run construction must panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

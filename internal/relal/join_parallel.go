@@ -200,13 +200,16 @@ func matchIndicesWorkers(left, right *Table, li, ri, workers int) (lIdx, rIdx []
 		panic("relal: join key type mismatch: " +
 			left.Schema[li].Name + " vs " + right.Schema[ri].Name)
 	}
+	// The probe addresses keys by arbitrary physical index, so
+	// run-encoded key columns expand lazily (memoized) up front.
+	lc, rc := left.Cols[li].Flat(), right.Cols[ri].Flat()
 	switch left.Schema[li].Type {
 	case Int:
-		return matchTypedWorkers(left, right, left.Cols[li].Ints, right.Cols[ri].Ints, hashIntKey, workers)
+		return matchTypedWorkers(left, right, lc.Ints, rc.Ints, hashIntKey, workers)
 	case Float:
-		return matchTypedWorkers(left, right, left.Cols[li].Floats, right.Cols[ri].Floats, hashFloatKey, workers)
+		return matchTypedWorkers(left, right, lc.Floats, rc.Floats, hashFloatKey, workers)
 	default:
-		lv, rv := left.Cols[li], right.Cols[ri]
+		lv, rv := lc, rc
 		if lv.IsDict() && rv.IsDict() && sameDict(lv, rv) {
 			return matchTypedWorkers(left, right, lv.Dict, rv.Dict, hashCodeKey, workers)
 		}
@@ -281,13 +284,14 @@ func keyMembershipWorkers(left, right *Table, li, ri, workers int) []bool {
 		panic("relal: join key type mismatch: " +
 			left.Schema[li].Name + " vs " + right.Schema[ri].Name)
 	}
+	lc, rc := left.Cols[li].Flat(), right.Cols[ri].Flat()
 	switch left.Schema[li].Type {
 	case Int:
-		return memberTypedWorkers(left, right, left.Cols[li].Ints, right.Cols[ri].Ints, hashIntKey, workers)
+		return memberTypedWorkers(left, right, lc.Ints, rc.Ints, hashIntKey, workers)
 	case Float:
-		return memberTypedWorkers(left, right, left.Cols[li].Floats, right.Cols[ri].Floats, hashFloatKey, workers)
+		return memberTypedWorkers(left, right, lc.Floats, rc.Floats, hashFloatKey, workers)
 	default:
-		lv, rv := left.Cols[li], right.Cols[ri]
+		lv, rv := lc, rc
 		if lv.IsDict() && rv.IsDict() && sameDict(lv, rv) {
 			return memberTypedWorkers(left, right, lv.Dict, rv.Dict, hashCodeKey, workers)
 		}
@@ -310,6 +314,7 @@ func gatherSliceWorkers[T any](xs []T, idx []int32, workers int) []T {
 // output columns; every output slot is written by exactly one morsel, so
 // the dense vector is identical at any worker count.
 func (v *Vector) gatherWorkers(idx []int32, workers int) *Vector {
+	v = v.Flat()
 	if workers <= 1 || len(idx) <= joinMorselRows {
 		return v.gather(idx)
 	}

@@ -1,0 +1,120 @@
+package relal
+
+// Run-length-encoded vectors. The RCF4 decoder hands RLE chunks to the
+// engine as run lists — one (value, exclusive end row) pair per run —
+// without expanding them to per-row slices. Run-aware kernels (Where's
+// run-zipping filter, Aggregate's run batches) consume the runs
+// directly; every other consumer calls Flat, which memoizes the
+// expanded form so correctness never depends on which encoding the
+// writer picked and the expansion cost is paid at most once per vector.
+
+// IntRunsV builds a run-encoded Int vector: vals[k] repeats for rows
+// [ends[k-1], ends[k]). ends must be strictly increasing.
+func IntRunsV(vals []int64, ends []int32) *Vector {
+	checkRuns(len(vals), ends)
+	return &Vector{Kind: Int, Ints: vals, RunEnds: ends}
+}
+
+// FloatRunsV builds a run-encoded Float vector.
+func FloatRunsV(vals []float64, ends []int32) *Vector {
+	checkRuns(len(vals), ends)
+	return &Vector{Kind: Float, Floats: vals, RunEnds: ends}
+}
+
+// DictRunsV builds a run-encoded dict Str vector: codes[k] (into the
+// shared sorted dictionary vals) repeats for rows [ends[k-1], ends[k]).
+func DictRunsV(codes []uint32, ends []int32, vals []string) *Vector {
+	checkRuns(len(codes), ends)
+	return &Vector{Kind: Str, Dict: codes, DictVals: vals, RunEnds: ends}
+}
+
+func checkRuns(vals int, ends []int32) {
+	if vals != len(ends) {
+		panic("relal: run vector has mismatched value/end counts")
+	}
+	prev := int32(0)
+	for _, e := range ends {
+		if e <= prev {
+			panic("relal: run ends must be strictly increasing")
+		}
+		prev = e
+	}
+}
+
+// IsRuns reports whether v is run-length encoded.
+func (v *Vector) IsRuns() bool { return v.RunEnds != nil }
+
+// NumRuns returns the run count (0 for non-run vectors).
+func (v *Vector) NumRuns() int { return len(v.RunEnds) }
+
+// Flat returns the expanded per-row form of v (v itself when not
+// run-encoded). The expansion is memoized: vectors are immutable once
+// built, so concurrent expansions compute identical contents and
+// whichever pointer publishes first wins. A dict run vector expands to
+// a dict vector sharing the same dictionary slice, so sameDict-based
+// fast paths still fire against siblings of the original.
+func (v *Vector) Flat() *Vector {
+	if v.RunEnds == nil {
+		return v
+	}
+	if f := v.flat.Load(); f != nil {
+		return f
+	}
+	n := v.Len()
+	f := &Vector{Kind: v.Kind}
+	switch {
+	case v.Kind == Int:
+		f.Ints = expandRuns(v.Ints, v.RunEnds, n)
+	case v.Kind == Float:
+		f.Floats = expandRuns(v.Floats, v.RunEnds, n)
+	default:
+		f.Dict = expandRuns(v.Dict, v.RunEnds, n)
+		f.DictVals = v.DictVals
+	}
+	v.flat.CompareAndSwap(nil, f)
+	return v.flat.Load()
+}
+
+func expandRuns[T any](vals []T, ends []int32, n int) []T {
+	out := make([]T, n)
+	pos := 0
+	for k, end := range ends {
+		x := vals[k]
+		for ; pos < int(end); pos++ {
+			out[pos] = x
+		}
+	}
+	return out
+}
+
+// flattenedFor returns t with every column referenced by the given
+// index sets replaced by its memoized flat expansion (a shallow copy;
+// t itself when nothing referenced is run-encoded). The aggregation
+// kernels index column slices by physical row directly, so they run
+// over the flattened view; negative indices (COUNT(*) slots) are
+// skipped.
+func flattenedFor(t *Table, idxs ...[]int) *Table {
+	need := false
+	for _, set := range idxs {
+		for _, ci := range set {
+			if ci >= 0 && t.Cols[ci].RunEnds != nil {
+				need = true
+			}
+		}
+	}
+	if !need {
+		return t
+	}
+	cols := make([]*Vector, len(t.Cols))
+	copy(cols, t.Cols)
+	for _, set := range idxs {
+		for _, ci := range set {
+			if ci >= 0 && cols[ci].RunEnds != nil {
+				cols[ci] = cols[ci].Flat()
+			}
+		}
+	}
+	out := &Table{Name: t.Name, Schema: t.Schema, Cols: cols, sel: t.sel}
+	out.shared.Store(true)
+	return out
+}

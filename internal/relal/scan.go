@@ -30,8 +30,13 @@ type ZoneMap struct {
 
 // ZoneOf computes the zone map of v's cells in physical positions
 // [lo, hi). It panics if the range is empty (a row group always holds at
-// least one row).
+// least one row). Run-encoded vectors are summarized from their run
+// lists without expansion: every run overlapping the range contributes
+// its value.
 func ZoneOf(v *Vector, lo, hi int) ZoneMap {
+	if v.RunEnds != nil {
+		return zoneOfRuns(v, lo, hi)
+	}
 	z := ZoneMap{Kind: v.Kind}
 	switch v.Kind {
 	case Int:
@@ -79,6 +84,49 @@ func ZoneOf(v *Vector, lo, hi int) ZoneMap {
 				z.StrMax = s
 			}
 		}
+	}
+	return z
+}
+
+// zoneOfRuns summarizes rows [lo, hi) of a run-encoded vector from the
+// run list: runs k0..k1 are exactly the runs overlapping the range.
+func zoneOfRuns(v *Vector, lo, hi int) ZoneMap {
+	z := ZoneMap{Kind: v.Kind}
+	k0 := searchRun(v.RunEnds, lo)
+	k1 := searchRun(v.RunEnds, hi-1)
+	switch v.Kind {
+	case Int:
+		z.IntMin, z.IntMax = v.Ints[k0], v.Ints[k0]
+		for _, x := range v.Ints[k0+1 : k1+1] {
+			if x < z.IntMin {
+				z.IntMin = x
+			}
+			if x > z.IntMax {
+				z.IntMax = x
+			}
+		}
+	case Float:
+		z.FloatMin, z.FloatMax = v.Floats[k0], v.Floats[k0]
+		for _, f := range v.Floats[k0+1 : k1+1] {
+			if f < z.FloatMin {
+				z.FloatMin = f
+			}
+			if f > z.FloatMax {
+				z.FloatMax = f
+			}
+		}
+	default:
+		z.CodeMin, z.CodeMax = v.Dict[k0], v.Dict[k0]
+		for _, c := range v.Dict[k0+1 : k1+1] {
+			if c < z.CodeMin {
+				z.CodeMin = c
+			}
+			if c > z.CodeMax {
+				z.CodeMax = c
+			}
+		}
+		z.StrMin, z.StrMax = v.DictVals[z.CodeMin], v.DictVals[z.CodeMax]
+		z.HasCodes = true
 	}
 	return z
 }
@@ -329,6 +377,16 @@ type tableScanInfo struct {
 	bytes     [][]int64   // per group, per column: encoded chunk bytes
 }
 
+// ModelRLE/ModelDelta gate whether the in-memory scan model charges
+// the RLE and delta/frame-of-reference chunk encodings when they beat
+// plain — mirroring the RCF4 writer's adaptive choice. The -no-rle /
+// -no-delta escape hatches in the CLI tools clear them at process
+// start (they are plain package variables, not synchronized).
+var (
+	ModelRLE   = true
+	ModelDelta = true
+)
+
 // encodedCellBytes returns the chunk encoding width of one cell: 8 for
 // numerics, 4-byte length prefix plus the bytes for strings (the rcfile
 // chunk layout).
@@ -337,6 +395,80 @@ func encodedCellBytes(v *Vector, p int32) int64 {
 		return 4 + int64(len(v.Strs[p]))
 	}
 	return 8
+}
+
+// FORWidth returns the packed frame-of-reference byte width for a
+// value span: 0 (constant), 1, 2, or 4; 8 means "doesn't pay, store
+// plain". Shared by the RCF4 writer and the in-memory scan model so
+// both charge identical bytes.
+func FORWidth(span uint64) int {
+	switch {
+	case span == 0:
+		return 0
+	case span <= 0xFF:
+		return 1
+	case span <= 0xFFFF:
+		return 2
+	case span <= 0xFFFFFFFF:
+		return 4
+	}
+	return 8
+}
+
+// Modeled RCF4 chunk payload sizes (pre-gzip), one formula shared with
+// the writer's layouts: see internal/rcfile. All include the chunk's
+// self-describing header bytes.
+
+// RLEChunkBytes is the numeric RLE payload: run count + (8-byte value,
+// 4-byte length) per run.
+func RLEChunkBytes(runs int) int64 { return 4 + int64(runs)*12 }
+
+// DeltaChunkBytes is the int frame-of-reference payload: width byte +
+// 8-byte base + packed deltas.
+func DeltaChunkBytes(rows, width int) int64 { return 9 + int64(rows)*int64(width) }
+
+// GDictChunkBytes is the global-dict code payload: width byte + 4-byte
+// code base + packed frame-of-reference codes.
+func GDictChunkBytes(rows, width int) int64 { return 5 + int64(rows)*int64(width) }
+
+// GDictRLEChunkBytes is the run-length global-dict payload: width byte
+// + code base + run count + (packed code, 4-byte length) per run.
+func GDictRLEChunkBytes(runs, width int) int64 { return 9 + int64(runs)*int64(width+4) }
+
+// runCountIn returns the number of value runs within rows [lo, hi) of
+// a dense vector.
+func runCountIn(v *Vector, lo, hi int) int {
+	if v.RunEnds != nil {
+		return searchRun(v.RunEnds, hi-1) - searchRun(v.RunEnds, lo) + 1
+	}
+	runs := 1
+	switch {
+	case v.Kind == Int:
+		for p := lo + 1; p < hi; p++ {
+			if v.Ints[p] != v.Ints[p-1] {
+				runs++
+			}
+		}
+	case v.Kind == Float:
+		for p := lo + 1; p < hi; p++ {
+			if v.Floats[p] != v.Floats[p-1] {
+				runs++
+			}
+		}
+	case v.DictVals != nil:
+		for p := lo + 1; p < hi; p++ {
+			if v.Dict[p] != v.Dict[p-1] {
+				runs++
+			}
+		}
+	default:
+		for p := lo + 1; p < hi; p++ {
+			if v.Strs[p] != v.Strs[p-1] {
+				runs++
+			}
+		}
+	}
+	return runs
 }
 
 // scanInfo computes (and for the default group size, caches) the
@@ -356,40 +488,50 @@ func computeScanInfo(t *Table, groupRows int) *tableScanInfo {
 	d := t.Compacted() // zone maps want dense physical ranges
 	n := d.NumRows()
 	info := &tableScanInfo{groupRows: groupRows}
+	numGroups := (n + groupRows - 1) / groupRows
+	// Per dict column, the file-global dictionary's bytes amortize
+	// evenly across the groups (RCF4 stores one dictionary per column
+	// in the footer).
+	dictShare := make([]int64, len(d.Cols))
+	for c, v := range d.Cols {
+		if v.DictVals != nil && numGroups > 0 {
+			dictShare[c] = DictEncodedBytes(v.DictVals, 0) / int64(numGroups)
+		}
+	}
 	for lo := 0; lo < n; lo += groupRows {
 		hi := lo + groupRows
 		if hi > n {
 			hi = n
 		}
+		rows := hi - lo
 		zs := make([]ZoneMap, len(d.Cols))
 		bs := make([]int64, len(d.Cols))
 		for c, v := range d.Cols {
 			zs[c] = ZoneOf(v, lo, hi)
 			switch {
 			case v.DictVals != nil:
-				// Model the adaptive RCF3 chunk: the values present in
-				// this group form its local dictionary, plus packed
-				// codes at the local width — unless the plain strings
-				// encode smaller (near-unique groups), matching the
-				// writer's per-chunk choice.
-				present := make([]bool, len(v.DictVals))
-				for _, code := range v.Dict[lo:hi] {
-					present[code] = true
-				}
-				var local []string
-				var plain int64
-				for code, ok := range present {
-					if ok {
-						local = append(local, v.DictVals[code])
+				// Model the adaptive RCF4 chunk: packed global codes
+				// (frame-of-reference width from the group's code
+				// span), run-length codes when the group is clustered,
+				// or plain strings for near-unique groups — matching
+				// the writer's per-chunk choice — plus this group's
+				// share of the file-global dictionary.
+				w := FORWidth(uint64(zs[c].CodeMax - zs[c].CodeMin))
+				best := GDictChunkBytes(rows, w)
+				if ModelRLE {
+					if rle := GDictRLEChunkBytes(runCountIn(v, lo, hi), w); rle < best {
+						best = rle
 					}
 				}
-				for _, code := range v.Dict[lo:hi] {
+				var plain int64
+				codes := v.Flat().Dict
+				for _, code := range codes[lo:hi] {
 					plain += 4 + int64(len(v.DictVals[code]))
 				}
-				bs[c] = DictEncodedBytes(local, hi-lo)
-				if plain < bs[c] {
-					bs[c] = plain
+				if plain < best {
+					best = plain
 				}
+				bs[c] = best + dictShare[c]
 			case v.Kind == Str:
 				var b int64
 				for p := lo; p < hi; p++ {
@@ -397,10 +539,23 @@ func computeScanInfo(t *Table, groupRows int) *tableScanInfo {
 				}
 				bs[c] = b
 			default:
-				bs[c] = 8 * int64(hi-lo)
+				best := 8 * int64(rows)
+				if v.Kind == Int && ModelDelta {
+					if w := FORWidth(uint64(zs[c].IntMax) - uint64(zs[c].IntMin)); w < 8 {
+						if fb := DeltaChunkBytes(rows, w); fb < best {
+							best = fb
+						}
+					}
+				}
+				if ModelRLE {
+					if rle := RLEChunkBytes(runCountIn(v, lo, hi)); rle < best {
+						best = rle
+					}
+				}
+				bs[c] = best
 			}
 		}
-		info.rows = append(info.rows, hi-lo)
+		info.rows = append(info.rows, rows)
 		info.zones = append(info.zones, zs)
 		info.bytes = append(info.bytes, bs)
 	}

@@ -57,6 +57,10 @@ func TestZonePredicateUnknownColumnCannotPrune(t *testing.T) {
 }
 
 func TestTableSourceStats(t *testing.T) {
+	// Pin the plain cost model: these expectations are the unencoded
+	// widths (sequential keys would otherwise model as delta chunks).
+	defer func(r, d bool) { ModelRLE, ModelDelta = r, d }(ModelRLE, ModelDelta)
+	ModelRLE, ModelDelta = false, false
 	n := 3 * DefaultScanGroupRows / 2 // two virtual groups
 	keys := make([]int64, n)
 	tags := make([]string, n)
@@ -108,6 +112,8 @@ func TestTableSourceStats(t *testing.T) {
 }
 
 func TestScanSourceLogsStats(t *testing.T) {
+	defer func(r, d bool) { ModelRLE, ModelDelta = r, d }(ModelRLE, ModelDelta)
+	ModelRLE, ModelDelta = false, false
 	tb := NewTable("base", Schema{{Name: "k", Type: Int}},
 		IntsV([]int64{1, 2, 3}))
 	e := &Exec{}

@@ -159,7 +159,7 @@ func q1(e *relal.Exec, db *DB) *relal.Table {
 	li := scan(e, db, "lineitem",
 		[]string{"l_shipdate", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus"},
 		relal.StrAtMost("l_shipdate", "1998-09-02"))
-	f := e.Filter(li, li.StrCol("l_shipdate").Le("1998-09-02"))
+	f := e.Where(li, li.StrCol("l_shipdate").Le("1998-09-02"))
 	f = discPrice(e, f, "disc_price")
 	dp := f.FloatCol("disc_price")
 	tax := f.FloatCol("l_tax")
@@ -191,7 +191,7 @@ func q2(e *relal.Exec, db *DB) *relal.Table {
 	})
 	rt := scan(e, db, "region", []string{"r_regionkey", "r_name"},
 		relal.StrEq("r_name", "EUROPE"))
-	region := e.Filter(rt, rt.StrCol("r_name").Eq("EUROPE"))
+	region := e.Where(rt, rt.StrCol("r_name").Eq("EUROPE"))
 	nation := e.Join(scan(e, db, "nation", []string{"n_nationkey", "n_name", "n_regionkey"}), region, "n_regionkey", "r_regionkey")
 	supp := e.Join(scan(e, db, "supplier",
 		[]string{"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"}), nation, "s_nationkey", "n_nationkey")
@@ -226,15 +226,15 @@ func q2(e *relal.Exec, db *DB) *relal.Table {
 func q3(e *relal.Exec, db *DB) *relal.Table {
 	ct := scan(e, db, "customer", []string{"c_custkey", "c_mktsegment"},
 		relal.StrEq("c_mktsegment", "BUILDING"))
-	cust := e.Filter(ct, ct.StrCol("c_mktsegment").Eq("BUILDING"))
+	cust := e.Where(ct, ct.StrCol("c_mktsegment").Eq("BUILDING"))
 	ot := scan(e, db, "orders",
 		[]string{"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"},
 		relal.StrAtMost("o_orderdate", "1995-03-15"))
-	ord := e.Filter(ot, ot.StrCol("o_orderdate").Lt("1995-03-15"))
+	ord := e.Where(ot, ot.StrCol("o_orderdate").Lt("1995-03-15"))
 	lt := scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"},
 		relal.StrAtLeast("l_shipdate", "1995-03-15"))
-	li := e.Filter(lt, lt.StrCol("l_shipdate").Gt("1995-03-15"))
+	li := e.Where(lt, lt.StrCol("l_shipdate").Gt("1995-03-15"))
 	co := e.Join(ord, cust, "o_custkey", "c_custkey")
 	col := e.Join(li, co, "l_orderkey", "o_orderkey")
 	col = discPrice(e, col, "revenue_item")
@@ -252,7 +252,7 @@ func q4(e *relal.Exec, db *DB) *relal.Table {
 	ot := scan(e, db, "orders",
 		[]string{"o_orderkey", "o_orderdate", "o_orderpriority"},
 		relal.StrBetween("o_orderdate", "1993-07-01", "1993-10-01"))
-	ord := e.Filter(ot, ot.StrCol("o_orderdate").Range("1993-07-01", "1993-10-01"))
+	ord := e.Where(ot, ot.StrCol("o_orderdate").Range("1993-07-01", "1993-10-01"))
 	lt := scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_commitdate", "l_receiptdate"})
 	cdate := lt.StrCol("l_commitdate")
@@ -272,14 +272,14 @@ func q4(e *relal.Exec, db *DB) *relal.Table {
 func q5(e *relal.Exec, db *DB) *relal.Table {
 	rt := scan(e, db, "region", []string{"r_regionkey", "r_name"},
 		relal.StrEq("r_name", "ASIA"))
-	region := e.Filter(rt, rt.StrCol("r_name").Eq("ASIA"))
+	region := e.Where(rt, rt.StrCol("r_name").Eq("ASIA"))
 	nr := e.Join(scan(e, db, "nation", []string{"n_nationkey", "n_name", "n_regionkey"}), region, "n_regionkey", "r_regionkey")
 	snr := e.Join(scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), nr, "s_nationkey", "n_nationkey")
 	lsnr := e.Join(scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"}), snr, "l_suppkey", "s_suppkey")
 	ot := scan(e, db, "orders", []string{"o_orderkey", "o_custkey", "o_orderdate"},
 		relal.StrBetween("o_orderdate", "1994-01-01", "1995-01-01"))
-	ord := e.Filter(ot, ot.StrCol("o_orderdate").Range("1994-01-01", "1995-01-01"))
+	ord := e.Where(ot, ot.StrCol("o_orderdate").Range("1994-01-01", "1995-01-01"))
 	lo := e.Join(lsnr, ord, "l_orderkey", "o_orderkey")
 	// Customer must be in the same nation as the supplier.
 	loc := e.Join(lo, scan(e, db, "customer", []string{"c_custkey", "c_nationkey"}), "o_custkey", "c_custkey")
@@ -302,15 +302,11 @@ func q6(e *relal.Exec, db *DB) *relal.Table {
 		relal.StrBetween("l_shipdate", "1994-01-01", "1995-01-01"),
 		relal.FloatBetween("l_discount", 0.05-1e-9, 0.07+1e-9),
 		relal.FloatAtMost("l_quantity", 24))
-	inYear := li.StrCol("l_shipdate").Range("1994-01-01", "1995-01-01")
-	disc := li.FloatCol("l_discount")
-	qty := li.FloatCol("l_quantity")
-	f := e.Filter(li, func(i int) bool {
-		dc := disc.Get(i)
-		return inYear(i) &&
-			dc >= 0.05-1e-9 && dc <= 0.07+1e-9 &&
-			qty.Get(i) < 24
-	})
+	f := e.Where(li,
+		li.StrCol("l_shipdate").Range("1994-01-01", "1995-01-01"),
+		li.FloatCol("l_discount").Between(0.05-1e-9, 0.07+1e-9),
+		li.FloatCol("l_quantity").Lt(24),
+	)
 	ep := f.FloatCol("l_extendedprice")
 	fdc := f.FloatCol("l_discount")
 	f = e.ExtendFloat(f, "rev", func(i int) float64 {
@@ -324,7 +320,7 @@ func q7(e *relal.Exec, db *DB) *relal.Table {
 	lt := scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"},
 		relal.StrBetween("l_shipdate", "1995-01-01", "1996-12-31"))
-	li := e.Filter(lt, lt.StrCol("l_shipdate").Between("1995-01-01", "1996-12-31"))
+	li := e.Where(lt, lt.StrCol("l_shipdate").Between("1995-01-01", "1996-12-31"))
 	ls := e.Join(li, scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), "l_suppkey", "s_suppkey")
 	lso := e.Join(ls, scan(e, db, "orders", []string{"o_orderkey", "o_custkey"}), "l_orderkey", "o_orderkey")
 	lsoc := e.Join(lso, scan(e, db, "customer", []string{"c_custkey", "c_nationkey"}), "o_custkey", "c_custkey")
@@ -364,19 +360,19 @@ func q7(e *relal.Exec, db *DB) *relal.Table {
 func q8(e *relal.Exec, db *DB) *relal.Table {
 	pt := scan(e, db, "part", []string{"p_partkey", "p_type"},
 		relal.StrEq("p_type", "ECONOMY ANODIZED STEEL"))
-	part := e.Filter(pt, pt.StrCol("p_type").Eq("ECONOMY ANODIZED STEEL"))
+	part := e.Where(pt, pt.StrCol("p_type").Eq("ECONOMY ANODIZED STEEL"))
 	lp := e.Join(scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"}), part, "l_partkey", "p_partkey")
 	lps := e.Join(lp, scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), "l_suppkey", "s_suppkey")
 	ot := scan(e, db, "orders", []string{"o_orderkey", "o_custkey", "o_orderdate"},
 		relal.StrBetween("o_orderdate", "1995-01-01", "1996-12-31"))
-	ord := e.Filter(ot, ot.StrCol("o_orderdate").Between("1995-01-01", "1996-12-31"))
+	ord := e.Where(ot, ot.StrCol("o_orderdate").Between("1995-01-01", "1996-12-31"))
 	lpso := e.Join(lps, ord, "l_orderkey", "o_orderkey")
 	lpsoc := e.Join(lpso, scan(e, db, "customer", []string{"c_custkey", "c_nationkey"}), "o_custkey", "c_custkey")
 	// Customer nation must be in AMERICA.
 	rt := scan(e, db, "region", []string{"r_regionkey", "r_name"},
 		relal.StrEq("r_name", "AMERICA"))
-	region := e.Filter(rt, rt.StrCol("r_name").Eq("AMERICA"))
+	region := e.Where(rt, rt.StrCol("r_name").Eq("AMERICA"))
 	nr := e.Join(scan(e, db, "nation", []string{"n_nationkey", "n_regionkey"}), region, "n_regionkey", "r_regionkey")
 	custAm := e.Join(lpsoc, nr, "c_nationkey", "n_nationkey")
 	// Supplier nation name (shares the nation table's vectors).
@@ -392,7 +388,7 @@ func q8(e *relal.Exec, db *DB) *relal.Table {
 	isBrazil := all.StrCol("supp_nation").Eq("BRAZIL")
 	avol := all.FloatCol("volume")
 	all = e.ExtendFloat(all, "brazil_volume", func(i int) float64 {
-		if isBrazil(i) {
+		if isBrazil.At(i) {
 			return avol.Get(i)
 		}
 		return 0.0
@@ -452,11 +448,11 @@ func q9(e *relal.Exec, db *DB) *relal.Table {
 func q10(e *relal.Exec, db *DB) *relal.Table {
 	ot := scan(e, db, "orders", []string{"o_orderkey", "o_custkey", "o_orderdate"},
 		relal.StrBetween("o_orderdate", "1993-10-01", "1994-01-01"))
-	ord := e.Filter(ot, ot.StrCol("o_orderdate").Range("1993-10-01", "1994-01-01"))
+	ord := e.Where(ot, ot.StrCol("o_orderdate").Range("1993-10-01", "1994-01-01"))
 	lt := scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"},
 		relal.StrEq("l_returnflag", "R"))
-	li := e.Filter(lt, lt.StrCol("l_returnflag").Eq("R"))
+	li := e.Where(lt, lt.StrCol("l_returnflag").Eq("R"))
 	lo := e.Join(li, ord, "l_orderkey", "o_orderkey")
 	loc := e.Join(lo, scan(e, db, "customer",
 		[]string{"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_comment"}), "o_custkey", "c_custkey")
@@ -472,7 +468,7 @@ func q10(e *relal.Exec, db *DB) *relal.Table {
 func q11(e *relal.Exec, db *DB) *relal.Table {
 	nt := scan(e, db, "nation", []string{"n_nationkey", "n_name"},
 		relal.StrEq("n_name", "GERMANY"))
-	nation := e.Filter(nt, nt.StrCol("n_name").Eq("GERMANY"))
+	nation := e.Where(nt, nt.StrCol("n_name").Eq("GERMANY"))
 	sn := e.Join(scan(e, db, "supplier", []string{"s_suppkey", "s_nationkey"}), nation, "s_nationkey", "n_nationkey")
 	ps := e.Join(scan(e, db, "partsupp",
 		[]string{"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"}), sn, "ps_suppkey", "s_suppkey")
@@ -501,22 +497,21 @@ func q12(e *relal.Exec, db *DB) *relal.Table {
 	lt := scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipmode"},
 		relal.StrBetween("l_receiptdate", "1994-01-01", "1995-01-01"))
-	wantMode := lt.StrCol("l_shipmode").In("MAIL", "SHIP")
-	inYear := lt.StrCol("l_receiptdate").Range("1994-01-01", "1995-01-01")
 	commit := lt.StrCol("l_commitdate")
 	receipt := lt.StrCol("l_receiptdate")
 	ship := lt.StrCol("l_shipdate")
-	li := e.Filter(lt, func(i int) bool {
-		if !wantMode(i) {
-			return false
-		}
-		c := commit.Get(i)
-		return c < receipt.Get(i) && ship.Get(i) < c && inYear(i)
-	})
+	li := e.Where(lt,
+		lt.StrCol("l_shipmode").In("MAIL", "SHIP"),
+		lt.StrCol("l_receiptdate").Range("1994-01-01", "1995-01-01"),
+		relal.PredFn(func(i int) bool {
+			c := commit.Get(i)
+			return c < receipt.Get(i) && ship.Get(i) < c
+		}),
+	)
 	lo := e.Join(li, scan(e, db, "orders", []string{"o_orderkey", "o_orderpriority"}), "l_orderkey", "o_orderkey")
 	isHigh := lo.StrCol("o_orderpriority").In("1-URGENT", "2-HIGH")
 	lo = e.ExtendInt(lo, "high_line", func(i int) int64 {
-		if isHigh(i) {
+		if isHigh.At(i) {
 			return 1
 		}
 		return 0
@@ -584,7 +579,7 @@ func q14(e *relal.Exec, db *DB) *relal.Table {
 	lt := scan(e, db, "lineitem",
 		[]string{"l_partkey", "l_extendedprice", "l_discount", "l_shipdate"},
 		relal.StrBetween("l_shipdate", "1995-09-01", "1995-10-01"))
-	li := e.Filter(lt, lt.StrCol("l_shipdate").Range("1995-09-01", "1995-10-01"))
+	li := e.Where(lt, lt.StrCol("l_shipdate").Range("1995-09-01", "1995-10-01"))
 	lp := e.Join(li, scan(e, db, "part", []string{"p_partkey", "p_type"}), "l_partkey", "p_partkey")
 	lp = discPrice(e, lp, "rev")
 	// Prefix match as a code range: PROMO-typed parts are contiguous in
@@ -592,7 +587,7 @@ func q14(e *relal.Exec, db *DB) *relal.Table {
 	isPromo := lp.StrCol("p_type").HasPrefix("PROMO")
 	rev := lp.FloatCol("rev")
 	lp = e.ExtendFloat(lp, "promo_rev", func(i int) float64 {
-		if isPromo(i) {
+		if isPromo.At(i) {
 			return rev.Get(i)
 		}
 		return 0.0
@@ -617,7 +612,7 @@ func q15(e *relal.Exec, db *DB) *relal.Table {
 	lt := scan(e, db, "lineitem",
 		[]string{"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"},
 		relal.StrBetween("l_shipdate", "1996-01-01", "1996-04-01"))
-	li := e.Filter(lt, lt.StrCol("l_shipdate").Range("1996-01-01", "1996-04-01"))
+	li := e.Where(lt, lt.StrCol("l_shipdate").Range("1996-01-01", "1996-04-01"))
 	li = discPrice(e, li, "rev")
 	revenue := e.Aggregate(li, []string{"l_suppkey"}, []relal.AggSpec{
 		{Fn: "sum", Col: "rev", As: "total_revenue"},
@@ -642,12 +637,12 @@ func q16(e *relal.Exec, db *DB) *relal.Table {
 	sizes := map[int64]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}
 	pt := scan(e, db, "part", []string{"p_partkey", "p_brand", "p_type", "p_size"},
 		relal.IntBetween("p_size", 3, 49))
-	notBrand45 := pt.StrCol("p_brand").Ne("Brand#45")
-	isMedPolished := pt.StrCol("p_type").HasPrefix("MEDIUM POLISHED")
 	psize := pt.IntCol("p_size")
-	part := e.Filter(pt, func(i int) bool {
-		return notBrand45(i) && !isMedPolished(i) && sizes[psize.Get(i)]
-	})
+	part := e.Where(pt,
+		pt.StrCol("p_brand").Ne("Brand#45"),
+		relal.Not(pt.StrCol("p_type").HasPrefix("MEDIUM POLISHED")),
+		relal.PredFn(func(i int) bool { return sizes[psize.Get(i)] }),
+	)
 	st := scan(e, db, "supplier", []string{"s_suppkey", "s_comment"})
 	scomment := st.StrCol("s_comment")
 	complaints := e.Filter(st, func(i int) bool {
@@ -677,11 +672,10 @@ func q17(e *relal.Exec, db *DB) *relal.Table {
 	pt := scan(e, db, "part", []string{"p_partkey", "p_brand", "p_container"},
 		relal.StrEq("p_brand", "Brand#23"),
 		relal.StrEq("p_container", "MED BOX"))
-	wantBrand := pt.StrCol("p_brand").Eq("Brand#23")
-	wantContainer := pt.StrCol("p_container").Eq("MED BOX")
-	part := e.Filter(pt, func(i int) bool {
-		return wantBrand(i) && wantContainer(i)
-	})
+	part := e.Where(pt,
+		pt.StrCol("p_brand").Eq("Brand#23"),
+		pt.StrCol("p_container").Eq("MED BOX"),
+	)
 	lp := e.Join(scan(e, db, "lineitem",
 		[]string{"l_partkey", "l_quantity", "l_extendedprice"}), part, "l_partkey", "p_partkey")
 	avgQty := e.Aggregate(lp, []string{"p_partkey"}, []relal.AggSpec{
@@ -746,22 +740,19 @@ func q19(e *relal.Exec, db *DB) *relal.Table {
 	wantInstr := lp.StrCol("l_shipinstruct").Eq("DELIVER IN PERSON")
 	qty := lp.FloatCol("l_quantity")
 	size := lp.IntCol("p_size")
-	f := e.Filter(lp, func(i int) bool {
-		if !wantMode(i) || !wantInstr(i) {
-			return false
-		}
+	f := e.Where(lp, wantMode, wantInstr, relal.PredFn(func(i int) bool {
 		q := qty.Get(i)
 		sz := size.Get(i)
 		switch {
-		case b12(i) && cSM(i) && q >= 1 && q <= 11 && sz >= 1 && sz <= 5:
+		case b12.At(i) && cSM.At(i) && q >= 1 && q <= 11 && sz >= 1 && sz <= 5:
 			return true
-		case b23(i) && cMED(i) && q >= 10 && q <= 20 && sz >= 1 && sz <= 10:
+		case b23.At(i) && cMED.At(i) && q >= 10 && q <= 20 && sz >= 1 && sz <= 10:
 			return true
-		case b34(i) && cLG(i) && q >= 20 && q <= 30 && sz >= 1 && sz <= 15:
+		case b34.At(i) && cLG.At(i) && q >= 20 && q <= 30 && sz >= 1 && sz <= 15:
 			return true
 		}
 		return false
-	})
+	}))
 	f = discPrice(e, f, "rev")
 	return e.Aggregate(f, nil, []relal.AggSpec{{Fn: "sum", Col: "rev", As: "revenue"}})
 }
@@ -769,11 +760,11 @@ func q19(e *relal.Exec, db *DB) *relal.Table {
 // q20: suppliers with surplus forest parts in CANADA.
 func q20(e *relal.Exec, db *DB) *relal.Table {
 	pt := scan(e, db, "part", []string{"p_partkey", "p_name"})
-	part := e.Filter(pt, pt.StrCol("p_name").HasPrefix("forest"))
+	part := e.Where(pt, pt.StrCol("p_name").HasPrefix("forest"))
 	lt := scan(e, db, "lineitem",
 		[]string{"l_partkey", "l_suppkey", "l_quantity", "l_shipdate"},
 		relal.StrBetween("l_shipdate", "1994-01-01", "1995-01-01"))
-	li := e.Filter(lt, lt.StrCol("l_shipdate").Range("1994-01-01", "1995-01-01"))
+	li := e.Where(lt, lt.StrCol("l_shipdate").Range("1994-01-01", "1995-01-01"))
 	shipped := e.Aggregate(li, []string{"l_partkey", "l_suppkey"}, []relal.AggSpec{
 		{Fn: "sum", Col: "l_quantity", As: "sum_qty"},
 	})
@@ -794,7 +785,7 @@ func q20(e *relal.Exec, db *DB) *relal.Table {
 	})
 	nt := scan(e, db, "nation", []string{"n_nationkey", "n_name"},
 		relal.StrEq("n_name", "CANADA"))
-	nation := e.Filter(nt, nt.StrCol("n_name").Eq("CANADA"))
+	nation := e.Where(nt, nt.StrCol("n_name").Eq("CANADA"))
 	supp := e.Join(scan(e, db, "supplier",
 		[]string{"s_suppkey", "s_name", "s_address", "s_nationkey"}), nation, "s_nationkey", "n_nationkey")
 	final := e.SemiJoin(supp, surplus, "s_suppkey", "ps_suppkey")
@@ -832,7 +823,7 @@ func q21(e *relal.Exec, db *DB) *relal.Table {
 	// and exactly one late supplier (this one), on F orders.
 	ot := scan(e, db, "orders", []string{"o_orderkey", "o_orderstatus"},
 		relal.StrEq("o_orderstatus", "F"))
-	ord := e.Filter(ot, ot.StrCol("o_orderstatus").Eq("F"))
+	ord := e.Where(ot, ot.StrCol("o_orderstatus").Eq("F"))
 	lko := late.IntCol("l_orderkey")
 	lateRows := e.Filter(late, func(i int) bool {
 		ok := lko.Get(i)
@@ -843,7 +834,7 @@ func q21(e *relal.Exec, db *DB) *relal.Table {
 		[]string{"s_suppkey", "s_name", "s_nationkey"}), "l_suppkey", "s_suppkey")
 	nt := scan(e, db, "nation", []string{"n_nationkey", "n_name"},
 		relal.StrEq("n_name", "SAUDI ARABIA"))
-	nation := e.Filter(nt, nt.StrCol("n_name").Eq("SAUDI ARABIA"))
+	nation := e.Where(nt, nt.StrCol("n_name").Eq("SAUDI ARABIA"))
 	lsn := e.Join(ls, nation, "s_nationkey", "n_nationkey")
 	// One row per (order, supplier) — dedup before counting.
 	dedup := e.Aggregate(lsn, []string{"s_name", "l_orderkey"}, []relal.AggSpec{
