@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race streams fuzz-smoke vet fmt-check check bench bench-paper
+.PHONY: all build test race streams htap fuzz-smoke vet fmt-check check bench bench-paper
 
 all: check
 
@@ -19,19 +19,26 @@ race:
 
 # Concurrent-stream golden tests (including the cache golden matrix and
 # shared-scheduler suites) + differential parallel-join/sort/dict and
-# chunk-encoding suites under the race detector (CI's `streams` job).
+# chunk-encoding suites + the HTAP delta-pipeline and wal/delta-log
+# concurrency suites under the race detector (CI's `streams` job).
 streams:
-	$(GO) test -race -run 'Stream|JoinParallel|SortParallel|TopK|Dict|Cache|Sched|Epoch|Encoding' ./...
+	$(GO) test -race -run 'Stream|JoinParallel|SortParallel|TopK|Dict|Cache|Sched|Epoch|Encoding|Htap|Delta|Wal' ./...
+
+# The combined HTAP harness: concurrent write + analytical streams with
+# quiesced answers pinned to the golden snapshot, under -race.
+htap:
+	$(GO) test -race -run 'Htap' ./internal/htap/ -v
 
 # Short fuzz runs over the join key-partitioning, sort/top-K, RCF4
-# dict-chunk and RLE/delta-chunk round-trips, and chunk-cache
-# key/eviction paths.
+# dict-chunk and RLE/delta-chunk round-trips, chunk-cache key/eviction
+# paths, and the delta-log crash-recovery replay.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzJoinKeys -fuzztime 15s ./internal/relal/
 	$(GO) test -run xxx -fuzz FuzzSortKeys -fuzztime 15s ./internal/relal/
 	$(GO) test -run xxx -fuzz FuzzDictRoundTrip -fuzztime 15s ./internal/rcfile/
 	$(GO) test -run xxx -fuzz FuzzRLEDelta -fuzztime 15s ./internal/rcfile/
 	$(GO) test -run xxx -fuzz FuzzChunkCache -fuzztime 15s ./internal/rcfile/
+	$(GO) test -run xxx -fuzz FuzzDeltaReplay -fuzztime 15s ./internal/delta/
 
 vet:
 	$(GO) vet ./...

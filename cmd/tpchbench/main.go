@@ -9,11 +9,19 @@
 // DB and the aggregate throughput is reported (JSON with -stream-json,
 // which scripts/bench.sh embeds in BENCH_PR3.json).
 //
+// With -htap it runs the combined HTAP harness: closed-loop write
+// clients replay held-back rows through the delta-log write path while
+// the analytical streams run, and the report covers write ops/sec,
+// analytical QPS, and freshness lag (JSON with -htap-json, which
+// scripts/bench.sh embeds in BENCH_PR8.json).
+//
 // Usage:
 //
 //	tpchbench [-laptop-sf 0.002] [-sf 250,1000,4000,16000] [-queries 1,5,19] [-workers N]
 //	tpchbench -streams N [-stream-rounds R] [-stream-json] [-laptop-sf 0.01] [-workers N]
 //	          [-stream-rcfile] [-cache-mb M] [-no-result-cache] [-no-chunk-cache]
+//	tpchbench -htap [-writers N] [-target-ops R] [-hold-frac F] [-streams N]
+//	          [-stream-rounds R] [-stream-rcfile] [-htap-json]
 package main
 
 import (
@@ -44,6 +52,12 @@ func main() {
 	noDict := flag.Bool("no-dict", false, "disable dictionary encoding of low-cardinality string columns (answers identical; kernels compare strings instead of codes)")
 	noRLE := flag.Bool("no-rle", false, "disable run-length chunk encoding in RCFiles and the scan model (answers identical)")
 	noDelta := flag.Bool("no-delta", false, "disable delta/frame-of-reference chunk encoding in RCFiles and the scan model (answers identical)")
+	htapRun := flag.Bool("htap", false, "run the combined HTAP harness (write stream + analytical streams over one store)")
+	htapJSON := flag.Bool("htap-json", false, "emit the HTAP result as JSON (for bench.sh)")
+	writers := flag.Int("writers", 4, "closed-loop write clients (with -htap)")
+	targetOps := flag.Float64("target-ops", 0, "aggregate write throughput target in ops/sec, 0 = unthrottled (with -htap)")
+	holdFrac := flag.Float64("hold-frac", 0.02, "fraction of orders+lineitem rows held back and replayed as writes (with -htap)")
+	convertRows := flag.Int("convert-rows", 256, "delta-tail size at which the background converter encodes a columnar part (with -htap)")
 	flag.Parse()
 
 	if *noTopK {
@@ -58,6 +72,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tpchbench:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *htapRun {
+		runHTAP(core.HTAPConfig{
+			LaptopSF: *laptopSF, Seed: *seed, HoldFrac: *holdFrac,
+			Writers: *writers, TargetOps: *targetOps,
+			Streams: *streams, Rounds: *streamRounds, Workers: *workers,
+			Queries: qids, NoDict: *noDict, NoRLE: *noRLE, NoDelta: *noDelta,
+			RCFile: *streamRCFile, CacheMB: *cacheMB,
+			NoResultCache: *noResultCache, NoChunkCache: *noChunkCache,
+			ConvertRows: *convertRows,
+		}, *htapJSON)
+		return
 	}
 
 	if *streams > 0 {
@@ -90,6 +117,44 @@ func main() {
 	res.WriteTable5(os.Stdout)
 	fmt.Println()
 	res.WriteFigure1(os.Stdout)
+}
+
+// runHTAP executes the combined HTAP harness and prints either a human
+// summary or the JSON blob bench.sh embeds.
+func runHTAP(cfg core.HTAPConfig, asJSON bool) {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 2
+	}
+	if cfg.LaptopSF <= 0.002 {
+		cfg.LaptopSF = 0.01
+	}
+	res, err := core.RunHTAP(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpchbench:", err)
+		os.Exit(1)
+	}
+	w, a, f := res.Harness.Write, res.Harness.Analytic, res.Harness.Freshness
+	if asJSON {
+		fmt.Printf("{\"writers\": %d, \"held_rows\": %d, \"write_ops\": %d, \"write_errors\": %d, \"write_ops_per_sec\": %.1f, \"write_latency_ms\": {\"mean\": %.4f, \"stderr\": %.4f}",
+			cfg.Writers, res.Held, w.Ops, w.Errors, w.OpsPerSec, w.Latency.Mean, w.Latency.StdErr)
+		fmt.Printf(", \"streams\": %d, \"rounds\": %d, \"queries\": %d, \"qps\": %.2f, \"result_cache_hits\": %d",
+			a.Streams, a.Rounds, a.Queries, a.QPS, a.ResultCacheHits)
+		fmt.Printf(", \"freshness\": {\"max_lag_records\": %d, \"mean_lag_records\": %.1f, \"final_lag_records\": %d, \"samples\": %d, \"converts\": %d, \"converted_records\": %d, \"flushes\": %d}",
+			f.MaxLagRecords, f.MeanLagRecords, f.FinalLagRecords, f.Samples, f.Converts, f.ConvertedRecords, f.Flushes)
+		fmt.Printf(", \"final\": {\"committed\": %d, \"converted\": %d, \"lag\": %d}}\n",
+			res.Final.CommittedRecords, res.Final.ConvertedRecords, res.Final.LagRecords)
+		return
+	}
+	fmt.Printf("HTAP: %d write client(s) replaying %d held row(s) against %d analytical stream(s) x %d round(s)\n",
+		cfg.Writers, res.Held, a.Streams, a.Rounds)
+	fmt.Printf("  writes:    %d ops (%d errors) in %v  =>  %.0f ops/sec, latency %.3f ms/op (±%.3f)\n",
+		w.Ops, w.Errors, w.Elapsed, w.OpsPerSec, w.Latency.Mean, w.Latency.StdErr)
+	fmt.Printf("  analytics: %d queries in %v  =>  %.2f queries/sec (%d result-cache hits)\n",
+		a.Queries, a.Elapsed, a.QPS, a.ResultCacheHits)
+	fmt.Printf("  freshness: lag max %d / mean %.1f records over %d samples; %d background convert(s) covered %d records; %d group-commit flushes\n",
+		f.MaxLagRecords, f.MeanLagRecords, f.Samples, f.Converts, f.ConvertedRecords, f.Flushes)
+	fmt.Printf("  final:     %d committed, %d converted, lag %d (after quiesce + convert)\n",
+		res.Final.CommittedRecords, res.Final.ConvertedRecords, res.Final.LagRecords)
 }
 
 // runStreams executes the concurrent-stream harness and prints either a

@@ -1,0 +1,154 @@
+// The combined HTAP experiment: live YCSB-shaped write traffic feeds
+// the delta log while TPC-H streams replay over the same store — the
+// update-shipping pipeline measured on all three axes at once (write
+// ops/sec, analytical QPS, freshness lag).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"elephants/internal/htap"
+	"elephants/internal/rcfile"
+	"elephants/internal/tpch"
+)
+
+// HTAPConfig scopes one combined write + analytics run.
+type HTAPConfig struct {
+	// LaptopSF is the functional dataset scale (defaults 0.01).
+	LaptopSF float64
+	Seed     int64
+	// HoldFrac is the fraction of orders and lineitem rows held back
+	// from the base parts and replayed as live writes (0 = 0.02).
+	HoldFrac float64
+	// Writers is the number of closed-loop write clients (0 = 4).
+	Writers int
+	// TargetOps throttles aggregate write throughput (0 = unthrottled).
+	TargetOps float64
+	// Streams/Rounds/Workers/Queries parameterize the analytical side.
+	Streams, Rounds, Workers int
+	Queries                  []int
+	NoResultCache            bool
+	// RCFile encodes base and converted parts as RCF4 files; GroupRows,
+	// CacheMB, and NoChunkCache mirror TPCHStreamConfig.
+	RCFile       bool
+	GroupRows    int
+	CacheMB      int
+	NoChunkCache bool
+	// NoDict / NoRLE / NoDelta are the dataset and chunk encoding
+	// toggles, as everywhere else.
+	NoDict  bool
+	NoRLE   bool
+	NoDelta bool
+	// Window is the delta log's group-commit window (0 = delta default).
+	Window time.Duration
+	// ConvertRows / ConvertEvery parameterize the background converter.
+	ConvertRows  int
+	ConvertEvery time.Duration
+}
+
+// HTAPResult is one run's report plus the store's final accounting.
+type HTAPResult struct {
+	Config  HTAPConfig
+	Harness htap.HarnessResult
+	// Held is the number of rows replayed through the write path.
+	Held int
+	// Final is the store's state after quiesce + full conversion.
+	Final htap.Stats
+}
+
+// RunHTAP generates the dataset, holds back the tail of orders and
+// lineitem, and drives the combined harness with the background
+// converter running. Afterwards it quiesces and converts the remaining
+// tail, so Final reports zero lag and the store is fully columnar.
+func RunHTAP(cfg HTAPConfig) (HTAPResult, error) {
+	if cfg.LaptopSF <= 0 {
+		cfg.LaptopSF = 0.01
+	}
+	if cfg.HoldFrac <= 0 {
+		cfg.HoldFrac = 0.02
+	}
+	if cfg.Writers <= 0 {
+		cfg.Writers = 4
+	}
+	defer applyEncodingModel(cfg.NoRLE, cfg.NoDelta)()
+	db := tpch.Generate(tpch.GenConfig{SF: cfg.LaptopSF, Seed: cfg.Seed, Random64: true, NoDict: cfg.NoDict})
+
+	var cache *rcfile.ChunkCache
+	if cfg.RCFile && !cfg.NoChunkCache {
+		cacheMB := cfg.CacheMB
+		if cacheMB <= 0 {
+			cacheMB = 64
+		}
+		cache = rcfile.NewChunkCache(int64(cacheMB) << 20)
+	}
+	groupRows := cfg.GroupRows
+	if groupRows <= 0 {
+		groupRows = 4096
+	}
+
+	hold := make(map[string]int, 2)
+	for _, name := range []string{"orders", "lineitem"} {
+		n := db.Table(name).NumRows()
+		k := int(float64(n) * cfg.HoldFrac)
+		if k < 1 {
+			k = 1
+		}
+		hold[name] = k
+	}
+
+	store, err := htap.New(db, hold, htap.Config{
+		Window:       cfg.Window,
+		RCFile:       cfg.RCFile,
+		GroupRows:    groupRows,
+		WriterOpts:   rcfile.WriterOpts{NoRLE: cfg.NoRLE, NoDelta: cfg.NoDelta},
+		Cache:        cache,
+		ConvertRows:  cfg.ConvertRows,
+		ConvertEvery: cfg.ConvertEvery,
+	})
+	if err != nil {
+		return HTAPResult{}, err
+	}
+	if cfg.RCFile {
+		// Non-held tables scan through RCFile too, as RunTPCHStreams does.
+		for _, name := range tpch.TableNames {
+			if _, held := hold[name]; held {
+				continue
+			}
+			src, err := rcfile.NewSourceOpts(db.Table(name), groupRows,
+				rcfile.WriterOpts{NoRLE: cfg.NoRLE, NoDelta: cfg.NoDelta})
+			if err != nil {
+				return HTAPResult{}, fmt.Errorf("encode %s: %w", name, err)
+			}
+			src.SetCache(cache)
+			db.SetSource(name, src)
+		}
+	}
+
+	store.StartConverter()
+	res, err := htap.Run(store, db, htap.HarnessConfig{
+		Writers:       cfg.Writers,
+		TargetOps:     cfg.TargetOps,
+		Streams:       cfg.Streams,
+		Rounds:        cfg.Rounds,
+		Workers:       cfg.Workers,
+		Queries:       cfg.Queries,
+		NoResultCache: cfg.NoResultCache,
+	})
+	store.StopConverter()
+	if err != nil {
+		return HTAPResult{}, err
+	}
+	if err := store.Quiesce(); err != nil {
+		return HTAPResult{}, err
+	}
+	if err := store.ConvertAll(); err != nil {
+		return HTAPResult{}, err
+	}
+	return HTAPResult{
+		Config:  cfg,
+		Harness: res,
+		Held:    len(store.HeldRecords()),
+		Final:   store.StatsNow(),
+	}, nil
+}

@@ -1,0 +1,306 @@
+// Package delta is the host-time delta log of the HTAP pipeline: the
+// OLTP write path appends typed records (one per document write) and
+// blocks until they are committed; commits are group committed — every
+// append staged within one flush window rides a single flush, the
+// shape internal/wal models in virtual time. A commit hook hands each
+// committed batch to the store layer (which publishes it to analytical
+// scans), and the durable byte stream replays after a crash to exactly
+// the committed prefix: records are length-framed and checksummed, so
+// Replay stops at the first torn frame.
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is a delta cell type, mirroring relal's column types without
+// importing the package (the log sits below the engine).
+type Kind uint8
+
+// Cell kinds.
+const (
+	Int Kind = iota
+	Float
+	Str
+)
+
+// Value is one typed cell. Exactly the field matching Kind is set;
+// keeping the variants unboxed means a record never allocates per cell
+// on the append path.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// IntVal, FloatVal, and StrVal build cells.
+func IntVal(x int64) Value     { return Value{Kind: Int, Int: x} }
+func FloatVal(x float64) Value { return Value{Kind: Float, Float: x} }
+func StrVal(s string) Value    { return Value{Kind: Str, Str: s} }
+
+// Record is one logical write: a row destined for a named table. Pos is
+// the row's position within its table's write stream, stamped by the
+// producer; commit order interleaves tables and writers arbitrarily, so
+// the apply side uses Pos to restore per-table row order (the property
+// the golden snapshots pin).
+type Record struct {
+	Table string
+	Pos   int64
+	Cells []Value
+}
+
+// Encode appends the record's framed wire form to buf: a uint32 payload
+// length, the payload, and a CRC32 of the payload. A torn tail (crash
+// mid-write) is detected by either a short frame or a checksum
+// mismatch, so replay recovers exactly the committed prefix.
+func Encode(buf []byte, r Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	buf = appendString(buf, r.Table)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Pos))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Cells)))
+	for _, c := range r.Cells {
+		buf = append(buf, byte(c.Kind))
+		switch c.Kind {
+		case Int:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Int))
+		case Float:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Float))
+		case Str:
+			buf = appendString(buf, c.Str)
+		default:
+			panic(fmt.Sprintf("delta: unknown cell kind %d", c.Kind))
+		}
+	}
+	payload := buf[start+4:]
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(payload)))
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// decodeRecord parses one payload (the bytes between the length prefix
+// and the checksum).
+func decodeRecord(p []byte) (Record, error) {
+	var r Record
+	var ok bool
+	if r.Table, p, ok = readString(p); !ok {
+		return r, fmt.Errorf("delta: truncated table name")
+	}
+	if len(p) < 12 {
+		return r, fmt.Errorf("delta: truncated record header")
+	}
+	r.Pos = int64(binary.LittleEndian.Uint64(p))
+	n := int(binary.LittleEndian.Uint32(p[8:]))
+	p = p[12:]
+	r.Cells = make([]Value, 0, n)
+	for i := 0; i < n; i++ {
+		if len(p) < 1 {
+			return r, fmt.Errorf("delta: truncated cell %d", i)
+		}
+		kind := Kind(p[0])
+		p = p[1:]
+		var v Value
+		v.Kind = kind
+		switch kind {
+		case Int:
+			if len(p) < 8 {
+				return r, fmt.Errorf("delta: truncated int cell")
+			}
+			v.Int = int64(binary.LittleEndian.Uint64(p))
+			p = p[8:]
+		case Float:
+			if len(p) < 8 {
+				return r, fmt.Errorf("delta: truncated float cell")
+			}
+			v.Float = math.Float64frombits(binary.LittleEndian.Uint64(p))
+			p = p[8:]
+		case Str:
+			if v.Str, p, ok = readString(p); !ok {
+				return r, fmt.Errorf("delta: truncated str cell")
+			}
+		default:
+			return r, fmt.Errorf("delta: unknown cell kind %d", kind)
+		}
+		r.Cells = append(r.Cells, v)
+	}
+	if len(p) != 0 {
+		return r, fmt.Errorf("delta: %d trailing payload bytes", len(p))
+	}
+	return r, nil
+}
+
+func readString(p []byte) (string, []byte, bool) {
+	if len(p) < 4 {
+		return "", nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if n < 0 || len(p)-4 < n {
+		return "", nil, false
+	}
+	return string(p[4 : 4+n]), p[4+n:], true
+}
+
+// Replay decodes the longest valid record prefix of data — the crash
+// recovery path. A frame that is short, fails its checksum, or does not
+// parse ends the replay (everything after a torn write is garbage);
+// valid records before it are returned along with the byte length of
+// the consumed prefix.
+func Replay(data []byte) ([]Record, int) {
+	var recs []Record
+	pos := 0
+	for {
+		rest := data[pos:]
+		if len(rest) < 4 {
+			return recs, pos
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		if n < 0 || len(rest) < 4+n+4 {
+			return recs, pos
+		}
+		payload := rest[4 : 4+n]
+		sum := binary.LittleEndian.Uint32(rest[4+n:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, pos
+		}
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return recs, pos
+		}
+		recs = append(recs, r)
+		pos += 4 + n + 4
+	}
+}
+
+// generation is one open flush window. The leader closes done when the
+// window's records are durable, releasing every rider.
+type generation struct {
+	done chan struct{}
+}
+
+// Log is the group-committed delta log. Appenders block until their
+// record is committed; all records staged within one window share one
+// flush. The zero value is not usable — construct with NewLog.
+type Log struct {
+	window   time.Duration
+	onCommit func(batch []Record, fromSeq, toSeq int64)
+
+	mu         sync.Mutex
+	durable    []byte // committed wire bytes
+	staged     []byte // wire bytes of the open window
+	stagedRecs []Record
+	gen        *generation
+	appended   int64 // records staged, ever
+
+	committed atomic.Int64 // records committed (durable), ever
+	flushes   atomic.Int64
+}
+
+// DefaultWindow is the default group-commit window. Small enough that
+// write latency stays sub-millisecond, large enough that concurrent
+// writers actually share flushes.
+const DefaultWindow = 200 * time.Microsecond
+
+// NewLog returns a delta log with the given flush window (0 means
+// DefaultWindow; negative means flush immediately, which unit tests use
+// for determinism). onCommit, when non-nil, is invoked once per flush
+// with the committed batch and its (exclusive-from, inclusive-to]
+// sequence range. It runs with the log's mutex held — commits are
+// published in order, exactly once — so it must be fast and must not
+// call back into the Log.
+func NewLog(window time.Duration, onCommit func(batch []Record, fromSeq, toSeq int64)) *Log {
+	if window == 0 {
+		window = DefaultWindow
+	}
+	if window < 0 {
+		window = 0
+	}
+	return &Log{window: window, onCommit: onCommit}
+}
+
+// Append stages the record and blocks until the flush carrying it
+// completes. The first appender of a window is the leader: it waits out
+// the window (batching every rider that arrives meanwhile), appends the
+// staged bytes to the durable log, advances the committed watermark,
+// and publishes the batch. Returns the record's commit sequence number
+// (1-based).
+func (l *Log) Append(r Record) int64 {
+	l.mu.Lock()
+	l.staged = Encode(l.staged, r)
+	l.stagedRecs = append(l.stagedRecs, r)
+	l.appended++
+	seq := l.appended
+	if l.gen != nil {
+		// Rider: the open window's leader will commit this record.
+		g := l.gen
+		l.mu.Unlock()
+		<-g.done
+		return seq
+	}
+	g := &generation{done: make(chan struct{})}
+	l.gen = g
+	l.mu.Unlock()
+
+	if l.window > 0 {
+		time.Sleep(l.window)
+	}
+
+	l.mu.Lock()
+	batch := l.stagedRecs
+	from := l.committed.Load()
+	l.durable = append(l.durable, l.staged...)
+	l.staged = nil
+	l.stagedRecs = nil
+	l.gen = nil
+	to := from + int64(len(batch))
+	l.committed.Store(to)
+	l.flushes.Add(1)
+	if l.onCommit != nil {
+		l.onCommit(batch, from, to)
+	}
+	l.mu.Unlock()
+	close(g.done)
+	return seq
+}
+
+// CommittedSeq returns the number of committed records. Safe from any
+// goroutine.
+func (l *Log) CommittedSeq() int64 { return l.committed.Load() }
+
+// Stats reports committed records and physical flushes.
+func (l *Log) Stats() (appends, flushes int64) { return l.committed.Load(), l.flushes.Load() }
+
+// Data returns a copy of the durable byte stream — what would survive a
+// crash. Replay(Data()) yields exactly the committed records in commit
+// order.
+func (l *Log) Data() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]byte, len(l.durable))
+	copy(out, l.durable)
+	return out
+}
+
+// Quiesce blocks until no flush window is open. With all writers
+// stopped, the log is fully committed afterwards.
+func (l *Log) Quiesce() {
+	for {
+		l.mu.Lock()
+		g := l.gen
+		l.mu.Unlock()
+		if g == nil {
+			return
+		}
+		<-g.done
+	}
+}

@@ -1,0 +1,521 @@
+// Package htap is the update-shipping pipeline that joins the two
+// halves of the paper: docstore-shaped OLTP writes append typed records
+// to a group-committed delta log (internal/delta), a background
+// converter drains committed deltas in batches and encodes them into
+// column-group parts via the existing RCF4 writer, and the relal engine
+// answers analytical queries over base + converted parts + the
+// unconverted delta tail with per-scan snapshot semantics — the
+// Polynesia-style columnar replica fed by live write traffic.
+//
+//	writers ──AppendBSON──▶ delta.Log ──commit──▶ tail view ──converter──▶ RCF4 part
+//	                                       │                        │
+//	                                       └── DB.BumpEpoch ◀───────┘
+//	                                             (invalidates result memo + stale scans)
+//
+// Every commit flush and every converted batch bumps the PR 6 DB epoch,
+// so the stream harness's per-(query, epoch) result memo and the chunk
+// cache never serve stale answers; once writes quiesce and the tail
+// converts, memoization resumes at full effect.
+//
+// Commit order interleaves writers and tables arbitrarily, but each
+// record carries its per-table position: the apply side holds
+// out-of-order records in a reorder buffer and publishes only the
+// contiguous prefix, so a quiesced base + parts + tail concatenation
+// reproduces the original table byte-for-byte — which is what lets the
+// golden snapshot pin quiesced HTAP answers.
+package htap
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elephants/internal/delta"
+	"elephants/internal/docstore"
+	"elephants/internal/rcfile"
+	"elephants/internal/relal"
+	"elephants/internal/tpch"
+)
+
+// Config parameterizes the store.
+type Config struct {
+	// Window is the delta log's group-commit window (0 = the delta
+	// default; negative = flush immediately, for deterministic tests).
+	Window time.Duration
+	// RCFile encodes converted parts (and the held tables' base parts)
+	// as RCF4 files instead of in-memory sources.
+	RCFile bool
+	// GroupRows is the RCF4 row-group size (0 = 4096). Used with RCFile.
+	GroupRows int
+	// WriterOpts carries the RCF4 encoding toggles. Used with RCFile.
+	WriterOpts rcfile.WriterOpts
+	// Cache, when non-nil, serves decoded chunks of the RCF4 parts.
+	Cache *rcfile.ChunkCache
+	// ConvertRows is the tail size at which the background converter
+	// encodes a table's tail into a part (0 = 4096).
+	ConvertRows int
+	// ConvertEvery is the background converter's poll interval
+	// (0 = 2ms).
+	ConvertEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.GroupRows <= 0 {
+		c.GroupRows = 4096
+	}
+	if c.ConvertRows <= 0 {
+		c.ConvertRows = 4096
+	}
+	if c.ConvertEvery <= 0 {
+		c.ConvertEvery = 2 * time.Millisecond
+	}
+	return c
+}
+
+// tableView is one immutable snapshot of a table's storage: the base
+// part, converted delta parts in conversion order, and the unconverted
+// committed tail in per-table row order. Scans load the pointer once,
+// so a scan always sees a consistent (parts, tail) pair; installs swap
+// the whole view under the table mutex.
+type tableView struct {
+	parts []relal.Source
+	tail  []delta.Record
+	// tailSrc memoizes the tail's table snapshot. Views are immutable,
+	// so concurrent builders compute identical snapshots and the first
+	// published pointer wins.
+	tailSrc atomic.Pointer[relal.TableSource]
+}
+
+// tableState is one held table's write-side state.
+type tableState struct {
+	name   string
+	schema relal.Schema
+	base   *relal.Table // full in-memory table (dictionary + schema donor)
+
+	// mu serializes view installs (commit applies and conversions).
+	// Scans never take it — they load view atomically.
+	mu   sync.Mutex
+	view atomic.Pointer[tableView]
+
+	// nextPos/pending are the reorder buffer: committed records arrive
+	// in commit order (arbitrary across writers), are parked by
+	// position, and only the contiguous prefix is published to the
+	// tail. Guarded by mu.
+	nextPos int64
+	pending map[int64]delta.Record
+}
+
+// Store is the HTAP store over a tpch.DB: held tables answer scans
+// through base + delta views and accept writes through the delta log.
+type Store struct {
+	db  *tpch.DB
+	cfg Config
+	log *delta.Log
+
+	tables map[string]*tableState
+	held   []delta.Record // the held-back rows, as replayable write ops
+
+	applied   atomic.Int64 // records published to tail views
+	converted atomic.Int64 // records encoded into parts
+	converts  atomic.Int64 // conversion batches
+
+	convStop chan struct{}
+	convDone chan struct{}
+}
+
+// New builds a store over db, holding back the last hold[name] rows of
+// each named table: the remaining prefix becomes the table's base part
+// (installed as the DB's scan source), and the suffix is returned by
+// HeldRecords for the write driver to replay through the delta path.
+func New(db *tpch.DB, hold map[string]int, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	s := &Store{db: db, cfg: cfg, tables: make(map[string]*tableState)}
+	s.log = delta.NewLog(cfg.Window, s.onCommit)
+
+	names := make([]string, 0, len(hold))
+	for _, name := range tpch.TableNames {
+		if hold[name] > 0 {
+			names = append(names, name)
+		}
+	}
+	perTable := make(map[string][]delta.Record, len(names))
+	for _, name := range names {
+		base := db.Table(name)
+		k := hold[name]
+		n := base.NumRows()
+		if k >= n {
+			return nil, fmt.Errorf("htap: hold %d of %d rows of %s", k, n, name)
+		}
+		prefix := relal.Head(base, n-k)
+		basePart, err := s.buildSource(prefix)
+		if err != nil {
+			return nil, fmt.Errorf("htap: encode %s base: %w", name, err)
+		}
+		st := &tableState{
+			name:    name,
+			schema:  base.Schema,
+			base:    base,
+			pending: make(map[int64]delta.Record),
+		}
+		st.view.Store(&tableView{parts: []relal.Source{basePart}})
+		s.tables[name] = st
+		perTable[name] = recordsOf(base, n-k, n)
+		db.SetSource(name, &htapSource{st: st, base: base})
+	}
+	s.held = interleave(names, perTable)
+	return s, nil
+}
+
+// buildSource wraps t as a scan source per the store's storage mode.
+func (s *Store) buildSource(t *relal.Table) (relal.Source, error) {
+	if !s.cfg.RCFile {
+		return relal.NewTableSource(t), nil
+	}
+	src, err := rcfile.NewSourceOpts(t, s.cfg.GroupRows, s.cfg.WriterOpts)
+	if err != nil {
+		return nil, err
+	}
+	src.SetCache(s.cfg.Cache)
+	return src, nil
+}
+
+// recordsOf extracts rows [lo, hi) of t as delta records, positions
+// numbered from 0 at the hold boundary.
+func recordsOf(t *relal.Table, lo, hi int) []delta.Record {
+	recs := make([]delta.Record, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		cells := make([]delta.Value, len(t.Schema))
+		for ci, col := range t.Cols {
+			v := col.Flat()
+			switch t.Schema[ci].Type {
+			case relal.Int:
+				cells[ci] = delta.IntVal(v.Ints[i])
+			case relal.Float:
+				cells[ci] = delta.FloatVal(v.Floats[i])
+			default:
+				cells[ci] = delta.StrVal(v.StrAt(int32(i)))
+			}
+		}
+		recs = append(recs, delta.Record{Table: t.Name, Pos: int64(i - lo), Cells: cells})
+	}
+	return recs
+}
+
+// interleave merges the per-table record lists into one op stream,
+// proportionally by progress, so a write run touches every held table
+// throughout rather than draining them one after another.
+func interleave(names []string, perTable map[string][]delta.Record) []delta.Record {
+	total := 0
+	for _, recs := range perTable {
+		total += len(recs)
+	}
+	out := make([]delta.Record, 0, total)
+	idx := make([]int, len(names))
+	for len(out) < total {
+		// Pick the table that is least far through its list.
+		best, bestFrac := -1, 2.0
+		for i, name := range names {
+			n := len(perTable[name])
+			if idx[i] >= n {
+				continue
+			}
+			frac := float64(idx[i]) / float64(n)
+			if frac < bestFrac {
+				best, bestFrac = i, frac
+			}
+		}
+		out = append(out, perTable[names[best]][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// HeldRecords returns the held-back rows as an ordered op list for the
+// write driver. Each record's Pos is its row position past the hold
+// boundary of its table; replaying every op (in any commit
+// interleaving) and quiescing reconstructs the original tables exactly.
+func (s *Store) HeldRecords() []delta.Record { return s.held }
+
+// Log exposes the delta log (stats, replay snapshots).
+func (s *Store) Log() *delta.Log { return s.log }
+
+// onCommit is the delta log's commit hook: it files each committed
+// record into its table's reorder buffer, publishes the contiguous
+// prefix to a fresh tail view, and bumps the DB epoch so memoized
+// results die. Runs with the log mutex held — batches apply in commit
+// order, exactly once.
+func (s *Store) onCommit(batch []delta.Record, from, to int64) {
+	touched := false
+	for i := 0; i < len(batch); {
+		name := batch[i].Table
+		j := i + 1
+		for j < len(batch) && batch[j].Table == name {
+			j++
+		}
+		st := s.tables[name]
+		if st == nil {
+			panic("htap: commit for unknown table " + name)
+		}
+		st.mu.Lock()
+		for _, r := range batch[i:j] {
+			st.pending[r.Pos] = r
+		}
+		var adds []delta.Record
+		for {
+			r, ok := st.pending[st.nextPos]
+			if !ok {
+				break
+			}
+			adds = append(adds, r)
+			delete(st.pending, st.nextPos)
+			st.nextPos++
+		}
+		if len(adds) > 0 {
+			old := st.view.Load()
+			tail := make([]delta.Record, 0, len(old.tail)+len(adds))
+			tail = append(append(tail, old.tail...), adds...)
+			st.view.Store(&tableView{parts: old.parts, tail: tail})
+			s.applied.Add(int64(len(adds)))
+			touched = true
+		}
+		st.mu.Unlock()
+		i = j
+	}
+	if touched {
+		s.db.BumpEpoch()
+	}
+}
+
+// AppendRecord validates the record against its table's schema and
+// appends it to the delta log, blocking until committed. Returns the
+// commit sequence number.
+func (s *Store) AppendRecord(r delta.Record) (int64, error) {
+	st := s.tables[r.Table]
+	if st == nil {
+		return 0, fmt.Errorf("htap: no held table %q", r.Table)
+	}
+	if len(r.Cells) != len(st.schema) {
+		return 0, fmt.Errorf("htap: %s row has %d cells, schema has %d", r.Table, len(r.Cells), len(st.schema))
+	}
+	for i, c := range r.Cells {
+		if want := kindOf(st.schema[i].Type); c.Kind != want {
+			return 0, fmt.Errorf("htap: %s.%s cell kind %d, want %d", r.Table, st.schema[i].Name, c.Kind, want)
+		}
+	}
+	return s.log.Append(r), nil
+}
+
+// kindOf maps a relal column type to its delta cell kind.
+func kindOf(t relal.Type) delta.Kind {
+	switch t {
+	case relal.Int:
+		return delta.Int
+	case relal.Float:
+		return delta.Float
+	}
+	return delta.Str
+}
+
+// DocOf renders a record as the docstore document the write wire format
+// carries: one BSON field per column, in schema order.
+func (s *Store) DocOf(r delta.Record) (*docstore.Doc, error) {
+	st := s.tables[r.Table]
+	if st == nil {
+		return nil, fmt.Errorf("htap: no held table %q", r.Table)
+	}
+	if len(r.Cells) != len(st.schema) {
+		return nil, fmt.Errorf("htap: %s row has %d cells, schema has %d", r.Table, len(r.Cells), len(st.schema))
+	}
+	doc := docstore.NewDoc()
+	for i, col := range st.schema {
+		switch col.Type {
+		case relal.Int:
+			doc.Set(col.Name, r.Cells[i].Int)
+		case relal.Float:
+			doc.Set(col.Name, r.Cells[i].Float)
+		default:
+			doc.Set(col.Name, r.Cells[i].Str)
+		}
+	}
+	return doc, nil
+}
+
+// AppendDoc maps a docstore document onto the table's schema (fields
+// looked up by column name, types checked) and appends the resulting
+// record. pos is the row's per-table position.
+func (s *Store) AppendDoc(table string, pos int64, doc *docstore.Doc) (int64, error) {
+	st := s.tables[table]
+	if st == nil {
+		return 0, fmt.Errorf("htap: no held table %q", table)
+	}
+	cells := make([]delta.Value, len(st.schema))
+	for i, col := range st.schema {
+		v, ok := doc.Get(col.Name)
+		if !ok {
+			return 0, fmt.Errorf("htap: doc for %s missing field %q", table, col.Name)
+		}
+		switch col.Type {
+		case relal.Int:
+			x, ok := v.(int64)
+			if !ok {
+				return 0, fmt.Errorf("htap: %s.%s is %T, want int64", table, col.Name, v)
+			}
+			cells[i] = delta.IntVal(x)
+		case relal.Float:
+			x, ok := v.(float64)
+			if !ok {
+				return 0, fmt.Errorf("htap: %s.%s is %T, want float64", table, col.Name, v)
+			}
+			cells[i] = delta.FloatVal(x)
+		default:
+			x, ok := v.(string)
+			if !ok {
+				return 0, fmt.Errorf("htap: %s.%s is %T, want string", table, col.Name, v)
+			}
+			cells[i] = delta.StrVal(x)
+		}
+	}
+	return s.log.Append(delta.Record{Table: table, Pos: pos, Cells: cells}), nil
+}
+
+// AppendBSON is the wire-shaped write path: a BSON document (the
+// docstore format) is unmarshalled and applied via AppendDoc — what a
+// YCSB client talking the Mongo wire protocol would trigger.
+func (s *Store) AppendBSON(table string, pos int64, data []byte) (int64, error) {
+	doc, err := docstore.Unmarshal(data)
+	if err != nil {
+		return 0, err
+	}
+	return s.AppendDoc(table, pos, doc)
+}
+
+// StartConverter launches the background converter: every ConvertEvery
+// it encodes any table whose tail has reached ConvertRows records into
+// a new column-group part.
+func (s *Store) StartConverter() {
+	if s.convStop != nil {
+		return
+	}
+	s.convStop = make(chan struct{})
+	s.convDone = make(chan struct{})
+	go func() {
+		defer close(s.convDone)
+		ticker := time.NewTicker(s.cfg.ConvertEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.convStop:
+				return
+			case <-ticker.C:
+				for _, name := range tpch.TableNames {
+					if st := s.tables[name]; st != nil {
+						s.convertTable(st, s.cfg.ConvertRows)
+					}
+				}
+			}
+		}
+	}()
+}
+
+// StopConverter halts the background converter and waits for it.
+func (s *Store) StopConverter() {
+	if s.convStop == nil {
+		return
+	}
+	close(s.convStop)
+	<-s.convDone
+	s.convStop, s.convDone = nil, nil
+}
+
+// ConvertAll synchronously converts every non-empty tail, regardless of
+// batch size. After Quiesce + ConvertAll, every written row lives in a
+// column-group part.
+func (s *Store) ConvertAll() error {
+	for _, name := range tpch.TableNames {
+		if st := s.tables[name]; st != nil {
+			if err := s.convertTable(st, 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// convertTable encodes st's tail into a part when it has at least
+// minRows records. The new view drops the tail; the epoch bump
+// invalidates memoized answers computed over the tail snapshot.
+func (s *Store) convertTable(st *tableState, minRows int) error {
+	st.mu.Lock()
+	old := st.view.Load()
+	if len(old.tail) < minRows {
+		st.mu.Unlock()
+		return nil
+	}
+	t := recordsTable(st, old.tail)
+	part, err := s.buildSource(t)
+	if err != nil {
+		st.mu.Unlock()
+		return fmt.Errorf("htap: convert %s: %w", st.name, err)
+	}
+	parts := make([]relal.Source, 0, len(old.parts)+1)
+	parts = append(append(parts, old.parts...), part)
+	st.view.Store(&tableView{parts: parts})
+	n := len(old.tail)
+	st.mu.Unlock()
+	s.converted.Add(int64(n))
+	s.converts.Add(1)
+	s.db.BumpEpoch()
+	return nil
+}
+
+// Quiesce waits for the delta log to drain, then verifies every
+// committed record has been published (no position gaps left in any
+// reorder buffer). Call with all writers stopped.
+func (s *Store) Quiesce() error {
+	s.log.Quiesce()
+	for name, st := range s.tables {
+		st.mu.Lock()
+		pending := len(st.pending)
+		st.mu.Unlock()
+		if pending != 0 {
+			return fmt.Errorf("htap: %s has %d unpublished records after quiesce (position gap)", name, pending)
+		}
+	}
+	if a, c := s.applied.Load(), s.log.CommittedSeq(); a != c {
+		return fmt.Errorf("htap: applied %d of %d committed records after quiesce", a, c)
+	}
+	return nil
+}
+
+// Stats is a point-in-time freshness and accounting snapshot.
+type Stats struct {
+	// CommittedRecords is the delta log's commit watermark.
+	CommittedRecords int64
+	// AppliedRecords is how many of those scans can see (tail views).
+	AppliedRecords int64
+	// ConvertedRecords is how many have been encoded into parts.
+	ConvertedRecords int64
+	// Converts is the number of conversion batches.
+	Converts int64
+	// Flushes is the number of physical delta-log flushes.
+	Flushes int64
+	// LagRecords is CommittedRecords - ConvertedRecords: the freshness
+	// lag, in records, between the write watermark and the columnar
+	// replica's converted state.
+	LagRecords int64
+}
+
+// StatsNow samples the store. Safe from any goroutine.
+func (s *Store) StatsNow() Stats {
+	committed, flushes := s.log.Stats()
+	converted := s.converted.Load()
+	return Stats{
+		CommittedRecords: committed,
+		AppliedRecords:   s.applied.Load(),
+		ConvertedRecords: converted,
+		Converts:         s.converts.Load(),
+		Flushes:          flushes,
+		LagRecords:       committed - converted,
+	}
+}

@@ -1,0 +1,126 @@
+// The scan side of the pipeline: a held table's relal.Source stitches
+// base part + converted parts + the unconverted delta tail into one
+// table per scan. Each scan loads the view pointer once, so it sees a
+// consistent snapshot (never a trimmed tail without its converted part,
+// never a row twice); full cross-table consistency holds once writes
+// quiesce, which is when the golden tests compare answers.
+package htap
+
+import (
+	"sort"
+
+	"elephants/internal/delta"
+	"elephants/internal/relal"
+)
+
+// htapSource serves one held table's scans over its current view.
+type htapSource struct {
+	st   *tableState
+	base *relal.Table // schema donor
+}
+
+func (h *htapSource) SrcName() string { return h.st.name }
+
+func (h *htapSource) SrcSchema() relal.Schema { return h.st.schema }
+
+// ScanTable implements relal.Source: every part (and the tail snapshot)
+// scans with the same column subset and predicate, their byte
+// accounting sums, and the parts concatenate in row order. A part may
+// prune row groups the predicate rules out — surviving rows keep their
+// order, so the query's own filter sees exactly the rows a full scan
+// would, in the same order.
+func (h *htapSource) ScanTable(cols []string, pred relal.ZonePredicate) (*relal.Table, relal.ScanStats) {
+	v := h.st.view.Load()
+	srcs := v.parts
+	if len(v.tail) > 0 {
+		srcs = make([]relal.Source, 0, len(v.parts)+1)
+		srcs = append(append(srcs, v.parts...), v.tailSource(h.st))
+	}
+	if len(srcs) == 1 {
+		return srcs[0].ScanTable(cols, pred)
+	}
+	parts := make([]*relal.Table, len(srcs))
+	var stats relal.ScanStats
+	for i, src := range srcs {
+		t, st := src.ScanTable(cols, pred)
+		stats.Add(st)
+		parts[i] = t
+	}
+	schema := h.st.schema
+	if len(cols) > 0 {
+		schema = make(relal.Schema, len(cols))
+		for i, c := range cols {
+			schema[i] = h.st.schema[h.st.schema.Col(c)]
+		}
+	}
+	return relal.Concat(h.st.name, schema, parts...), stats
+}
+
+// tailSource returns the view's memoized tail snapshot, building it on
+// first use. The snapshot is an in-memory TableSource so tail scans get
+// the same zone-map pruning stats model as any in-memory part.
+func (v *tableView) tailSource(st *tableState) *relal.TableSource {
+	if src := v.tailSrc.Load(); src != nil {
+		return src
+	}
+	src := relal.NewTableSource(recordsTable(st, v.tail))
+	v.tailSrc.CompareAndSwap(nil, src)
+	return v.tailSrc.Load()
+}
+
+// recordsTable materializes records as a typed column table with st's
+// schema. Str columns re-encode against the base table's dictionary
+// when every value is present in it (so same-dictionary concatenation
+// and code-native kernels keep firing over base + delta); a value
+// outside the dictionary degrades the column to raw strings, which
+// kernels handle answer-identically.
+func recordsTable(st *tableState, recs []delta.Record) *relal.Table {
+	n := len(recs)
+	cols := make([]*relal.Vector, len(st.schema))
+	for ci, col := range st.schema {
+		switch col.Type {
+		case relal.Int:
+			xs := make([]int64, n)
+			for i, r := range recs {
+				xs[i] = r.Cells[ci].Int
+			}
+			cols[ci] = relal.IntsV(xs)
+		case relal.Float:
+			xs := make([]float64, n)
+			for i, r := range recs {
+				xs[i] = r.Cells[ci].Float
+			}
+			cols[ci] = relal.FloatsV(xs)
+		default:
+			cols[ci] = strColumn(st.base.Cols[ci], recs, ci)
+		}
+	}
+	return relal.NewTable(st.name, st.schema, cols...)
+}
+
+// strColumn builds a Str vector for cell index ci of recs, reusing
+// baseCol's dictionary when possible.
+func strColumn(baseCol *relal.Vector, recs []delta.Record, ci int) *relal.Vector {
+	if baseCol.IsDict() {
+		vals := baseCol.DictVals
+		codes := make([]uint32, len(recs))
+		ok := true
+		for i, r := range recs {
+			s := r.Cells[ci].Str
+			k := sort.SearchStrings(vals, s)
+			if k >= len(vals) || vals[k] != s {
+				ok = false
+				break
+			}
+			codes[i] = uint32(k)
+		}
+		if ok {
+			return relal.DictV(codes, vals)
+		}
+	}
+	xs := make([]string, len(recs))
+	for i, r := range recs {
+		xs[i] = r.Cells[ci].Str
+	}
+	return relal.StrsV(xs)
+}

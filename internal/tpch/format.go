@@ -1,0 +1,34 @@
+package tpch
+
+import (
+	"fmt"
+	"strings"
+
+	"elephants/internal/relal"
+)
+
+// FormatAnswer renders an answer table in the engine-independent text
+// form the golden snapshot pins: a header line with the query ID and
+// row count, the schema, then one pipe-joined line per row. Floats use
+// %v (shortest exact representation) so any change in accumulation
+// order or arithmetic shows up as a diff. Exported so harnesses outside
+// this package (the HTAP golden tests) can pin their answers to the
+// same snapshot.
+func FormatAnswer(id int, t *relal.Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Q%d rows=%d\n", id, t.NumRows())
+	names := make([]string, len(t.Schema))
+	for i, c := range t.Schema {
+		names[i] = fmt.Sprintf("%s:%d", c.Name, c.Type)
+	}
+	fmt.Fprintf(&b, "schema %s\n", strings.Join(names, "|"))
+	for _, row := range relal.RowsOf(t) {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%v", v)
+		}
+		b.WriteString(strings.Join(parts, "|"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -6,8 +6,6 @@ import (
 	"os"
 	"strings"
 	"testing"
-
-	"elephants/internal/relal"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/tpch_golden.txt from the current engine")
@@ -15,29 +13,6 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata/tpch_golden.txt 
 // goldenSF is deliberately tiny so the snapshot stays small and the test
 // fast; every query still exercises its full operator tree.
 const goldenSF = 0.005
-
-// formatAnswer renders an answer table in an engine-independent text
-// form: schema line, then one pipe-joined line per row. Floats use %v
-// (shortest exact representation) so any change in accumulation order or
-// arithmetic shows up as a diff.
-func formatAnswer(id int, t *relal.Table) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== Q%d rows=%d\n", id, t.NumRows())
-	names := make([]string, len(t.Schema))
-	for i, c := range t.Schema {
-		names[i] = fmt.Sprintf("%s:%d", c.Name, c.Type)
-	}
-	fmt.Fprintf(&b, "schema %s\n", strings.Join(names, "|"))
-	for _, row := range relal.RowsOf(t) {
-		parts := make([]string, len(row))
-		for i, v := range row {
-			parts[i] = fmt.Sprintf("%v", v)
-		}
-		b.WriteString(strings.Join(parts, "|"))
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
 
 func goldenSnapshot() string {
 	return goldenSnapshotOf(Generate(GenConfig{SF: goldenSF, Seed: 1, Random64: true}))
@@ -47,7 +22,7 @@ func goldenSnapshotOf(db *DB) string {
 	var b strings.Builder
 	for _, q := range Queries {
 		out, _ := RunQuery(q.ID, db)
-		b.WriteString(formatAnswer(q.ID, out))
+		b.WriteString(FormatAnswer(q.ID, out))
 	}
 	return b.String()
 }

@@ -190,10 +190,10 @@ func TestRunQueryWorkersMatchesSerial(t *testing.T) {
 	db := Generate(GenConfig{SF: 0.005, Seed: 1, Random64: true})
 	for _, id := range []int{1, 6, 13, 18, 21} {
 		ref, _ := RunQueryWorkers(id, db, 1)
-		want := formatAnswer(id, ref)
+		want := FormatAnswer(id, ref)
 		for _, workers := range []int{2, 3, 8} {
 			out, _ := RunQueryWorkers(id, db, workers)
-			if got := formatAnswer(id, out); got != want {
+			if got := FormatAnswer(id, out); got != want {
 				t.Errorf("Q%d answer drifts at workers=%d", id, workers)
 			}
 		}

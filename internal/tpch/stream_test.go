@@ -12,7 +12,7 @@ import (
 )
 
 // goldenSections splits the committed golden snapshot into one
-// formatAnswer-shaped section per query ID, so stream answers can be
+// FormatAnswer-shaped section per query ID, so stream answers can be
 // pinned individually.
 func goldenSections(t *testing.T) map[int]string {
 	t.Helper()
@@ -41,7 +41,7 @@ func goldenSections(t *testing.T) map[int]string {
 // to its golden section.
 func goldenCheck(want map[int]string) func(stream, round, id int, out *relal.Table) error {
 	return func(stream, round, id int, out *relal.Table) error {
-		if got := formatAnswer(id, out); got != want[id] {
+		if got := FormatAnswer(id, out); got != want[id] {
 			return fmt.Errorf("answer drifts from golden snapshot")
 		}
 		return nil

@@ -7,6 +7,8 @@
 package wal
 
 import (
+	"sync/atomic"
+
 	"elephants/internal/cluster"
 	"elephants/internal/sim"
 )
@@ -22,8 +24,11 @@ type Log struct {
 
 	mu       *sim.Resource
 	flushEnd sim.Time // virtual time the in-flight/most recent flush completes
-	appends  int64
-	flushes  int64
+	// Counters are atomic: sim processes are serialized by the kernel,
+	// but Stats is read from host goroutines (harness reporting threads)
+	// while the simulation runs.
+	appends atomic.Int64
+	flushes atomic.Int64
 }
 
 // DefaultGroupWindow is the default group-commit window.
@@ -44,25 +49,30 @@ func NewLog(s *sim.Sim, disk *cluster.Disk, group sim.Duration) *Log {
 func (l *Log) Append(p *sim.Proc, bytes int64) {
 	l.mu.Acquire(p)
 	now := p.Now()
-	if sim.Time(l.flushEnd) > now {
-		// Ride the in-flight flush: wait until it completes.
+	// Strict >: an append landing exactly at flushEnd sees a finished
+	// flush and must start a new window, not ride the completed one.
+	if l.flushEnd > now {
+		// Ride the in-flight flush: wait until it completes. The append
+		// is counted before releasing the mutex so accounting never
+		// trails the flush it rode.
 		target := l.flushEnd
+		l.appends.Add(1)
 		l.mu.Release()
 		p.Sleep(sim.Duration(target - now))
-		l.appends++
 		return
 	}
 	// Start a new flush: window to batch plus the physical write.
 	flushDur := l.group + l.disk.SeqTime(bytes)
 	l.flushEnd = now + sim.Time(flushDur)
-	l.flushes++
+	l.flushes.Add(1)
+	l.appends.Add(1)
 	l.mu.Release()
 	p.Sleep(flushDur)
-	l.appends++
 }
 
-// Stats reports cumulative appended commits and physical flushes.
-func (l *Log) Stats() (appends, flushes int64) { return l.appends, l.flushes }
+// Stats reports cumulative appended commits and physical flushes. Safe
+// from any goroutine, including while the simulation is running.
+func (l *Log) Stats() (appends, flushes int64) { return l.appends.Load(), l.flushes.Load() }
 
 // Checkpointer periodically flushes dirty pages to data disks. Flush is
 // provided by the engine; it must charge the write I/O and return the
@@ -71,9 +81,12 @@ type Checkpointer struct {
 	s        *sim.Sim
 	interval sim.Duration
 	flush    func(p *sim.Proc) int
-	rounds   int64
-	pages    int64
-	stop     bool
+	// rounds/pages are read by Stats and stop is written by Stop from
+	// host goroutines while the checkpoint process runs inside the
+	// simulation, so all three are atomic.
+	rounds atomic.Int64
+	pages  atomic.Int64
+	stop   atomic.Bool
 }
 
 // NewCheckpointer returns a checkpointer that invokes flush every
@@ -91,18 +104,20 @@ func (c *Checkpointer) Start() {
 	c.s.Spawn("checkpointer", func(p *sim.Proc) {
 		for {
 			p.Sleep(c.interval)
-			if c.stop {
+			if c.stop.Load() {
 				return
 			}
 			n := c.flush(p)
-			c.rounds++
-			c.pages += int64(n)
+			c.rounds.Add(1)
+			c.pages.Add(int64(n))
 		}
 	})
 }
 
-// Stop requests the checkpoint process exit at its next wake-up.
-func (c *Checkpointer) Stop() { c.stop = true }
+// Stop requests the checkpoint process exit at its next wake-up. Safe
+// from any goroutine.
+func (c *Checkpointer) Stop() { c.stop.Store(true) }
 
 // Stats reports completed checkpoint rounds and total pages written.
-func (c *Checkpointer) Stats() (rounds, pages int64) { return c.rounds, c.pages }
+// Safe from any goroutine.
+func (c *Checkpointer) Stats() (rounds, pages int64) { return c.rounds.Load(), c.pages.Load() }

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"runtime"
 	"testing"
 
 	"elephants/internal/cluster"
@@ -91,6 +92,104 @@ func TestCheckpointerStopBeforeFirst(t *testing.T) {
 	s.Run()
 	if rounds, _ := c.Stats(); rounds != 0 {
 		t.Errorf("rounds = %d, want 0", rounds)
+	}
+}
+
+// TestWalAppendAtExactFlushEnd pins the window boundary: the leader of a
+// flush wakes exactly at flushEnd, so an append issued at that instant
+// sees a finished flush and must start a new window rather than ride
+// the completed one.
+func TestWalAppendAtExactFlushEnd(t *testing.T) {
+	s := sim.New()
+	l := NewLog(s, testDisk(s), sim.Millisecond)
+	s.Spawn("c", func(p *sim.Proc) {
+		l.Append(p, 100) // leader: returns at exactly flushEnd
+		l.Append(p, 100) // lands at flushEnd: must open a new window
+	})
+	s.Run()
+	appends, flushes := l.Stats()
+	if appends != 2 {
+		t.Errorf("appends = %d, want 2", appends)
+	}
+	if flushes != 2 {
+		t.Errorf("flushes = %d, want 2 (append at flushEnd starts a new flush)", flushes)
+	}
+}
+
+// TestWalStatsDuringRun reads Stats from the host while the simulation
+// runs in another goroutine — the race the unsynchronized counters had
+// (run under -race).
+func TestWalStatsDuringRun(t *testing.T) {
+	s := sim.New()
+	l := NewLog(s, testDisk(s), 100*sim.Microsecond)
+	for i := 0; i < 8; i++ {
+		s.Spawn("c", func(p *sim.Proc) {
+			for j := 0; j < 50; j++ {
+				l.Append(p, 100)
+				p.Sleep(sim.Millisecond)
+			}
+		})
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Run()
+		close(done)
+	}()
+	var lastAppends int64
+	for {
+		select {
+		case <-done:
+			if appends, _ := l.Stats(); appends != 400 {
+				t.Errorf("appends = %d, want 400", appends)
+			}
+			return
+		default:
+			appends, flushes := l.Stats()
+			if appends < lastAppends {
+				t.Errorf("appends went backwards: %d -> %d", lastAppends, appends)
+			}
+			lastAppends = appends
+			_ = flushes
+		}
+	}
+}
+
+// TestWalCheckpointerStopDuringRun stops the checkpointer (and polls its
+// Stats) from the host while the spawned process is provably mid-run —
+// the race the plain stop bool had (run under -race). The flush
+// callback handshakes with the host through an unbuffered channel, so
+// every Stats/Stop call below overlaps a live simulation.
+func TestWalCheckpointerStopDuringRun(t *testing.T) {
+	s := sim.New()
+	gate := make(chan struct{})
+	c := NewCheckpointer(s, sim.Millisecond, func(p *sim.Proc) int {
+		<-gate
+		return 3
+	})
+	c.Start()
+	done := make(chan struct{})
+	go func() {
+		s.RunUntil(sim.Time(10 * sim.Second))
+		close(done)
+	}()
+	for i := int64(1); i <= 5; i++ {
+		gate <- struct{}{} // sim-side flush consumed it: the sim is live
+		for {
+			if rounds, _ := c.Stats(); rounds >= i {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	c.Stop()    // races with the running checkpoint process
+	close(gate) // let any rounds already past the stop check drain free
+	<-done
+	rounds, pages := c.Stats()
+	if rounds < 5 {
+		t.Errorf("rounds = %d, want >= 5", rounds)
+	}
+	if pages != 3*rounds {
+		t.Errorf("pages = %d, want %d", pages, 3*rounds)
 	}
 }
 

@@ -1,0 +1,109 @@
+// Host-time write-stream driver: the OLTP half of the combined HTAP
+// harness. Where Run drives the paper's simulated stores in virtual
+// time, RunWriteStream drives a real store (the delta-log write path)
+// with closed-loop client goroutines on the host clock, reusing the
+// same shapes — closed-loop clients, an aggregate ops/sec throttle with
+// per-client stagger, and windowless mean ± stderr latency summaries.
+package ycsb
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elephants/internal/metrics"
+)
+
+// WriteStreamConfig parameterizes one host-time write run.
+type WriteStreamConfig struct {
+	// Clients is the number of closed-loop writer goroutines (0 = 1).
+	Clients int
+	// TargetOps is the aggregate target throughput in ops/sec; 0 means
+	// unthrottled.
+	TargetOps float64
+}
+
+// WriteStreamResult reports one run.
+type WriteStreamResult struct {
+	// Ops is the number of operations issued (successful or not).
+	Ops int64
+	// Errors counts operations whose apply returned an error.
+	Errors int64
+	// Elapsed is the wall time from first to last operation.
+	Elapsed time.Duration
+	// OpsPerSec is Ops / Elapsed.
+	OpsPerSec float64
+	// Latency is the per-operation latency in milliseconds, summarized
+	// as mean ± stderr across the per-client means (the same shape the
+	// simulated runs report across measurement windows).
+	Latency metrics.Summary
+}
+
+// RunWriteStream executes ops [0, n) through apply, distributed over
+// closed-loop clients. Ops are claimed from a shared atomic cursor, so
+// clients stay busy regardless of per-op latency variance; ordering
+// across clients is not guaranteed (the delta store's apply side
+// restores per-table order from record positions). Throttled clients
+// stagger their start across one interval, as the simulated driver
+// does.
+func RunWriteStream(n int, cfg WriteStreamConfig, apply func(op int) error) WriteStreamResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Clients > n && n > 0 {
+		cfg.Clients = n
+	}
+	var opInterval time.Duration
+	if cfg.TargetOps > 0 {
+		opInterval = time.Duration(float64(cfg.Clients) / cfg.TargetOps * float64(time.Second))
+	}
+
+	var cursor, errs atomic.Int64
+	clientMeanMs := make([]float64, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Stagger throttled clients across one interval.
+			next := start.Add(opInterval * time.Duration(c) / time.Duration(cfg.Clients))
+			var sumMs float64
+			var count int64
+			for {
+				op := int(cursor.Add(1) - 1)
+				if op >= n {
+					break
+				}
+				if opInterval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(opInterval)
+				}
+				t0 := time.Now()
+				if err := apply(op); err != nil {
+					errs.Add(1)
+				}
+				sumMs += float64(time.Since(t0)) / float64(time.Millisecond)
+				count++
+			}
+			if count > 0 {
+				clientMeanMs[c] = sumMs / float64(count)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := WriteStreamResult{
+		Ops:     int64(n),
+		Errors:  errs.Load(),
+		Elapsed: elapsed,
+		Latency: metrics.Summarize(clientMeanMs),
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(n) / elapsed.Seconds()
+	}
+	return res
+}

@@ -1,0 +1,63 @@
+package ycsb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWriteStreamCoversOps: every op in [0, n) is applied exactly once,
+// regardless of client count.
+func TestWriteStreamCoversOps(t *testing.T) {
+	const n = 500
+	var mu sync.Mutex
+	seen := make(map[int]int, n)
+	res := RunWriteStream(n, WriteStreamConfig{Clients: 7}, func(op int) error {
+		mu.Lock()
+		seen[op]++
+		mu.Unlock()
+		return nil
+	})
+	if res.Ops != n {
+		t.Errorf("Ops = %d, want %d", res.Ops, n)
+	}
+	if res.Errors != 0 {
+		t.Errorf("Errors = %d, want 0", res.Errors)
+	}
+	if len(seen) != n {
+		t.Fatalf("applied %d distinct ops, want %d", len(seen), n)
+	}
+	for op, c := range seen {
+		if c != 1 {
+			t.Fatalf("op %d applied %d times", op, c)
+		}
+	}
+	if res.OpsPerSec <= 0 {
+		t.Errorf("OpsPerSec = %v, want > 0", res.OpsPerSec)
+	}
+}
+
+// TestWriteStreamErrors: apply failures count without stopping the run.
+func TestWriteStreamErrors(t *testing.T) {
+	res := RunWriteStream(10, WriteStreamConfig{Clients: 2}, func(op int) error {
+		if op%2 == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if res.Ops != 10 || res.Errors != 5 {
+		t.Errorf("Ops=%d Errors=%d, want 10/5", res.Ops, res.Errors)
+	}
+}
+
+// TestWriteStreamThrottle: a target rate bounds throughput from above.
+func TestWriteStreamThrottle(t *testing.T) {
+	const n, target = 50, 5000.0
+	res := RunWriteStream(n, WriteStreamConfig{Clients: 4, TargetOps: target}, func(int) error {
+		return nil
+	})
+	if min := time.Duration(float64(n-1) / target * float64(time.Second)); res.Elapsed < min/2 {
+		t.Errorf("Elapsed = %v under throttle, want >= %v", res.Elapsed, min/2)
+	}
+}

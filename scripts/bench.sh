@@ -30,6 +30,11 @@
 #                   RLE/delta encodings on vs -no-rle -no-delta, on
 #                   unclustered and l_shipdate-clustered lineitem, plus
 #                   the on-disk lineitem bytes for all four layouts
+#   BENCH_PR8.json  HTAP delta pipeline: the combined harness (write
+#                   clients replaying held rows through the delta log
+#                   while analytical streams run) reporting write
+#                   ops/sec x analytical QPS x freshness lag, in-memory
+#                   and RCFile-backed, with caches on vs off
 #
 # Usage:
 #
@@ -283,3 +288,28 @@ li_c_off=$(go run ./cmd/scanstats -sf 0.01 -group-rows 2048 -table-bytes lineite
 	echo '}'
 } > "$out7"
 echo "wrote $out7"
+
+# ---- BENCH_PR8.json: HTAP delta pipeline (writes + analytics) ----
+out8="BENCH_PR8.json"
+
+hmem=$(go run ./cmd/tpchbench -htap -laptop-sf 0.01 -writers "$cores" \
+	-streams "$cores" -stream-rounds "$rounds" -htap-json)
+hrcf=$(go run ./cmd/tpchbench -htap -laptop-sf 0.01 -writers "$cores" \
+	-streams "$cores" -stream-rounds "$rounds" -stream-rcfile -htap-json)
+hrcf_nocache=$(go run ./cmd/tpchbench -htap -laptop-sf 0.01 -writers "$cores" \
+	-streams "$cores" -stream-rounds "$rounds" -stream-rcfile \
+	-no-result-cache -no-chunk-cache -htap-json)
+[ -n "$hmem" ] && [ -n "$hrcf" ] && [ -n "$hrcf_nocache" ] || {
+	echo "bench.sh: htap results missing" >&2; exit 1; }
+
+{
+	echo '{'
+	echo '  "benchmark": "cmd/tpchbench -htap (closed-loop write clients replaying held-back orders/lineitem rows through the group-committed delta log while 22-query streams run, SF 0.01, background converter at 256-row batches)",'
+	echo "  \"gomaxprocs\": $cores,"
+	echo '  "note": "freshness lag = committed - converted records, sampled while both phases run; final lag is always 0 after quiesce + convert. Write throughput and analytical QPS contend for the same cores, so single-core hosts show the interference directly.",'
+	echo "  \"in_memory\": $hmem,"
+	echo "  \"rcfile\": $hrcf,"
+	echo "  \"rcfile_caches_off\": $hrcf_nocache"
+	echo '}'
+} > "$out8"
+echo "wrote $out8"
