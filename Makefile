@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race streams htap fuzz-smoke vet fmt-check check bench bench-paper
+.PHONY: all build test race streams htap crash fuzz-smoke vet fmt-check check bench bench-paper
 
 all: check
 
@@ -29,9 +29,17 @@ streams:
 htap:
 	$(GO) test -race -run 'Htap' ./internal/htap/ -v
 
+# The crash matrix and corruption suites: injected faults (torn writes,
+# failed fsyncs, full disk, bit flips), kill + reopen + replay, recovered
+# answers pinned to the golden snapshot, under -race.
+crash:
+	$(GO) test -race -run 'Crash|Corrupt|Recover|Fault|Fsync|Torn|TryScan' \
+		./internal/fault/ ./internal/delta/ ./internal/rcfile/ ./internal/htap/
+
 # Short fuzz runs over the join key-partitioning, sort/top-K, RCF4
 # dict-chunk and RLE/delta-chunk round-trips, chunk-cache key/eviction
-# paths, and the delta-log crash-recovery replay.
+# paths, the delta-log replay parser, and the full crash-schedule →
+# recover cycle of the file-backed log.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzJoinKeys -fuzztime 15s ./internal/relal/
 	$(GO) test -run xxx -fuzz FuzzSortKeys -fuzztime 15s ./internal/relal/
@@ -39,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzRLEDelta -fuzztime 15s ./internal/rcfile/
 	$(GO) test -run xxx -fuzz FuzzChunkCache -fuzztime 15s ./internal/rcfile/
 	$(GO) test -run xxx -fuzz FuzzDeltaReplay -fuzztime 15s ./internal/delta/
+	$(GO) test -run xxx -fuzz FuzzCrashRecovery -fuzztime 15s ./internal/delta/
 
 vet:
 	$(GO) vet ./...

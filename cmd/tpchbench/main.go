@@ -22,6 +22,13 @@
 //	          [-stream-rcfile] [-cache-mb M] [-no-result-cache] [-no-chunk-cache]
 //	tpchbench -htap [-writers N] [-target-ops R] [-hold-frac F] [-streams N]
 //	          [-stream-rounds R] [-stream-rcfile] [-htap-json]
+//	          [-durable DIR] [-sync-policy group|always|none] [-fault-seed S]
+//
+// With -durable the delta log (and, with -stream-rcfile, the converted
+// parts) live on disk under DIR; the run ends by closing the store and
+// timing a reopen + replay, reported in the "durable" block. A non-zero
+// -fault-seed injects transient part-write faults to exercise the
+// converter's retry path.
 package main
 
 import (
@@ -58,6 +65,9 @@ func main() {
 	targetOps := flag.Float64("target-ops", 0, "aggregate write throughput target in ops/sec, 0 = unthrottled (with -htap)")
 	holdFrac := flag.Float64("hold-frac", 0.02, "fraction of orders+lineitem rows held back and replayed as writes (with -htap)")
 	convertRows := flag.Int("convert-rows", 256, "delta-tail size at which the background converter encodes a columnar part (with -htap)")
+	durable := flag.String("durable", "", "directory for the durable delta log and RCF5 parts; the run ends with a close + timed recovery (with -htap)")
+	syncPolicy := flag.String("sync-policy", "group", "durable log fsync policy: group, always, or none (with -htap -durable)")
+	faultSeed := flag.Int64("fault-seed", 0, "non-zero wraps the durable FS in a seeded fault injector (transient part-write failures; with -htap)")
 	flag.Parse()
 
 	if *noTopK {
@@ -83,6 +93,7 @@ func main() {
 			RCFile: *streamRCFile, CacheMB: *cacheMB,
 			NoResultCache: *noResultCache, NoChunkCache: *noChunkCache,
 			ConvertRows: *convertRows,
+			DurablePath: *durable, SyncPolicy: *syncPolicy, FaultSeed: *faultSeed,
 		}, *htapJSON)
 		return
 	}
@@ -141,8 +152,16 @@ func runHTAP(cfg core.HTAPConfig, asJSON bool) {
 			a.Streams, a.Rounds, a.Queries, a.QPS, a.ResultCacheHits)
 		fmt.Printf(", \"freshness\": {\"max_lag_records\": %d, \"mean_lag_records\": %.1f, \"final_lag_records\": %d, \"samples\": %d, \"converts\": %d, \"converted_records\": %d, \"flushes\": %d}",
 			f.MaxLagRecords, f.MeanLagRecords, f.FinalLagRecords, f.Samples, f.Converts, f.ConvertedRecords, f.Flushes)
-		fmt.Printf(", \"final\": {\"committed\": %d, \"converted\": %d, \"lag\": %d}}\n",
+		fmt.Printf(", \"final\": {\"committed\": %d, \"converted\": %d, \"lag\": %d}",
 			res.Final.CommittedRecords, res.Final.ConvertedRecords, res.Final.LagRecords)
+		fmt.Printf(", \"robustness\": {\"frames_replayed\": %d, \"truncated_bytes\": %d, \"converter_retries\": %d, \"corrupt_chunks\": %d, \"parts_quarantined\": %d, \"duplicate_records\": %d}",
+			res.Final.FramesReplayed, res.Final.TruncatedBytes, res.Final.ConverterRetries,
+			res.Final.CorruptChunks, res.Final.PartsQuarantined, res.Final.DuplicateRecords)
+		if d := res.Durable; d != nil {
+			fmt.Printf(", \"durable\": {\"sync_policy\": %q, \"log_bytes\": %d, \"recovery_ms\": %.3f, \"frames_replayed\": %d, \"truncated_bytes\": %d, \"parts_recovered\": %d}",
+				d.SyncPolicy, d.LogBytes, d.RecoveryMS, d.FramesReplayed, d.TruncatedBytes, d.PartsRecovered)
+		}
+		fmt.Println("}")
 		return
 	}
 	fmt.Printf("HTAP: %d write client(s) replaying %d held row(s) against %d analytical stream(s) x %d round(s)\n",
@@ -155,6 +174,14 @@ func runHTAP(cfg core.HTAPConfig, asJSON bool) {
 		f.MaxLagRecords, f.MeanLagRecords, f.Samples, f.Converts, f.ConvertedRecords, f.Flushes)
 	fmt.Printf("  final:     %d committed, %d converted, lag %d (after quiesce + convert)\n",
 		res.Final.CommittedRecords, res.Final.ConvertedRecords, res.Final.LagRecords)
+	if res.Final.ConverterRetries+res.Final.CorruptChunks+res.Final.PartsQuarantined+res.Final.DuplicateRecords > 0 {
+		fmt.Printf("  faults:    %d converter retries, %d corrupt chunks, %d parts quarantined, %d duplicate records\n",
+			res.Final.ConverterRetries, res.Final.CorruptChunks, res.Final.PartsQuarantined, res.Final.DuplicateRecords)
+	}
+	if d := res.Durable; d != nil {
+		fmt.Printf("  durability: sync=%s log %d B; reopen replayed %d frames (%d B truncated), re-adopted %d part(s) in %.3f ms\n",
+			d.SyncPolicy, d.LogBytes, d.FramesReplayed, d.TruncatedBytes, d.PartsRecovered, d.RecoveryMS)
+	}
 }
 
 // runStreams executes the concurrent-stream harness and prints either a

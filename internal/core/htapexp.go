@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"time"
 
+	"elephants/internal/delta"
+	"elephants/internal/fault"
 	"elephants/internal/htap"
 	"elephants/internal/rcfile"
 	"elephants/internal/tpch"
@@ -45,6 +47,18 @@ type HTAPConfig struct {
 	// ConvertRows / ConvertEvery parameterize the background converter.
 	ConvertRows  int
 	ConvertEvery time.Duration
+	// DurablePath, when set, backs the store with an on-disk delta log
+	// (and, with RCFile, persisted RCF5 parts) in that directory; after
+	// the run the store is closed and reopened to measure recovery.
+	// With FaultSeed but no path, an in-memory crash FS is used instead.
+	DurablePath string
+	// SyncPolicy is the durable log's fsync policy: "group" (default),
+	// "always", or "none".
+	SyncPolicy string
+	// FaultSeed, when non-zero, wraps the FS in a fault injector that
+	// fails the first couple of part writes with transient errors, so a
+	// bench run exercises the converter's retry/backoff path.
+	FaultSeed int64
 }
 
 // HTAPResult is one run's report plus the store's final accounting.
@@ -55,6 +69,20 @@ type HTAPResult struct {
 	Held int
 	// Final is the store's state after quiesce + full conversion.
 	Final htap.Stats
+	// Durable reports the close → reopen → replay cycle (nil for the
+	// in-memory store).
+	Durable *DurableResult
+}
+
+// DurableResult measures recovery of the durable store: the run's store
+// is closed, reopened over the same bytes, and the replay accounted.
+type DurableResult struct {
+	SyncPolicy     string
+	LogBytes       int64
+	RecoveryMS     float64
+	FramesReplayed int64
+	TruncatedBytes int64
+	PartsRecovered int64
 }
 
 // RunHTAP generates the dataset, holds back the tail of orders and
@@ -97,7 +125,28 @@ func RunHTAP(cfg HTAPConfig) (HTAPResult, error) {
 		hold[name] = k
 	}
 
-	store, err := htap.New(db, hold, htap.Config{
+	pol, err := delta.ParseSyncPolicy(cfg.SyncPolicy)
+	if err != nil {
+		return HTAPResult{}, err
+	}
+	// baseFS is what recovery reopens (the injector, like the crashed
+	// process, is gone); storeFS is what the live run writes through.
+	var baseFS, storeFS fault.FS
+	if cfg.DurablePath != "" {
+		dfs, err := fault.NewDirFS(cfg.DurablePath)
+		if err != nil {
+			return HTAPResult{}, fmt.Errorf("durable dir: %w", err)
+		}
+		baseFS = dfs
+	} else if cfg.FaultSeed != 0 {
+		baseFS = fault.NewMemFS()
+	}
+	storeFS = baseFS
+	if baseFS != nil && cfg.FaultSeed != 0 {
+		storeFS = fault.NewInjector(baseFS, fault.Schedule{Seed: cfg.FaultSeed, TransientPartFails: 2})
+	}
+
+	storeCfg := htap.Config{
 		Window:       cfg.Window,
 		RCFile:       cfg.RCFile,
 		GroupRows:    groupRows,
@@ -105,7 +154,10 @@ func RunHTAP(cfg HTAPConfig) (HTAPResult, error) {
 		Cache:        cache,
 		ConvertRows:  cfg.ConvertRows,
 		ConvertEvery: cfg.ConvertEvery,
-	})
+		FS:           storeFS,
+		Sync:         pol,
+	}
+	store, err := htap.New(db, hold, storeCfg)
 	if err != nil {
 		return HTAPResult{}, err
 	}
@@ -145,10 +197,39 @@ func RunHTAP(cfg HTAPConfig) (HTAPResult, error) {
 	if err := store.ConvertAll(); err != nil {
 		return HTAPResult{}, err
 	}
-	return HTAPResult{
+	result := HTAPResult{
 		Config:  cfg,
 		Harness: res,
 		Held:    len(store.HeldRecords()),
 		Final:   store.StatsNow(),
-	}, nil
+	}
+
+	if baseFS != nil {
+		// Close the store (final fsync), then reopen over the bare FS —
+		// the injector died with the "process" — and time the replay.
+		logBytes := int64(len(store.Log().Data()))
+		if err := store.Close(); err != nil {
+			return HTAPResult{}, fmt.Errorf("close durable store: %w", err)
+		}
+		storeCfg.FS = baseFS
+		t0 := time.Now()
+		reopened, err := htap.Open(db, hold, storeCfg)
+		if err != nil {
+			return HTAPResult{}, fmt.Errorf("reopen durable store: %w", err)
+		}
+		elapsed := time.Since(t0)
+		st := reopened.StatsNow()
+		result.Durable = &DurableResult{
+			SyncPolicy:     pol.String(),
+			LogBytes:       logBytes,
+			RecoveryMS:     float64(elapsed.Microseconds()) / 1000,
+			FramesReplayed: st.FramesReplayed,
+			TruncatedBytes: st.TruncatedBytes,
+			PartsRecovered: st.PartsRecovered,
+		}
+		if err := reopened.Close(); err != nil {
+			return HTAPResult{}, fmt.Errorf("close reopened store: %w", err)
+		}
+	}
+	return result, nil
 }

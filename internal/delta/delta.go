@@ -7,6 +7,15 @@
 // scans), and the durable byte stream replays after a crash to exactly
 // the committed prefix: records are length-framed and checksummed, so
 // Replay stops at the first torn frame.
+//
+// The log can be file-backed (OpenFile): appends then go through the
+// fault layer's File before the commit is acknowledged, with the
+// group-commit window doubling as the fsync batch (SyncGroup), or an
+// fsync per record (SyncAlways), or no fsync at all (SyncNone —
+// fastest, loses acked records on crash). IO errors are sticky: one
+// torn append or failed fsync poisons the log and every later Append
+// fails fast, mirroring how a real engine must treat a write stream
+// whose durable prefix is no longer known (fsyncgate semantics).
 package delta
 
 import (
@@ -17,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"elephants/internal/fault"
 )
 
 // Kind is a delta cell type, mirroring relal's column types without
@@ -182,18 +193,62 @@ func Replay(data []byte) ([]Record, int) {
 	}
 }
 
+// SyncPolicy says when a file-backed log fsyncs.
+type SyncPolicy int
+
+// The sync policies.
+const (
+	// SyncGroup fsyncs once per group-commit flush, before the commit is
+	// acknowledged: acked ⇒ durable, at one fsync per window.
+	SyncGroup SyncPolicy = iota
+	// SyncAlways appends and fsyncs each record's frame at stage time —
+	// strongest, one fsync per record.
+	SyncAlways
+	// SyncNone appends at flush but never fsyncs — fastest; a crash may
+	// lose acked records (replay still recovers a valid prefix).
+	SyncNone
+)
+
+// ParseSyncPolicy maps the flag spellings "group", "always", "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "group", "":
+		return SyncGroup, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return SyncGroup, fmt.Errorf("delta: unknown sync policy %q (want group, always, or none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	}
+	return "group"
+}
+
 // generation is one open flush window. The leader closes done when the
-// window's records are durable, releasing every rider.
+// window's records are durable (or the flush failed — err is set before
+// done closes), releasing every rider.
 type generation struct {
 	done chan struct{}
+	err  error
 }
 
 // Log is the group-committed delta log. Appenders block until their
 // record is committed; all records staged within one window share one
-// flush. The zero value is not usable — construct with NewLog.
+// flush. The zero value is not usable — construct with NewLog or
+// OpenFile.
 type Log struct {
 	window   time.Duration
 	onCommit func(batch []Record, fromSeq, toSeq int64)
+	file     fault.File // nil for the in-memory log
+	sync     SyncPolicy
 
 	mu         sync.Mutex
 	durable    []byte // committed wire bytes
@@ -201,6 +256,7 @@ type Log struct {
 	stagedRecs []Record
 	gen        *generation
 	appended   int64 // records staged, ever
+	err        error // sticky IO poison: set once, every later Append fails
 
 	committed atomic.Int64 // records committed (durable), ever
 	flushes   atomic.Int64
@@ -231,12 +287,43 @@ func NewLog(window time.Duration, onCommit func(batch []Record, fromSeq, toSeq i
 // Append stages the record and blocks until the flush carrying it
 // completes. The first appender of a window is the leader: it waits out
 // the window (batching every rider that arrives meanwhile), appends the
-// staged bytes to the durable log, advances the committed watermark,
-// and publishes the batch. Returns the record's commit sequence number
-// (1-based).
-func (l *Log) Append(r Record) int64 {
+// staged bytes to the durable log (and, for a file-backed log, to the
+// file, fsyncing per the sync policy), advances the committed
+// watermark, and publishes the batch. Returns the record's commit
+// sequence number (1-based).
+//
+// A non-nil error means the record is NOT committed: either the log was
+// already poisoned by an earlier IO failure, or this window's flush hit
+// one — in which case no record of the window is acknowledged and the
+// log refuses further appends (the durable prefix on disk is whatever
+// Replay recovers at next open).
+func (l *Log) Append(r Record) (int64, error) {
 	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return 0, err
+	}
+	frameStart := len(l.staged)
 	l.staged = Encode(l.staged, r)
+	if l.file != nil && l.sync == SyncAlways {
+		// Frame goes durable at stage time; the flush window then only
+		// publishes. A failure rolls the stage back so the open window
+		// commits exactly its durable records.
+		frame := l.staged[frameStart:]
+		if _, err := l.file.Append(frame); err != nil {
+			l.staged = l.staged[:frameStart]
+			l.err = err
+			l.mu.Unlock()
+			return 0, err
+		}
+		if err := l.file.Sync(); err != nil {
+			l.staged = l.staged[:frameStart]
+			l.err = err
+			l.mu.Unlock()
+			return 0, err
+		}
+	}
 	l.stagedRecs = append(l.stagedRecs, r)
 	l.appended++
 	seq := l.appended
@@ -245,7 +332,7 @@ func (l *Log) Append(r Record) int64 {
 		g := l.gen
 		l.mu.Unlock()
 		<-g.done
-		return seq
+		return seq, g.err
 	}
 	g := &generation{done: make(chan struct{})}
 	l.gen = g
@@ -256,6 +343,31 @@ func (l *Log) Append(r Record) int64 {
 	}
 
 	l.mu.Lock()
+	if l.file != nil && l.sync != SyncAlways {
+		// The group-commit window doubles as the fsync batch: one
+		// append (+ one fsync under SyncGroup) covers every rider.
+		ferr := func() error {
+			if _, err := l.file.Append(l.staged); err != nil {
+				return err
+			}
+			if l.sync == SyncGroup {
+				return l.file.Sync()
+			}
+			return nil
+		}()
+		if ferr != nil {
+			// Poison: nothing in this window is acknowledged and the
+			// committed watermark stays put. Whole frames that landed
+			// before the tear may replay at next open — recovering more
+			// than acked is fine; losing acked bytes is not.
+			l.err = ferr
+			l.gen = nil
+			g.err = ferr
+			l.mu.Unlock()
+			close(g.done)
+			return 0, ferr
+		}
+	}
 	batch := l.stagedRecs
 	from := l.committed.Load()
 	l.durable = append(l.durable, l.staged...)
@@ -270,7 +382,7 @@ func (l *Log) Append(r Record) int64 {
 	}
 	l.mu.Unlock()
 	close(g.done)
-	return seq
+	return seq, nil
 }
 
 // CommittedSeq returns the number of committed records. Safe from any
@@ -303,4 +415,76 @@ func (l *Log) Quiesce() {
 		}
 		<-g.done
 	}
+}
+
+// Err returns the sticky IO error, if any. A non-nil Err means the log
+// stopped accepting appends at some earlier point; the durable prefix
+// is whatever Replay recovers at next open.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// FileConfig configures a file-backed log.
+type FileConfig struct {
+	// Window is the group-commit window: 0 means DefaultWindow,
+	// negative means flush immediately (deterministic tests).
+	Window time.Duration
+	// Sync is the fsync policy (default SyncGroup).
+	Sync SyncPolicy
+	// OnCommit, when non-nil, receives each committed batch — same
+	// contract as NewLog. It is NOT invoked for records recovered by
+	// OpenFile; the caller applies those itself.
+	OnCommit func(batch []Record, fromSeq, toSeq int64)
+}
+
+// OpenFile opens a log over f, replaying whatever durable bytes
+// survive. A torn tail (crash mid-append) is truncated off the file so
+// later appends extend a clean committed prefix. Returns the log, the
+// recovered records in commit order (the caller re-applies them — the
+// commit hook is not invoked for recovery), and the number of torn-tail
+// bytes discarded.
+func OpenFile(f fault.File, cfg FileConfig) (*Log, []Record, int64, error) {
+	data, err := f.ReadAll()
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("delta: read log: %w", err)
+	}
+	recs, n := Replay(data)
+	truncated := int64(len(data) - n)
+	if truncated > 0 {
+		if err := f.Truncate(int64(n)); err != nil {
+			return nil, nil, 0, fmt.Errorf("delta: truncate torn tail: %w", err)
+		}
+	}
+	l := NewLog(cfg.Window, cfg.OnCommit)
+	l.file = f
+	l.sync = cfg.Sync
+	l.durable = data[:n:n]
+	l.appended = int64(len(recs))
+	l.committed.Store(int64(len(recs)))
+	return l, recs, truncated, nil
+}
+
+// Close quiesces the log, fsyncs the file (unless the log is poisoned —
+// a failed fsync must not be retried as if it could succeed), and
+// closes it. Safe on an in-memory log (no-op beyond the quiesce).
+func (l *Log) Close() error {
+	l.Quiesce()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	var first error
+	if l.err == nil && l.sync != SyncNone {
+		if err := l.file.Sync(); err != nil {
+			first = err
+			l.err = err
+		}
+	}
+	if err := l.file.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }

@@ -102,7 +102,9 @@ func TestDeltaGroupCommitShares(t *testing.T) {
 		wg.Add(1)
 		go func(r Record) {
 			defer wg.Done()
-			l.Append(r)
+			if _, err := l.Append(r); err != nil {
+				t.Error(err)
+			}
 		}(recs[i])
 	}
 	wg.Wait()
@@ -135,8 +137,8 @@ func TestDeltaImmediateWindow(t *testing.T) {
 		lastTo = to
 	})
 	for _, r := range testRecords(6) {
-		if seq := l.Append(r); seq != r.Pos+1 {
-			t.Errorf("seq = %d, want %d", seq, r.Pos+1)
+		if seq, err := l.Append(r); err != nil || seq != r.Pos+1 {
+			t.Errorf("seq = %d (err %v), want %d", seq, err, r.Pos+1)
 		}
 	}
 	appends, flushes := l.Stats()

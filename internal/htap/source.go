@@ -7,16 +7,19 @@
 package htap
 
 import (
+	"errors"
 	"sort"
 
 	"elephants/internal/delta"
+	"elephants/internal/rcfile"
 	"elephants/internal/relal"
 )
 
 // htapSource serves one held table's scans over its current view.
 type htapSource struct {
-	st   *tableState
-	base *relal.Table // schema donor
+	store *Store
+	st    *tableState
+	base  *relal.Table // schema donor
 }
 
 func (h *htapSource) SrcName() string { return h.st.name }
@@ -29,22 +32,64 @@ func (h *htapSource) SrcSchema() relal.Schema { return h.st.schema }
 // prune row groups the predicate rules out — surviving rows keep their
 // order, so the query's own filter sees exactly the rows a full scan
 // would, in the same order.
+//
+// A converted part whose chunk fails CRC verification is quarantined
+// and the scan retries over the degraded view — the dropped rows come
+// back through the re-extended tail, so the answer is identical, never
+// wrong. The loop terminates because every retry has strictly fewer
+// verified parts (the base part and the in-memory tail cannot fail
+// verification).
 func (h *htapSource) ScanTable(cols []string, pred relal.ZonePredicate) (*relal.Table, relal.ScanStats) {
+	var degraded relal.ScanStats // accounting from abandoned attempts
+	for {
+		t, stats, bad := h.scanView(cols, pred)
+		if bad == nil {
+			stats.Add(degraded)
+			return t, stats
+		}
+		degraded.Add(stats)
+		h.store.counters.Add(cCorruptChunks, int64(stats.CorruptChunks))
+		h.store.quarantine(h.st, bad)
+	}
+}
+
+// scanView scans the current view once. On a CRC failure it returns the
+// offending part (with the partial stats of the abandoned attempt);
+// otherwise bad is nil.
+func (h *htapSource) scanView(cols []string, pred relal.ZonePredicate) (_ *relal.Table, stats relal.ScanStats, bad *part) {
 	v := h.st.view.Load()
-	srcs := v.parts
-	if len(v.tail) > 0 {
-		srcs = make([]relal.Source, 0, len(v.parts)+1)
-		srcs = append(append(srcs, v.parts...), v.tailSource(h.st))
-	}
-	if len(srcs) == 1 {
-		return srcs[0].ScanTable(cols, pred)
-	}
-	parts := make([]*relal.Table, len(srcs))
-	var stats relal.ScanStats
-	for i, src := range srcs {
-		t, st := src.ScanTable(cols, pred)
+	tables := make([]*relal.Table, 0, len(v.parts)+1)
+	for _, p := range v.parts {
+		var t *relal.Table
+		var st relal.ScanStats
+		if !p.base && p.rcf != nil {
+			// Converted parts may have been read back from disk; scan
+			// through the verifying path and degrade on corruption.
+			var err error
+			t, st, err = p.rcf.TryScan(cols, pred)
+			if err != nil {
+				if errors.Is(err, rcfile.ErrCorrupt) {
+					stats.Add(st)
+					return nil, stats, p
+				}
+				panic("htap: " + err.Error())
+			}
+		} else {
+			// The base part wraps bytes encoded in-process this run;
+			// corruption there is a programming bug, so keep the
+			// panicking path.
+			t, st = p.src.ScanTable(cols, pred)
+		}
 		stats.Add(st)
-		parts[i] = t
+		tables = append(tables, t)
+	}
+	if len(v.tail) > 0 {
+		t, st := v.tailSource(h.st).ScanTable(cols, pred)
+		stats.Add(st)
+		tables = append(tables, t)
+	}
+	if len(tables) == 1 {
+		return tables[0], stats, nil
 	}
 	schema := h.st.schema
 	if len(cols) > 0 {
@@ -53,7 +98,7 @@ func (h *htapSource) ScanTable(cols []string, pred relal.ZonePredicate) (*relal.
 			schema[i] = h.st.schema[h.st.schema.Col(c)]
 		}
 	}
-	return relal.Concat(h.st.name, schema, parts...), stats
+	return relal.Concat(h.st.name, schema, tables...), stats, nil
 }
 
 // tailSource returns the view's memoized tail snapshot, building it on

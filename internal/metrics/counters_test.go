@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSetConcurrentAdds(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add("frames_replayed", 1)
+				c.Add("converter_retries", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("frames_replayed"); got != 8000 {
+		t.Errorf("frames_replayed = %d, want 8000", got)
+	}
+	if got := c.Get("converter_retries"); got != 16000 {
+		t.Errorf("converter_retries = %d, want 16000", got)
+	}
+	if got := c.Get("never_touched"); got != 0 {
+		t.Errorf("untouched counter = %d, want 0", got)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap["frames_replayed"] != 8000 {
+		t.Errorf("snapshot %v", snap)
+	}
+}

@@ -1,0 +1,92 @@
+package rcfile
+
+import (
+	"errors"
+	"testing"
+
+	"elephants/internal/relal"
+)
+
+// TestCorruptChunkDetected flips a byte in every chunk position in turn:
+// each flip must surface as ErrCorrupt from the verifying read path —
+// never as silently wrong rows.
+func TestCorruptChunkDetected(t *testing.T) {
+	src := sampleTable(200)
+	data, err := NewWriter(64).Write(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parse(data, src.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chunk region spans [12, firstGroupEnd...); flip one byte inside
+	// each group's first chunk.
+	for g, gr := range p.groups {
+		bad := append([]byte(nil), data...)
+		bad[gr.offset+int64(gr.compLens[0])/2] ^= 0x01
+		srcBad, err := NewSourceFromBytes(bad, src.Schema, "t")
+		if err != nil {
+			t.Fatalf("group %d: footer parse should still pass: %v", g, err)
+		}
+		_, stats, err := srcBad.TryScan(nil, nil)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("group %d: TryScan error = %v, want ErrCorrupt", g, err)
+		}
+		if stats.CorruptChunks != 1 {
+			t.Fatalf("group %d: CorruptChunks = %d, want 1", g, stats.CorruptChunks)
+		}
+		if srcBad.TotalStats().CorruptChunks != 1 {
+			t.Fatalf("group %d: counter did not accumulate corruption", g)
+		}
+	}
+}
+
+// TestCorruptDictDetected flips a byte inside the footer's dictionary
+// blob: parse itself must reject the file.
+func TestCorruptDictDetected(t *testing.T) {
+	vals := make([]string, 400)
+	for i := range vals {
+		vals[i] = []string{"AIR", "RAIL", "SHIP", "TRUCK"}[i%4]
+	}
+	src := relal.NewTable("t", relal.Schema{{Name: "m", Type: relal.Str}}, relal.EncodeDict(vals))
+	data, err := NewWriter(128).Write(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dictionary blob sits at the head of the footer; flip a byte in
+	// its gzip stream (skip flag byte, compLen, and crc).
+	footerLen := int(uint32(data[len(data)-4]) | uint32(data[len(data)-3])<<8 | uint32(data[len(data)-2])<<16 | uint32(data[len(data)-1])<<24)
+	footerStart := len(data) - 4 - footerLen
+	bad := append([]byte(nil), data...)
+	bad[footerStart+9+4] ^= 0x01
+	if _, err := NewSourceFromBytes(bad, src.Schema, "t"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("dict corruption error = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTryScanCleanMatchesScan pins that the error path is a pure
+// addition: on clean bytes TryScan and ScanTable return identical rows.
+func TestTryScanCleanMatchesScan(t *testing.T) {
+	src := sampleTable(100)
+	s, err := NewSource(src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.TryScan([]string{"k", "s"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 100 || len(got.Schema) != 2 {
+		t.Fatalf("TryScan shape %dx%d", got.NumRows(), len(got.Schema))
+	}
+	// Round-trip through Data + NewSourceFromBytes too.
+	s2, err := NewSourceFromBytes(s.Data(), src.Schema, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := s2.ScanTable(nil, nil)
+	if got2.NumRows() != 100 {
+		t.Fatalf("reparsed scan rows = %d", got2.NumRows())
+	}
+}

@@ -40,6 +40,11 @@
 // DeltaChunkBytes, GDictChunkBytes, GDictRLEChunkBytes) are these
 // encodings' exact pre-compression payload formulas.
 //
+// Version 5 adds a CRC32 per chunk (and per dictionary blob) to the
+// footer, verified before decompression. Corruption surfaces as a typed
+// ErrCorrupt from TryScan, so a durable store can detect a damaged part
+// and rebuild it instead of serving wrong rows.
+//
 // Since relal tables are themselves columnar, encoding and decoding
 // move cells straight between the typed column vectors and the on-disk
 // chunks — no row pivot, no boxed values.
@@ -49,7 +54,9 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -100,9 +107,9 @@ func NewWriterOpts(groupRows int, opts WriterOpts) *Writer {
 	return &Writer{groupRows: groupRows, opts: opts}
 }
 
-// file layout (version 4):
+// file layout (version 5):
 //
-//	magic "RCF4"
+//	magic "RCF5"
 //	uint32 numColumns
 //	uint32 numGroups
 //	per group: the compressed column chunks, concatenated (chunk
@@ -111,15 +118,23 @@ func NewWriterOpts(groupRows int, opts WriterOpts) *Writer {
 //	footer:
 //	  global dictionary section, per column:
 //	    uint8 flag (1 = dictionary follows)
-//	    uint32 compLen, then a gzip blob holding uint32 count and
-//	    count length-prefixed values (sorted)
+//	    uint32 compLen, uint32 crc (CRC32 of the blob), then a gzip
+//	    blob holding uint32 count and count length-prefixed values
+//	    (sorted)
 //	  per group:
 //	    uint32 rows
 //	    per column:
 //	      uint32 compLen
 //	      uint8  enc
+//	      uint32 crc (CRC32 of the compressed chunk bytes)
 //	      zone map (typed min/max; enc 1/2 prepend min/max global codes)
 //	uint32 footerLen (bytes, immediately before this trailer field)
+//
+// Version 5 over 4: every chunk and dictionary blob carries a CRC32 of
+// its compressed bytes, verified before decompression — a flipped bit
+// anywhere in a chunk surfaces as ErrCorrupt instead of garbage rows,
+// which the htap view layer uses to quarantine and re-convert a part
+// rather than serve a wrong answer.
 //
 // Chunk payloads (before gzip):
 //
@@ -134,7 +149,13 @@ func NewWriterOpts(groupRows int, opts WriterOpts) *Writer {
 // width ∈ {0, 1, 2, 4} (relal.FORWidth); width 0 means every row equals
 // the base. Every chunk is gzip-compressed.
 
-var magic = []byte("RCF4")
+var magic = []byte("RCF5")
+
+// ErrCorrupt is the typed corruption error: a chunk or dictionary blob
+// whose stored CRC32 does not match its bytes. Callers that can degrade
+// (the htap view layer) test with errors.Is and rebuild the part; the
+// panic-on-error Scan path still panics, wrapping this.
+var ErrCorrupt = errors.New("rcfile: corrupt chunk")
 
 // Write encodes t.
 func (w *Writer) Write(t *relal.Table) ([]byte, error) {
@@ -178,6 +199,7 @@ func (w *Writer) Write(t *relal.Table) ([]byte, error) {
 		}
 		footer.WriteByte(1)
 		binary.Write(&footer, binary.LittleEndian, uint32(len(blob)))
+		binary.Write(&footer, binary.LittleEndian, crc32.ChecksumIEEE(blob))
 		footer.Write(blob)
 	}
 	for g := 0; g < numGroups; g++ {
@@ -196,6 +218,7 @@ func (w *Writer) Write(t *relal.Table) ([]byte, error) {
 			out.Write(chunk)
 			binary.Write(&footer, binary.LittleEndian, uint32(len(chunk)))
 			footer.WriteByte(enc)
+			binary.Write(&footer, binary.LittleEndian, crc32.ChecksumIEEE(chunk))
 			writeZone(&footer, relal.ZoneOf(v, lo, hi), enc)
 		}
 	}
@@ -489,6 +512,7 @@ type group struct {
 	offset   int64 // byte offset of the group's first chunk
 	compLens []uint32
 	encs     []byte
+	crcs     []uint32 // CRC32 of each compressed chunk
 	zones    []relal.ZoneMap
 }
 
@@ -564,13 +588,18 @@ func parse(data []byte, schema relal.Schema) (*parsed, error) {
 		if schema[c].Type != relal.Str {
 			return nil, fmt.Errorf("rcfile: dictionary on non-Str column %q", schema[c].Name)
 		}
-		if err := need(4); err != nil {
+		if err := need(8); err != nil {
 			return nil, err
 		}
 		compLen := int(binary.LittleEndian.Uint32(f[pos:]))
-		pos += 4
+		dictCRC := binary.LittleEndian.Uint32(f[pos+4:])
+		pos += 8
 		if err := need(compLen); err != nil {
 			return nil, err
+		}
+		if got := crc32.ChecksumIEEE(f[pos : pos+compLen]); got != dictCRC {
+			return nil, fmt.Errorf("%w: dictionary blob of column %q (crc %08x, want %08x)",
+				ErrCorrupt, schema[c].Name, got, dictCRC)
 		}
 		gz, err := gzip.NewReader(bytes.NewReader(f[pos : pos+compLen]))
 		if err != nil {
@@ -614,16 +643,18 @@ func parse(data []byte, schema relal.Schema) (*parsed, error) {
 			offset:   offset,
 			compLens: make([]uint32, numCols),
 			encs:     make([]byte, numCols),
+			crcs:     make([]uint32, numCols),
 			zones:    make([]relal.ZoneMap, numCols),
 		}
 		pos += 4
 		for c := uint32(0); c < numCols; c++ {
-			if err := need(5); err != nil {
+			if err := need(9); err != nil {
 				return nil, err
 			}
 			gr.compLens[c] = binary.LittleEndian.Uint32(f[pos:])
 			gr.encs[c] = f[pos+4]
-			pos += 5
+			gr.crcs[c] = binary.LittleEndian.Uint32(f[pos+5:])
+			pos += 9
 			if !validEnc(gr.encs[c], schema[c].Type, p.dicts[c] != nil) {
 				return nil, fmt.Errorf("rcfile: bad chunk encoding %d on column %q", gr.encs[c], schema[c].Name)
 			}
@@ -684,6 +715,17 @@ func gzipChunk(fn func(w io.Writer) error) ([]byte, error) {
 		return nil, err
 	}
 	return col.Bytes(), nil
+}
+
+// verifyChunk checks a chunk's stored CRC32 against its bytes.
+func verifyChunk(data []byte, chunkOff int64, compLen, want uint32) error {
+	if chunkOff+int64(compLen) > int64(len(data)) {
+		return fmt.Errorf("%w: truncated chunk", ErrCorrupt)
+	}
+	if got := crc32.ChecksumIEEE(data[chunkOff : chunkOff+int64(compLen)]); got != want {
+		return fmt.Errorf("%w: crc %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return nil
 }
 
 // inflateChunk decompresses one chunk's payload.
@@ -815,6 +857,14 @@ func readColsCached(data []byte, p *parsed, schema relal.Schema, name string, co
 				off := gr.offset
 				for k := 0; k < ci; k++ {
 					off += int64(gr.compLens[k])
+				}
+				// Verify the chunk's CRC before trusting its bytes. Cache
+				// hits skip this: the entry was verified when first
+				// decoded, and cache keys are content-hashed, so corrupt
+				// bytes can never ride in on a stale hit.
+				if err := verifyChunk(data, off, gr.compLens[ci], gr.crcs[ci]); err != nil {
+					stats.CorruptChunks++
+					return nil, stats, fmt.Errorf("%s group %d column %q: %w", name, g, schema[ci].Name, err)
 				}
 				raw, err := inflateChunk(data, off, gr.compLens[ci])
 				if err != nil {
@@ -1312,6 +1362,19 @@ func NewSourceOpts(t *relal.Table, groupRows int, opts WriterOpts) (*Source, err
 	return &Source{name: t.Name, schema: t.Schema, data: data, parsed: p, id: fileID(data)}, nil
 }
 
+// NewSourceFromBytes wraps an already-encoded RCFile — the durable-store
+// recovery path, where the bytes come off disk rather than out of this
+// process's writer. The footer (magic, structure, dictionary CRCs) is
+// validated here; chunk CRCs are verified lazily on first decode, so a
+// flipped bit inside a chunk surfaces as ErrCorrupt from TryScan.
+func NewSourceFromBytes(data []byte, schema relal.Schema, name string) (*Source, error) {
+	p, err := parse(data, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{name: name, schema: schema, data: data, parsed: p, id: fileID(data)}, nil
+}
+
 // SetCache attaches a shared decompressed-chunk cache. Call before the
 // Source starts serving scans; concurrent scans then share the cache
 // safely (the cache locks internally, the field itself is not mutated
@@ -1332,6 +1395,10 @@ func (s *Source) SrcSchema() relal.Schema { return s.schema }
 // Bytes returns the encoded file size.
 func (s *Source) Bytes() int { return len(s.data) }
 
+// Data returns the encoded file bytes (read-only — shared, not copied).
+// The durable store persists exactly these bytes as a part file.
+func (s *Source) Data() []byte { return s.data }
+
 // EncodingStats returns the per-column encoding census of the encoded
 // file (footer only, no decompression).
 func (s *Source) EncodingStats() []ColEncStats {
@@ -1345,14 +1412,30 @@ func (s *Source) EncodingStats() []ColEncStats {
 	return out
 }
 
-// ScanTable implements relal.Source.
+// ScanTable implements relal.Source. It panics on decode errors — for a
+// Source wrapping bytes this process just encoded, corruption is a
+// programming bug. Sources over bytes read back from disk should scan
+// through TryScan and handle ErrCorrupt.
 func (s *Source) ScanTable(cols []string, pred relal.ZonePredicate) (*relal.Table, relal.ScanStats) {
-	t, stats, err := readColsCached(s.data, s.parsed, s.schema, s.name, cols, pred, s.cache, s.id)
+	t, stats, err := s.TryScan(cols, pred)
 	if err != nil {
 		panic("rcfile: " + err.Error())
 	}
-	s.counter.Observe(stats)
 	return t, stats
+}
+
+// TryScan is ScanTable with errors instead of panics: a chunk whose
+// CRC32 does not match comes back as an error wrapping ErrCorrupt
+// (with stats.CorruptChunks set), letting a caller that holds redundant
+// data — the htap store, whose delta log covers every converted part —
+// degrade and rebuild instead of crashing or returning wrong rows.
+func (s *Source) TryScan(cols []string, pred relal.ZonePredicate) (*relal.Table, relal.ScanStats, error) {
+	t, stats, err := readColsCached(s.data, s.parsed, s.schema, s.name, cols, pred, s.cache, s.id)
+	s.counter.Observe(stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	return t, stats, nil
 }
 
 // TotalStats returns the byte accounting accumulated over every scan

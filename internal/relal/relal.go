@@ -687,6 +687,9 @@ type Step struct {
 	// corresponding per-chunk lookup counters.
 	ScanBytesFromCache             int64
 	ScanCacheHits, ScanCacheMisses int
+	// ScanCorruptChunks counts checksum-failed chunks encountered (and
+	// degraded around) while serving this scan.
+	ScanCorruptChunks int
 }
 
 // StepLog accumulates steps in execution order.

@@ -251,6 +251,11 @@ type ScanStats struct {
 	// CacheHits/CacheMisses count chunk-cache lookups. Both stay zero
 	// when no cache is attached, so hit ratio 0/0 means "uncached".
 	CacheHits, CacheMisses int
+	// CorruptChunks counts chunks whose checksum failed verification.
+	// A non-zero count never accompanies silent wrong rows: the scan
+	// that found the corruption returned an error, and the store either
+	// degraded to redundant data or propagated the failure.
+	CorruptChunks int
 }
 
 // SkippedFrac returns the fraction of total bytes the scan skipped.
@@ -282,6 +287,7 @@ func (s *ScanStats) Add(other ScanStats) {
 	s.GroupsSkipped += other.GroupsSkipped
 	s.CacheHits += other.CacheHits
 	s.CacheMisses += other.CacheMisses
+	s.CorruptChunks += other.CorruptChunks
 }
 
 // ScanCounter accumulates ScanStats atomically. Sources embed one so
@@ -293,6 +299,7 @@ type ScanCounter struct {
 	bytesFromCache            atomic.Int64
 	groupsRead, groupsSkipped atomic.Int64
 	cacheHits, cacheMisses    atomic.Int64
+	corruptChunks             atomic.Int64
 }
 
 // Observe folds one scan's stats into the counter.
@@ -304,6 +311,7 @@ func (c *ScanCounter) Observe(s ScanStats) {
 	c.groupsSkipped.Add(int64(s.GroupsSkipped))
 	c.cacheHits.Add(int64(s.CacheHits))
 	c.cacheMisses.Add(int64(s.CacheMisses))
+	c.corruptChunks.Add(int64(s.CorruptChunks))
 }
 
 // Total returns the accumulated stats. Each field is read atomically; a
@@ -318,6 +326,7 @@ func (c *ScanCounter) Total() ScanStats {
 		GroupsSkipped:  int(c.groupsSkipped.Load()),
 		CacheHits:      int(c.cacheHits.Load()),
 		CacheMisses:    int(c.cacheMisses.Load()),
+		CorruptChunks:  int(c.corruptChunks.Load()),
 	}
 }
 
@@ -668,6 +677,7 @@ func (e *Exec) ScanSource(src Source, cols []string, pred ZonePredicate) *Table 
 		ScanGroupsRead: stats.GroupsRead, ScanGroupsSkipped: stats.GroupsSkipped,
 		ScanBytesFromCache: stats.BytesFromCache,
 		ScanCacheHits:      stats.CacheHits, ScanCacheMisses: stats.CacheMisses,
+		ScanCorruptChunks: stats.CorruptChunks,
 	})
 	return t
 }

@@ -176,6 +176,7 @@ func RunStreams(db *DB, cfg StreamConfig) StreamResult {
 									GroupsSkipped:  step.ScanGroupsSkipped,
 									CacheHits:      step.ScanCacheHits,
 									CacheMisses:    step.ScanCacheMisses,
+									CorruptChunks:  step.ScanCorruptChunks,
 								})
 							}
 						}

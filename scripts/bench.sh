@@ -35,6 +35,11 @@
 #                   while analytical streams run) reporting write
 #                   ops/sec x analytical QPS x freshness lag, in-memory
 #                   and RCFile-backed, with caches on vs off
+#   BENCH_PR9.json  durability: htap.Open recovery time vs delta-log
+#                   size (BenchmarkRecovery), a full durable run on an
+#                   on-disk log + RCF5 parts with timed close + reopen
+#                   (-durable), and a fault-injected run exercising the
+#                   converter's retry path (-fault-seed)
 #
 # Usage:
 #
@@ -313,3 +318,49 @@ hrcf_nocache=$(go run ./cmd/tpchbench -htap -laptop-sf 0.01 -writers "$cores" \
 	echo '}'
 } > "$out8"
 echo "wrote $out8"
+
+# ---- BENCH_PR9.json: durability — recovery time vs log size ----
+out9="BENCH_PR9.json"
+
+rraw=$(go test -run xxx -bench 'BenchmarkRecovery' -benchtime "${RECOVERY_BENCHTIME:-5x}" ./internal/htap/)
+# Each result line carries ns/op plus the custom log_bytes metric; pull
+# both by unit label so the column order never matters.
+rq() {
+	echo "$rraw" | awk -v pat="frames=$1" '$1 ~ pat {
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ns/op") ns = $(i-1)
+			if ($i == "log_bytes") lb = $(i-1)
+		}
+		print ns, lb; exit
+	}'
+}
+set -- $(rq 1024); r1_ns=$1; r1_b=$2
+set -- $(rq 4096); r4_ns=$1; r4_b=$2
+set -- $(rq 16384); r16_ns=$1; r16_b=$2
+[ -n "$r1_ns" ] && [ -n "$r4_ns" ] && [ -n "$r16_ns" ] || {
+	echo "bench.sh: Recovery results missing" >&2; exit 1; }
+
+hdur=$(go run ./cmd/tpchbench -htap -laptop-sf 0.01 -writers "$cores" \
+	-streams "$cores" -stream-rounds "$rounds" -stream-rcfile \
+	-durable "$(mktemp -d)" -sync-policy group -htap-json)
+hfault=$(go run ./cmd/tpchbench -htap -laptop-sf 0.01 -writers "$cores" \
+	-streams "$cores" -stream-rounds "$rounds" -stream-rcfile \
+	-fault-seed 7 -htap-json)
+[ -n "$hdur" ] && [ -n "$hfault" ] || {
+	echo "bench.sh: durable htap results missing" >&2; exit 1; }
+
+{
+	echo '{'
+	echo '  "benchmark": "BenchmarkRecovery (htap.Open replaying a file-backed delta log, host time) + cmd/tpchbench -htap -durable (full run on an on-disk log + RCF5 parts, closed and reopened) and -fault-seed (transient part-write faults through the converter retry path)",'
+	echo "  \"gomaxprocs\": $cores,"
+	echo '  "note": "recovery_vs_log_size replays N committed lineitem frames through the reorder buffer into tail views; the durable run reports the timed close -> reopen -> replay cycle in its durable block, and the fault run shows converter_retries absorbed without touching answers.",'
+	echo '  "recovery_vs_log_size": {'
+	echo "    \"frames_1024\": {\"ns_op\": $r1_ns, \"log_bytes\": $r1_b},"
+	echo "    \"frames_4096\": {\"ns_op\": $r4_ns, \"log_bytes\": $r4_b},"
+	echo "    \"frames_16384\": {\"ns_op\": $r16_ns, \"log_bytes\": $r16_b}"
+	echo '  },'
+	echo "  \"durable_disk\": $hdur,"
+	echo "  \"fault_injected\": $hfault"
+	echo '}'
+} > "$out9"
+echo "wrote $out9"
