@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race streams htap crash fuzz-smoke vet fmt-check check bench bench-paper
+.PHONY: all build test race streams htap crash dist fuzz-smoke vet fmt-check check bench bench-paper
 
 all: check
 
@@ -35,6 +35,15 @@ htap:
 crash:
 	$(GO) test -race -run 'Crash|Corrupt|Recover|Fault|Fsync|Torn|TryScan' \
 		./internal/fault/ ./internal/delta/ ./internal/rcfile/ ./internal/htap/
+
+# The distributed scatter/gather suites: golden answers at shard counts
+# {1,2,4} over the wire, fragment-vs-scan differential, injected network
+# faults (drop/truncate/duplicate/reset/delay), kill + restart of shard
+# OS processes mid-stream, typed ErrPartial on outage — under -race —
+# plus a network-fault fuzz smoke (CI's `dist` job).
+dist:
+	$(GO) test -race -run 'Dist|NetFault' ./...
+	$(GO) test -run xxx -fuzz FuzzNetFault -fuzztime 15s ./internal/dist/
 
 # Short fuzz runs over the join key-partitioning, sort/top-K, RCF4
 # dict-chunk and RLE/delta-chunk round-trips, chunk-cache key/eviction

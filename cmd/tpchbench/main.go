@@ -23,6 +23,16 @@
 //	tpchbench -htap [-writers N] [-target-ops R] [-hold-frac F] [-streams N]
 //	          [-stream-rounds R] [-stream-rcfile] [-htap-json]
 //	          [-durable DIR] [-sync-policy group|always|none] [-fault-seed S]
+//	tpchbench -dist N [-dist-fault-seed S] [-dist-procs] [-dist-recovery]
+//	          [-dist-json] [-stream-rounds R] [-queries 6,12] [-workers N]
+//
+// With -dist N the 22 queries stream through a coordinator scattering
+// over N localhost shard servers (hash-partitioned orders+lineitem,
+// each with a durable delta log); every answer is merged back exactly.
+// -dist-fault-seed injects seeded network faults (drops, truncations,
+// duplicates, resets, delays) that the retry/CRC machinery must absorb;
+// -dist-recovery kills and restarts a shard and times kill → first
+// exact answer (JSON with -dist-json, embedded in BENCH_PR10.json).
 //
 // With -durable the delta log (and, with -stream-rcfile, the converted
 // parts) live on disk under DIR; the run ends by closing the store and
@@ -39,10 +49,16 @@ import (
 	"strings"
 
 	"elephants/internal/core"
+	"elephants/internal/dist"
 	"elephants/internal/tpch"
 )
 
 func main() {
+	// A re-exec with DIST_SHARD_CONFIG set is a shard child, not a
+	// bench run: serve the shard and never parse flags.
+	if dist.MaybeShardMain() {
+		return
+	}
 	laptopSF := flag.Float64("laptop-sf", 0.002, "functional dataset scale factor")
 	sfList := flag.String("sf", "250,1000,4000,16000", "modeled scale factors (GB), comma-separated")
 	queries := flag.String("queries", "", "query IDs to run (default: all 22)")
@@ -68,6 +84,11 @@ func main() {
 	durable := flag.String("durable", "", "directory for the durable delta log and RCF5 parts; the run ends with a close + timed recovery (with -htap)")
 	syncPolicy := flag.String("sync-policy", "group", "durable log fsync policy: group, always, or none (with -htap -durable)")
 	faultSeed := flag.Int64("fault-seed", 0, "non-zero wraps the durable FS in a seeded fault injector (transient part-write failures; with -htap)")
+	distShards := flag.Int("dist", 0, "run the distributed scatter/gather harness over N shard servers")
+	distFaultSeed := flag.Int64("dist-fault-seed", 0, "non-zero arms a seeded network fault schedule on every coordinator frame (with -dist)")
+	distProcs := flag.Bool("dist-procs", false, "run shards as real OS processes re-executing this binary (with -dist)")
+	distRecovery := flag.Bool("dist-recovery", false, "kill + restart one shard after the QPS phase and time recovery (with -dist)")
+	distJSON := flag.Bool("dist-json", false, "emit the distributed result as JSON (for bench.sh)")
 	flag.Parse()
 
 	if *noTopK {
@@ -82,6 +103,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tpchbench:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *distShards > 0 {
+		runDist(core.DistConfig{
+			LaptopSF: *laptopSF, Seed: *seed,
+			Shards: *distShards, Rounds: *streamRounds,
+			Queries: qids, Workers: *workers,
+			FaultSeed: *distFaultSeed, Procs: *distProcs, Recovery: *distRecovery,
+		}, *distJSON)
+		return
 	}
 
 	if *htapRun {
@@ -130,6 +161,49 @@ func main() {
 	res.WriteFigure1(os.Stdout)
 }
 
+// runDist executes the distributed scatter/gather harness and prints
+// either a human summary or the JSON blob bench.sh embeds.
+func runDist(cfg core.DistConfig, asJSON bool) {
+	if cfg.LaptopSF <= 0.002 {
+		cfg.LaptopSF = 0.005 // the golden scale the dist tests pin
+	}
+	res, err := core.RunDist(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpchbench:", err)
+		os.Exit(1)
+	}
+	s := res.Stats
+	if asJSON {
+		fmt.Printf("{\"shards\": %d, \"procs\": %v, \"rounds\": %d, \"queries\": %d, \"elapsed_ms\": %.1f, \"qps\": %.2f",
+			res.Config.Shards, res.Config.Procs, res.Config.Rounds, res.Queries,
+			float64(res.Elapsed.Microseconds())/1000, res.QPS)
+		fmt.Printf(", \"fault_seed\": %d, \"requests\": %d, \"retries\": %d, \"failfast\": %d, \"breaker_trips\": %d, \"breaker_closes\": %d, \"partials\": %d, \"net_faults_injected\": %d",
+			res.Config.FaultSeed, s["dist_requests"], s["dist_retries"], s["dist_failfast"],
+			s["dist_breaker_trips"], s["dist_breaker_closes"], s["dist_partials"], s["net_faults_injected"])
+		if r := res.Recovery; r != nil {
+			fmt.Printf(", \"recovery\": {\"killed_shard\": %d, \"recovery_ms\": %.3f, \"retries\": %d}",
+				r.KilledShard, r.RecoveryMS, r.Retries)
+		}
+		fmt.Println("}")
+		return
+	}
+	mode := "in-process"
+	if res.Config.Procs {
+		mode = "OS-process"
+	}
+	fmt.Printf("Distributed: %d %s shard(s), %d round(s) of %d query ids\n",
+		res.Config.Shards, mode, res.Config.Rounds, res.Queries/res.Config.Rounds)
+	fmt.Printf("  %d exact answers in %v  =>  %.2f queries/sec\n", res.Queries, res.Elapsed, res.QPS)
+	fmt.Printf("  wire: %d requests, %d retries, %d fail-fast, breaker %d trip(s)/%d close(s), %d partials, %d net faults injected (seed %d)\n",
+		s["dist_requests"], s["dist_retries"], s["dist_failfast"],
+		s["dist_breaker_trips"], s["dist_breaker_closes"], s["dist_partials"],
+		s["net_faults_injected"], res.Config.FaultSeed)
+	if r := res.Recovery; r != nil {
+		fmt.Printf("  recovery: shard %d killed + restarted; first exact answer %.1f ms after the kill (%d retries)\n",
+			r.KilledShard, r.RecoveryMS, r.Retries)
+	}
+}
+
 // runHTAP executes the combined HTAP harness and prints either a human
 // summary or the JSON blob bench.sh embeds.
 func runHTAP(cfg core.HTAPConfig, asJSON bool) {
@@ -154,8 +228,8 @@ func runHTAP(cfg core.HTAPConfig, asJSON bool) {
 			f.MaxLagRecords, f.MeanLagRecords, f.FinalLagRecords, f.Samples, f.Converts, f.ConvertedRecords, f.Flushes)
 		fmt.Printf(", \"final\": {\"committed\": %d, \"converted\": %d, \"lag\": %d}",
 			res.Final.CommittedRecords, res.Final.ConvertedRecords, res.Final.LagRecords)
-		fmt.Printf(", \"robustness\": {\"frames_replayed\": %d, \"truncated_bytes\": %d, \"converter_retries\": %d, \"corrupt_chunks\": %d, \"parts_quarantined\": %d, \"duplicate_records\": %d}",
-			res.Final.FramesReplayed, res.Final.TruncatedBytes, res.Final.ConverterRetries,
+		fmt.Printf(", \"robustness\": {\"frames_replayed\": %d, \"truncated_bytes\": %d, \"converter_retries\": %d, \"converter_backoff_max_reached\": %d, \"corrupt_chunks\": %d, \"parts_quarantined\": %d, \"duplicate_records\": %d}",
+			res.Final.FramesReplayed, res.Final.TruncatedBytes, res.Final.ConverterRetries, res.Final.BackoffMaxReached,
 			res.Final.CorruptChunks, res.Final.PartsQuarantined, res.Final.DuplicateRecords)
 		if d := res.Durable; d != nil {
 			fmt.Printf(", \"durable\": {\"sync_policy\": %q, \"log_bytes\": %d, \"recovery_ms\": %.3f, \"frames_replayed\": %d, \"truncated_bytes\": %d, \"parts_recovered\": %d}",
@@ -174,10 +248,12 @@ func runHTAP(cfg core.HTAPConfig, asJSON bool) {
 		f.MaxLagRecords, f.MeanLagRecords, f.Samples, f.Converts, f.ConvertedRecords, f.Flushes)
 	fmt.Printf("  final:     %d committed, %d converted, lag %d (after quiesce + convert)\n",
 		res.Final.CommittedRecords, res.Final.ConvertedRecords, res.Final.LagRecords)
-	if res.Final.ConverterRetries+res.Final.CorruptChunks+res.Final.PartsQuarantined+res.Final.DuplicateRecords > 0 {
-		fmt.Printf("  faults:    %d converter retries, %d corrupt chunks, %d parts quarantined, %d duplicate records\n",
-			res.Final.ConverterRetries, res.Final.CorruptChunks, res.Final.PartsQuarantined, res.Final.DuplicateRecords)
-	}
+	// Robustness counters print unconditionally: "no faults" is itself
+	// the datum an operator reads off a clean run.
+	fmt.Printf("  robustness: %d frames replayed (%d B truncated), %d converter retries (%d backoff saturations), %d corrupt chunks, %d parts quarantined, %d duplicate records\n",
+		res.Final.FramesReplayed, res.Final.TruncatedBytes,
+		res.Final.ConverterRetries, res.Final.BackoffMaxReached,
+		res.Final.CorruptChunks, res.Final.PartsQuarantined, res.Final.DuplicateRecords)
 	if d := res.Durable; d != nil {
 		fmt.Printf("  durability: sync=%s log %d B; reopen replayed %d frames (%d B truncated), re-adopted %d part(s) in %.3f ms\n",
 			d.SyncPolicy, d.LogBytes, d.FramesReplayed, d.TruncatedBytes, d.PartsRecovered, d.RecoveryMS)

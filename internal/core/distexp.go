@@ -1,0 +1,219 @@
+// The distributed scatter/gather experiment: the paper's PDW-style
+// parallel cluster measured end to end — shards boot with durable
+// delta logs, the coordinator streams the query list through the
+// scatter → deadline/retry → merge path, and (optionally) one shard is
+// killed and restarted mid-run to time recovery under retries. QPS
+// here is "exact answers per second against a cluster", so a run that
+// would return wrong rows fails instead of reporting a number.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"elephants/internal/dist"
+	"elephants/internal/fault"
+	"elephants/internal/tpch"
+)
+
+// DistConfig scopes one distributed run.
+type DistConfig struct {
+	// LaptopSF is the functional dataset scale (0 = 0.005, the golden
+	// scale every dist test pins).
+	LaptopSF float64
+	Seed     int64
+	// Shards is the cluster size (0 = 2).
+	Shards int
+	// Rounds of the query list drive the QPS measurement (0 = 3).
+	Rounds  int
+	Queries []int
+	Workers int
+	// FaultSeed, when non-zero, arms a seeded network fault schedule on
+	// every data-plane frame (drops, truncations, duplicates, resets,
+	// delays); the retry/CRC machinery must still deliver exact rows.
+	FaultSeed int64
+	// Procs spawns real shard OS processes (re-executing this binary,
+	// which must call dist.MaybeShardMain early) instead of in-process
+	// shards.
+	Procs bool
+	// Recovery kills the last shard after the QPS phase, restarts it on
+	// the same port and data dir, and times kill → first exact answer.
+	Recovery bool
+}
+
+// DistResult is one distributed run's report.
+type DistResult struct {
+	Config DistConfig
+	// Queries is the number of queries answered in the QPS phase.
+	Queries int
+	Elapsed time.Duration
+	QPS     float64
+	// Stats is the coordinator's final counter snapshot (requests,
+	// retries, breaker trips, injected net faults, ...).
+	Stats map[string]int64
+	// Recovery is nil unless DistConfig.Recovery was set.
+	Recovery *DistRecovery
+}
+
+// DistRecovery times the kill → restart → replay → exact-answer cycle.
+type DistRecovery struct {
+	KilledShard int
+	// RecoveryMS spans the kill to the first successful query whose
+	// scatter includes the restarted shard (delta-log replay included).
+	RecoveryMS float64
+	// Retries is how many retry attempts the outage cost.
+	Retries int64
+}
+
+// RunDist boots a shard cluster, measures streamed query throughput
+// through the coordinator, and optionally times crash recovery.
+func RunDist(cfg DistConfig) (DistResult, error) {
+	if cfg.LaptopSF <= 0 {
+		cfg.LaptopSF = 0.005
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 3
+	}
+	qids := cfg.Queries
+	if len(qids) == 0 {
+		for _, q := range tpch.Queries {
+			qids = append(qids, q.ID)
+		}
+	}
+	gen := tpch.GenConfig{SF: cfg.LaptopSF, Seed: cfg.Seed, Random64: true}
+
+	tmp, err := os.MkdirTemp("", "distexp-")
+	if err != nil {
+		return DistResult{}, err
+	}
+	defer os.RemoveAll(tmp)
+	cfgs := make([]dist.ShardConfig, cfg.Shards)
+	for i := range cfgs {
+		cfgs[i] = dist.ShardConfig{
+			Shards: cfg.Shards, Index: i,
+			SF: gen.SF, Seed: gen.Seed, Random64: gen.Random64,
+			DataDir: filepath.Join(tmp, fmt.Sprintf("shard-%d", i)),
+			Workers: cfg.Workers,
+		}
+	}
+
+	var (
+		addrs  []string
+		cl     *dist.Cluster
+		shards []*dist.Shard
+	)
+	if cfg.Procs {
+		cl, err = dist.StartCluster(os.Args[0], cfgs)
+		if err != nil {
+			return DistResult{}, err
+		}
+		defer cl.Close()
+		addrs = cl.Addrs()
+	} else {
+		shards = make([]*dist.Shard, cfg.Shards)
+		defer func() {
+			for _, s := range shards {
+				if s != nil {
+					s.Close()
+				}
+			}
+		}()
+		for i := range cfgs {
+			s, err := dist.StartShard(cfgs[i])
+			if err != nil {
+				return DistResult{}, fmt.Errorf("shard %d: %w", i, err)
+			}
+			shards[i] = s
+			cfgs[i].Port = s.Port() // pin, so a recovery restart reuses it
+			addrs = append(addrs, s.Addr())
+		}
+	}
+
+	// The retry budget is sized for the recovery phase: a restarting
+	// shard regenerates and replays before it listens again, and the
+	// outage must fit inside one call's backoff-paced attempts.
+	opts := dist.Options{Seed: cfg.Seed, Workers: cfg.Workers, MaxAttempts: 60}
+	if cfg.FaultSeed != 0 {
+		opts.Net = fault.NetSchedule{
+			Seed: cfg.FaultSeed, DropNth: 11, TruncNth: 13,
+			DupNth: 9, ResetNth: 17, DelayNth: 7, Delay: time.Millisecond,
+		}
+		// Dropped frames stall a read until the attempt deadline; keep
+		// it tight so faulted runs measure retry cost, not idle waits.
+		opts.AttemptTimeout = 500 * time.Millisecond
+	}
+	c := dist.NewCoordinator(gen, addrs, opts)
+	defer c.Close()
+
+	start := time.Now()
+	n := 0
+	for r := 0; r < cfg.Rounds; r++ {
+		for _, id := range qids {
+			if _, err := c.RunQuery(id); err != nil {
+				return DistResult{}, fmt.Errorf("Q%d: %w", id, err)
+			}
+			n++
+		}
+	}
+	elapsed := time.Since(start)
+
+	res := DistResult{Config: cfg, Queries: n, Elapsed: elapsed}
+	if elapsed > 0 {
+		res.QPS = float64(n) / elapsed.Seconds()
+	}
+
+	if cfg.Recovery {
+		victim := cfg.Shards - 1
+		retriesBefore := c.Stats()["dist_retries"]
+		t0 := time.Now()
+		type restart struct {
+			s   *dist.Shard
+			err error
+		}
+		ch := make(chan restart, 1)
+		if cfg.Procs {
+			if err := cl.Kill(victim); err != nil {
+				return DistResult{}, err
+			}
+			go func() {
+				time.Sleep(50 * time.Millisecond)
+				ch <- restart{nil, cl.Restart(victim)}
+			}()
+		} else {
+			shards[victim].Close()
+			go func() {
+				time.Sleep(50 * time.Millisecond)
+				s, err := dist.StartShard(cfgs[victim])
+				ch <- restart{s, err}
+			}()
+		}
+		// Q12 touches both partitioned tables, so its scatter cannot
+		// complete until the victim is back and fully replayed.
+		_, qerr := c.RunQuery(12)
+		r := <-ch
+		if r.err != nil {
+			return DistResult{}, fmt.Errorf("restart shard %d: %w", victim, r.err)
+		}
+		if !cfg.Procs {
+			shards[victim] = r.s
+		}
+		if qerr != nil {
+			return DistResult{}, fmt.Errorf("recovery query: %w", qerr)
+		}
+		res.Recovery = &DistRecovery{
+			KilledShard: victim,
+			RecoveryMS:  float64(time.Since(t0).Microseconds()) / 1000,
+			Retries:     c.Stats()["dist_retries"] - retriesBefore,
+		}
+	}
+	res.Stats = c.Stats()
+	return res, nil
+}

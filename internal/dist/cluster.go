@@ -1,0 +1,209 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ShardEnv is the env var that turns any binary embedding
+// MaybeShardMain into a shard process: when set, it holds the shard's
+// JSON ShardConfig and the process serves instead of doing whatever it
+// normally does.
+const ShardEnv = "DIST_SHARD_CONFIG"
+
+// readyPrefix is the handshake line a shard process prints once it is
+// recovered, caught up, and listening.
+const readyPrefix = "DIST_SHARD_READY port="
+
+// MaybeShardMain checks ShardEnv and, when set, runs the shard server
+// until the process is killed. It returns false when the env var is
+// absent — the caller proceeds as a normal binary. Call it first thing
+// in main() (and in TestMain for test binaries that spawn clusters).
+func MaybeShardMain() bool {
+	cfgJSON := os.Getenv(ShardEnv)
+	if cfgJSON == "" {
+		return false
+	}
+	if err := ShardMain(cfgJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "dist shard: %v\n", err)
+		os.Exit(1)
+	}
+	return true
+}
+
+// ShardMain boots a shard from its JSON config, prints the ready
+// handshake, and serves until killed.
+func ShardMain(cfgJSON string) error {
+	var cfg ShardConfig
+	if err := json.Unmarshal([]byte(cfgJSON), &cfg); err != nil {
+		return fmt.Errorf("bad %s: %w", ShardEnv, err)
+	}
+	s, err := StartShard(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s%d\n", readyPrefix, s.Port())
+	os.Stdout.Sync()
+	select {} // serve until killed; the parent owns our lifetime
+}
+
+// Cluster manages a set of shard OS processes: spawn, kill, restart
+// (same port, same data dir — the crash-recovery path), and teardown.
+type Cluster struct {
+	bin  string
+	mu   sync.Mutex
+	cfgs []ShardConfig
+	cmds []*exec.Cmd
+	addr []string
+}
+
+// StartCluster spawns one process per config by re-executing bin with
+// ShardEnv set, waiting for every ready handshake. Ports reported by
+// the children are pinned into the configs so a later Restart reuses
+// them.
+func StartCluster(bin string, cfgs []ShardConfig) (*Cluster, error) {
+	cl := &Cluster{
+		bin:  bin,
+		cfgs: append([]ShardConfig(nil), cfgs...),
+		cmds: make([]*exec.Cmd, len(cfgs)),
+		addr: make([]string, len(cfgs)),
+	}
+	for i := range cl.cfgs {
+		if err := cl.spawn(i); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// spawn starts shard i and blocks until its ready line (or exit).
+// Callers hold no lock; spawn takes it around state updates only.
+func (cl *Cluster) spawn(i int) error {
+	cl.mu.Lock()
+	cfg := cl.cfgs[i]
+	cl.mu.Unlock()
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(cl.bin)
+	cmd.Env = append(os.Environ(), ShardEnv+"="+string(cfgJSON))
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	port, err := awaitReady(stdout)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("dist: shard %d failed to start: %w", i, err)
+	}
+	// Drain the rest of stdout so the child never blocks on a full pipe.
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+		}
+	}()
+	cl.mu.Lock()
+	cl.cmds[i] = cmd
+	cl.cfgs[i].Port = port // pin for restarts
+	cl.addr[i] = fmt.Sprintf("127.0.0.1:%d", port)
+	cl.mu.Unlock()
+	return nil
+}
+
+// awaitReady scans the child's stdout for the handshake, bounded by a
+// generous boot timeout (dataset generation + recovery replay).
+func awaitReady(stdout io.Reader) (int, error) {
+	type res struct {
+		port int
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, readyPrefix) {
+				var port int
+				if _, err := fmt.Sscanf(line, readyPrefix+"%d", &port); err != nil {
+					ch <- res{0, err}
+					return
+				}
+				ch <- res{port, nil}
+				return
+			}
+		}
+		ch <- res{0, fmt.Errorf("shard exited before ready: %v", sc.Err())}
+	}()
+	select {
+	case r := <-ch:
+		return r.port, r.err
+	case <-time.After(2 * time.Minute):
+		return 0, fmt.Errorf("timed out waiting for shard ready")
+	}
+}
+
+// Addrs returns the shard addresses in shard order.
+func (cl *Cluster) Addrs() []string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return append([]string(nil), cl.addr...)
+}
+
+// Kill hard-kills shard i (SIGKILL — no shutdown grace, the crash the
+// delta log exists for) and reaps it.
+func (cl *Cluster) Kill(i int) error {
+	cl.mu.Lock()
+	cmd := cl.cmds[i]
+	cl.cmds[i] = nil
+	cl.mu.Unlock()
+	if cmd == nil {
+		return fmt.Errorf("dist: shard %d not running", i)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	cmd.Wait()
+	return nil
+}
+
+// Restart re-spawns shard i with its pinned port and original data
+// dir; the child recovers its store by replaying the delta log.
+func (cl *Cluster) Restart(i int) error {
+	cl.mu.Lock()
+	running := cl.cmds[i] != nil
+	cl.mu.Unlock()
+	if running {
+		return fmt.Errorf("dist: shard %d still running", i)
+	}
+	return cl.spawn(i)
+}
+
+// Close kills every running shard.
+func (cl *Cluster) Close() {
+	cl.mu.Lock()
+	cmds := append([]*exec.Cmd(nil), cl.cmds...)
+	for i := range cl.cmds {
+		cl.cmds[i] = nil
+	}
+	cl.mu.Unlock()
+	for _, cmd := range cmds {
+		if cmd != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"elephants/internal/fault"
+	"elephants/internal/tpch"
+)
+
+// Shared fixture for the fuzz harness: two in-memory shards plus one
+// coordinator DB, built once per process. Each fuzz input only needs a
+// fresh Coordinator (its own injector seed) — regenerating the dataset
+// per input would drown the fuzzing loop in setup.
+var (
+	fuzzOnce  sync.Once
+	fuzzAddrs []string
+	fuzzDB    *tpch.DB
+	fuzzQ6    string
+	fuzzQ12   string
+	fuzzErr   error
+)
+
+func fuzzSetup() {
+	gen := goldenGen()
+	const n = 2
+	fuzzAddrs = make([]string, n)
+	for i := 0; i < n; i++ {
+		s, err := StartShard(ShardConfig{Shards: n, Index: i, SF: gen.SF, Seed: gen.Seed, Random64: gen.Random64})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		fuzzAddrs[i] = s.Addr()
+	}
+	fuzzDB = tpch.Generate(gen)
+	out, _ := tpch.RunQuery(6, fuzzDB)
+	fuzzQ6 = tpch.FormatAnswer(6, out)
+	out, _ = tpch.RunQuery(12, fuzzDB)
+	fuzzQ12 = tpch.FormatAnswer(12, out)
+}
+
+// FuzzNetFault drives the scatter/gather path under seed-derived
+// network fault schedules and enforces the robustness contract on
+// every input: a query returns either the exact single-process answer
+// or an error wrapping ErrPartial — wrong rows are an instant crash.
+func FuzzNetFault(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		fuzzOnce.Do(fuzzSetup)
+		if fuzzErr != nil {
+			t.Fatal(fuzzErr)
+		}
+		c := NewCoordinatorDB(fuzzDB, fuzzAddrs, Options{
+			AttemptTimeout: 150 * time.Millisecond,
+			MaxAttempts:    5,
+			BackoffBase:    time.Millisecond,
+			BackoffCap:     5 * time.Millisecond,
+			Seed:           seed,
+			ProbeEvery:     -1,
+			Net: fault.NetSchedule{
+				Seed:     seed,
+				DropNth:  6,
+				TruncNth: 5,
+				DupNth:   4,
+				ResetNth: 7,
+				DelayNth: 3,
+				Delay:    time.Millisecond,
+			},
+		})
+		defer c.Close()
+		for id, want := range map[int]string{6: fuzzQ6, 12: fuzzQ12} {
+			out, err := c.RunQuery(id)
+			if err != nil {
+				if !errors.Is(err, ErrPartial) {
+					t.Fatalf("seed %d Q%d: untyped failure: %v", seed, id, err)
+				}
+				continue
+			}
+			if got := tpch.FormatAnswer(id, out); got != want {
+				t.Fatalf("seed %d Q%d: wrong rows under faults:\n got: %s\nwant: %s", seed, id, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"elephants/internal/tpch"
+)
+
+// TestMain lets this test binary double as the shard executable: when
+// the cluster spawns os.Args[0] with ShardEnv set, the child serves a
+// shard instead of running the test suite.
+func TestMain(m *testing.M) {
+	if MaybeShardMain() {
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// TestDistKillRestartMidStream is the crash-matrix test the tentpole
+// demands, against real OS processes: run a query stream against two
+// durable shard processes, SIGKILL one mid-stream, restart it on the
+// same port and data dir (htap.Open replays its delta log), and
+// require every answer in the stream — including those issued during
+// the outage — byte-identical to the golden snapshot. The delta-log
+// positions after recovery must match the pre-kill ones exactly.
+func TestDistKillRestartMidStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns shard processes")
+	}
+	want := readGolden(t)
+	gen := goldenGen()
+	const n = 2
+	base := t.TempDir()
+	cfgs := make([]ShardConfig, n)
+	for i := range cfgs {
+		cfgs[i] = ShardConfig{
+			Shards: n, Index: i,
+			SF: gen.SF, Seed: gen.Seed, Random64: gen.Random64,
+			DataDir: filepath.Join(base, "shard", string(rune('0'+i))),
+			Sync:    "always",
+		}
+	}
+	cl, err := StartCluster(os.Args[0], cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Attempt timeouts are generous: the shard children inherit this
+	// binary's instrumentation (-race), so a full-table scan response
+	// can take seconds. Outage retries stay fast regardless — dialing a
+	// dead port fails immediately, so only the backoff paces them.
+	c := NewCoordinator(gen, cl.Addrs(), Options{
+		AttemptTimeout: 15 * time.Second,
+		MaxAttempts:    80,
+		BackoffBase:    10 * time.Millisecond,
+		BackoffCap:     250 * time.Millisecond,
+		ProbeEvery:     -1,
+	})
+	defer c.Close()
+
+	prePos, err := c.Health(1)
+	if err != nil {
+		t.Fatalf("pre-kill health: %v", err)
+	}
+
+	restartDone := make(chan error, 1)
+	var got strings.Builder
+	for qi, q := range tpch.Queries {
+		if qi == 3 {
+			// Mid-stream: hard-kill shard 1 and bring it back
+			// concurrently with the continuing stream. Queries issued
+			// during the outage must ride the retry loop to the exact
+			// answer once replay finishes.
+			if err := cl.Kill(1); err != nil {
+				t.Fatal(err)
+			}
+			go func() {
+				time.Sleep(200 * time.Millisecond)
+				restartDone <- cl.Restart(1)
+			}()
+		}
+		out, err := c.RunQuery(q.ID)
+		if err != nil {
+			t.Fatalf("Q%d during stream: %v (stats %v)", q.ID, err, c.Stats())
+		}
+		got.WriteString(tpch.FormatAnswer(q.ID, out))
+	}
+	if err := <-restartDone; err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	diffSnapshot(t, got.String(), want)
+
+	if c.Stats()[cRetries] == 0 {
+		t.Fatalf("stream survived a kill without retries? %v", c.Stats())
+	}
+	postPos, err := c.Health(1)
+	if err != nil {
+		t.Fatalf("post-restart health: %v", err)
+	}
+	for table, pos := range prePos {
+		if postPos[table] != pos {
+			t.Fatalf("delta-log position drift after replay: %s %d -> %d", table, pos, postPos[table])
+		}
+	}
+}
+
+// TestDistProcessOutageTyped checks the other contract leg against
+// real processes: with a tight retry budget and no restart, a query
+// over the dead shard fails with a typed ErrPartial, never rows.
+func TestDistProcessOutageTyped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns shard processes")
+	}
+	gen := goldenGen()
+	cfgs := []ShardConfig{{
+		Shards: 1, Index: 0,
+		SF: gen.SF, Seed: gen.Seed, Random64: gen.Random64,
+		DataDir: filepath.Join(t.TempDir(), "s0"),
+	}}
+	cl, err := StartCluster(os.Args[0], cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c := NewCoordinator(gen, cl.Addrs(), Options{
+		AttemptTimeout: 200 * time.Millisecond,
+		MaxAttempts:    2,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffCap:     10 * time.Millisecond,
+		ProbeEvery:     -1,
+	})
+	defer c.Close()
+	if err := cl.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.RunQuery(6)
+	if err == nil || !errors.Is(err, ErrPartial) {
+		t.Fatalf("want ErrPartial, got table=%v err=%v", out != nil, err)
+	}
+}

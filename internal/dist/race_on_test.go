@@ -1,0 +1,8 @@
+//go:build race
+
+package dist
+
+// raceEnabled lets timing-sensitive tests widen per-attempt deadlines:
+// race instrumentation slows a full-table scan response by an order of
+// magnitude, which would otherwise read as a network timeout.
+const raceEnabled = true

@@ -352,7 +352,51 @@ type Injector struct {
 	partFails    int
 	tornFiles    map[string]bool
 	poisonedSync map[string]bool
-	faults       []string
+	faults       faultLog
+}
+
+// faultEntry is one injected fault, stamped with the file it hit and a
+// per-file sequence number taken under the injector's mutex. The stamp
+// is what makes the rendered log deterministic: concurrent files race
+// for the global append order, but each file's own fault sequence is
+// fixed by the schedule, so sorting by (file, seq) yields the same log
+// on every run regardless of goroutine interleaving.
+type faultEntry struct {
+	file string
+	seq  int64
+	msg  string
+}
+
+// faultLog is the mutex-ordered fault journal shared by the FS injector
+// and the network injector. Callers must hold the owning mutex.
+type faultLog struct {
+	entries []faultEntry
+	fileSeq map[string]int64
+}
+
+func (l *faultLog) note(file, msg string) {
+	if l.fileSeq == nil {
+		l.fileSeq = make(map[string]int64)
+	}
+	l.fileSeq[file]++
+	l.entries = append(l.entries, faultEntry{file: file, seq: l.fileSeq[file], msg: msg})
+}
+
+// render returns the log sorted by (file, per-file seq) — a total order
+// independent of which goroutine's operation appended first.
+func (l *faultLog) render() []string {
+	sorted := append([]faultEntry(nil), l.entries...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].file != sorted[j].file {
+			return sorted[i].file < sorted[j].file
+		}
+		return sorted[i].seq < sorted[j].seq
+	})
+	out := make([]string, len(sorted))
+	for i, e := range sorted {
+		out[i] = e.msg
+	}
+	return out
 }
 
 // NewInjector wraps inner with the schedule.
@@ -366,14 +410,17 @@ func NewInjector(inner FS, sched Schedule) *Injector {
 	}
 }
 
-// Faults returns descriptions of the faults injected so far.
+// Faults returns descriptions of the faults injected so far, in a
+// deterministic order: entries sort by (file, per-file fault sequence),
+// not by wall-clock append order, so crash-matrix assertions comparing
+// fault logs across runs cannot flake under concurrent writers.
 func (in *Injector) Faults() []string {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return append([]string(nil), in.faults...)
+	return in.faults.render()
 }
 
-func (in *Injector) note(msg string) { in.faults = append(in.faults, msg) }
+func (in *Injector) note(file, msg string) { in.faults.note(file, msg) }
 
 // Open wraps the inner handle with the fault layer.
 func (in *Injector) Open(name string) (File, error) {
@@ -407,7 +454,7 @@ func (in *Injector) maybeFlip(name string, data []byte) []byte {
 		out := append([]byte(nil), data...)
 		bit := in.rng.Intn(len(out) * 8)
 		out[bit/8] ^= 1 << (bit % 8)
-		in.note(fmt.Sprintf("flipped bit %d of %s", bit, name))
+		in.note(name, fmt.Sprintf("flipped bit %d of %s", bit, name))
 		return out
 	}
 	return data
@@ -431,7 +478,7 @@ func (g *injFile) Append(p []byte) (int, error) {
 	part := isPartFile(g.name)
 	if part && in.partFails < in.sched.TransientPartFails {
 		in.partFails++
-		in.note(fmt.Sprintf("transient append failure on %s (%d/%d)", g.name, in.partFails, in.sched.TransientPartFails))
+		in.note(g.name, fmt.Sprintf("transient append failure on %s (%d/%d)", g.name, in.partFails, in.sched.TransientPartFails))
 		return 0, ErrTransient
 	}
 	counter, budget := &in.logBytes, in.sched.TornAppendAfter
@@ -450,7 +497,7 @@ func (g *injFile) Append(p []byte) (int, error) {
 		*counter += keep
 		in.totalBytes += keep
 		in.tornFiles[g.name] = true
-		in.note(fmt.Sprintf("torn append on %s: %d of %d bytes", g.name, keep, n))
+		in.note(g.name, fmt.Sprintf("torn append on %s: %d of %d bytes", g.name, keep, n))
 		return int(keep), ErrTorn
 	}
 	if cap := in.sched.DiskCap; cap > 0 && in.totalBytes+n > cap {
@@ -464,7 +511,7 @@ func (g *injFile) Append(p []byte) (int, error) {
 		*counter += keep
 		in.totalBytes += keep
 		in.tornFiles[g.name] = true // the disk stays full
-		in.note(fmt.Sprintf("disk full on %s: %d of %d bytes", g.name, keep, n))
+		in.note(g.name, fmt.Sprintf("disk full on %s: %d of %d bytes", g.name, keep, n))
 		return int(keep), ErrNoSpace
 	}
 	wrote, err := g.f.Append(p)
@@ -483,7 +530,7 @@ func (g *injFile) Sync() error {
 	in.syncs++
 	if at := in.sched.SyncFailAt; at > 0 && in.syncs == at {
 		in.poisonedSync[g.name] = true
-		in.note(fmt.Sprintf("fsync %d failed on %s (sticky)", at, g.name))
+		in.note(g.name, fmt.Sprintf("fsync %d failed on %s (sticky)", at, g.name))
 		in.mu.Unlock()
 		return ErrSync
 	}

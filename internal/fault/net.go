@@ -1,0 +1,162 @@
+// The network half of the failpoint layer: a deterministic, seed-driven
+// injector for the message-level faults a scatter/gather transport must
+// survive — dropped, delayed, duplicated, and truncated frames, plus
+// connection resets at the Nth frame. The injector is transport-free:
+// it only decides what should happen to frame k; the wire layer
+// (internal/dist) owns sockets and applies the decision. Decisions are
+// a pure function of (seed, frame index), so a schedule replays
+// identically no matter how concurrent requests interleave — the frame
+// index is handed out under a mutex, and the fault log uses the same
+// (stream, per-stream seq) ordering as the FS injector's.
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NetAction is the injector's decision for one frame.
+type NetAction int
+
+// The injectable network faults. NetNone delivers the frame untouched.
+const (
+	NetNone NetAction = iota
+	// NetDrop swallows the frame: the peer never sees it and the sender's
+	// read blocks until its deadline fires.
+	NetDrop
+	// NetTruncate delivers only a prefix of the frame and then resets the
+	// connection — a torn message the CRC layer must catch.
+	NetTruncate
+	// NetDuplicate delivers the frame twice back to back.
+	NetDuplicate
+	// NetReset closes the connection before the frame is sent.
+	NetReset
+	// NetDelay delivers the frame after the schedule's Delay.
+	NetDelay
+)
+
+func (a NetAction) String() string {
+	switch a {
+	case NetDrop:
+		return "drop"
+	case NetTruncate:
+		return "truncate"
+	case NetDuplicate:
+		return "duplicate"
+	case NetReset:
+		return "reset"
+	case NetDelay:
+		return "delay"
+	}
+	return "none"
+}
+
+// NetSchedule is one deterministic network fault plan. Each *Nth field
+// arms its fault for roughly one in N frames (0 disables it); the seed
+// scrambles which frame indices are hit, so two schedules with the same
+// periods but different seeds fault different frames. When several
+// faults arm for the same frame, the most disruptive wins (reset >
+// truncate > drop > duplicate > delay).
+type NetSchedule struct {
+	Seed     int64
+	DropNth  int
+	TruncNth int
+	DupNth   int
+	ResetNth int
+	DelayNth int
+	// Delay is how long NetDelay holds a frame (default 1ms).
+	Delay time.Duration
+}
+
+// Enabled reports whether the schedule injects anything at all.
+func (s NetSchedule) Enabled() bool {
+	return s.DropNth > 0 || s.TruncNth > 0 || s.DupNth > 0 || s.ResetNth > 0 || s.DelayNth > 0
+}
+
+// NetInjector hands out frame-fault decisions. Safe from any goroutine.
+type NetInjector struct {
+	sched NetSchedule
+
+	mu     sync.Mutex
+	frame  int64
+	faults faultLog
+}
+
+// NewNetInjector returns an injector for the schedule. A nil result
+// means the schedule injects nothing, which callers may use to skip the
+// wrapping entirely.
+func NewNetInjector(sched NetSchedule) *NetInjector {
+	if !sched.Enabled() {
+		return nil
+	}
+	if sched.Delay <= 0 {
+		sched.Delay = time.Millisecond
+	}
+	return &NetInjector{sched: sched}
+}
+
+// mix is a splitmix64-style scramble of (seed, frame index): cheap,
+// stateless, and fully determined by its inputs, so frame k's fate never
+// depends on which goroutine asked first.
+func mix(seed, k int64) uint64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(k)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func hits(h uint64, nth int) bool { return nth > 0 && h%uint64(nth) == 0 }
+
+// Next assigns the next frame index on the named stream (e.g.
+// "coord->shard1/send") and returns the injected action plus the delay
+// to apply when the action is NetDelay. Frame 0 is never faulted, so a
+// connection can always make some progress.
+func (n *NetInjector) Next(stream string) (NetAction, time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := n.frame
+	n.frame++
+	if k == 0 {
+		return NetNone, 0
+	}
+	h := mix(n.sched.Seed, k)
+	action := NetNone
+	switch {
+	case hits(h, n.sched.ResetNth):
+		action = NetReset
+	case hits(h>>8, n.sched.TruncNth):
+		action = NetTruncate
+	case hits(h>>16, n.sched.DropNth):
+		action = NetDrop
+	case hits(h>>24, n.sched.DupNth):
+		action = NetDuplicate
+	case hits(h>>32, n.sched.DelayNth):
+		action = NetDelay
+	}
+	if action != NetNone {
+		n.faults.note(stream, fmt.Sprintf("%s frame %d on %s", action, k, stream))
+	}
+	if action == NetDelay {
+		return action, n.sched.Delay
+	}
+	return action, 0
+}
+
+// Faults returns descriptions of the injected network faults so far, in
+// the same deterministic (stream, per-stream seq) order the FS
+// injector's log uses.
+func (n *NetInjector) Faults() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.faults.render()
+}
+
+// Count returns how many faults have been injected so far.
+func (n *NetInjector) Count() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.faults.entries)
+}

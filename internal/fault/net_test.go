@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNetInjectorDeterministic pins the replay contract: two injectors
+// with the same schedule hand out identical action sequences, because a
+// frame's fate is a pure function of (seed, frame index).
+func TestNetInjectorDeterministic(t *testing.T) {
+	sched := NetSchedule{Seed: 42, DropNth: 5, TruncNth: 7, DupNth: 3, ResetNth: 11, DelayNth: 4}
+	a, b := NewNetInjector(sched), NewNetInjector(sched)
+	faulted := 0
+	for k := 0; k < 500; k++ {
+		aAct, aDelay := a.Next("s")
+		bAct, bDelay := b.Next("s")
+		if aAct != bAct || aDelay != bDelay {
+			t.Fatalf("frame %d: injectors diverge: %v/%v vs %v/%v", k, aAct, aDelay, bAct, bDelay)
+		}
+		if aAct != NetNone {
+			faulted++
+		}
+		if aAct == NetDelay && aDelay != time.Millisecond {
+			t.Fatalf("frame %d: delay %v, want default 1ms", k, aDelay)
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("schedule with every class armed injected nothing in 500 frames")
+	}
+	if a.Count() != faulted {
+		t.Fatalf("Count() = %d, want %d", a.Count(), faulted)
+	}
+	if !reflect.DeepEqual(a.Faults(), b.Faults()) {
+		t.Fatal("identical schedules rendered different fault logs")
+	}
+	// A different seed must scramble which frames are hit.
+	c := NewNetInjector(NetSchedule{Seed: 43, DropNth: 5, TruncNth: 7, DupNth: 3, ResetNth: 11, DelayNth: 4})
+	for k := 0; k < 500; k++ {
+		c.Next("s")
+	}
+	if reflect.DeepEqual(a.Faults(), c.Faults()) {
+		t.Fatal("different seeds produced the identical 500-frame fault log")
+	}
+}
+
+// TestNetInjectorFirstFrameSafe: frame 0 must never fault, so every
+// connection can make some progress even under the harshest schedule.
+func TestNetInjectorFirstFrameSafe(t *testing.T) {
+	inj := NewNetInjector(NetSchedule{Seed: 7, DropNth: 1, TruncNth: 1, DupNth: 1, ResetNth: 1, DelayNth: 1})
+	if act, _ := inj.Next("conn"); act != NetNone {
+		t.Fatalf("frame 0 faulted: %v", act)
+	}
+	// With every class armed at Nth=1, every later frame resets (the
+	// most disruptive class wins the priority order).
+	for k := 1; k < 10; k++ {
+		if act, _ := inj.Next("conn"); act != NetReset {
+			t.Fatalf("frame %d: got %v, want reset (priority order)", k, act)
+		}
+	}
+}
+
+// TestNetInjectorDisabled: a zero schedule is disabled and yields a nil
+// injector, which the wire layer uses to skip fault wrapping entirely.
+func TestNetInjectorDisabled(t *testing.T) {
+	if (NetSchedule{}).Enabled() {
+		t.Fatal("zero schedule reports Enabled")
+	}
+	if inj := NewNetInjector(NetSchedule{Seed: 9, Delay: time.Second}); inj != nil {
+		t.Fatalf("disabled schedule built an injector: %+v", inj)
+	}
+	if !(NetSchedule{DropNth: 2}).Enabled() {
+		t.Fatal("armed schedule reports disabled")
+	}
+}
+
+// TestFaultLogConcurrentFilesDeterministic is the regression test for
+// the fault-log ordering fix: N goroutines each fault their own file
+// concurrently, and Faults() must render grouped by file in sorted
+// order with each file's entries in its own operation order — never in
+// raw wall-clock interleaving. Two snapshots must render identically.
+func TestFaultLogConcurrentFilesDeterministic(t *testing.T) {
+	const writers, per = 6, 5
+	inj := NewInjector(NewMemFS(), Schedule{Seed: 3, TransientPartFails: writers * per})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f, err := inj.Open(fmt.Sprintf("conv-%d.part", w))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < per; i++ {
+				f.Append([]byte("x")) // every part append fails transient
+			}
+		}(w)
+	}
+	wg.Wait()
+	log := inj.Faults()
+	if len(log) != writers*per {
+		t.Fatalf("logged %d faults, want %d", len(log), writers*per)
+	}
+	if !reflect.DeepEqual(log, inj.Faults()) {
+		t.Fatal("two renders of the same log differ")
+	}
+	// Grouped: each file's entries form one contiguous block, files in
+	// sorted order, and within a block the global (g/total) counters
+	// strictly increase (per-file operation order is preserved).
+	fileOf := func(msg string) string {
+		i := strings.Index(msg, " on ")
+		j := strings.Index(msg[i+4:], " ")
+		return msg[i+4 : i+4+j]
+	}
+	seen := map[string]bool{}
+	prevFile, prevG := "", 0
+	for _, msg := range log {
+		file := fileOf(msg)
+		var g, total int
+		if _, err := fmt.Sscanf(msg[strings.Index(msg, "("):], "(%d/%d)", &g, &total); err != nil {
+			t.Fatalf("unparseable fault %q: %v", msg, err)
+		}
+		if file != prevFile {
+			if seen[file] {
+				t.Fatalf("file %s split across blocks:\n%s", file, strings.Join(log, "\n"))
+			}
+			if file < prevFile {
+				t.Fatalf("files out of sorted order: %s after %s", file, prevFile)
+			}
+			seen[file] = true
+			prevFile, prevG = file, 0
+		}
+		if g <= prevG {
+			t.Fatalf("%s: per-file order broken: counter %d after %d", file, g, prevG)
+		}
+		prevG = g
+	}
+	if len(seen) != writers {
+		t.Fatalf("log covers %d files, want %d", len(seen), writers)
+	}
+}

@@ -1,0 +1,54 @@
+package htap
+
+import (
+	"testing"
+	"time"
+
+	"elephants/internal/fault"
+)
+
+// TestConverterBackoffSaturation pins the backoff bound's observability:
+// a run of transient part-write failures long enough to clamp the
+// background converter's backoff at its 64× cap must increment
+// converter_backoff_max_reached exactly once per episode — and the
+// converter must still finish the conversion once the fault clears.
+func TestConverterBackoffSaturation(t *testing.T) {
+	db := goldenDB()
+	fs := fault.NewInjector(fault.NewMemFS(), fault.Schedule{Seed: 1, TransientPartFails: 12})
+	store, err := Open(db, map[string]int{"orders": 64}, Config{
+		FS: fs, Window: -1, RCFile: true,
+		ConvertRows: 8, ConvertEvery: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	for _, r := range store.HeldRecords() {
+		if _, err := store.AppendRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	store.StartConverter()
+	deadline := time.Now().Add(30 * time.Second)
+	var st Stats
+	for {
+		st = store.StatsNow()
+		if st.BackoffMaxReached >= 1 && st.LagRecords == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("converter never saturated+recovered: %+v (faults %v)", st, fs.Faults())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	store.StopConverter()
+	if st.ConverterRetries < 6 {
+		t.Fatalf("want >= 6 retries on the way to saturation, got %d", st.ConverterRetries)
+	}
+	if st.BackoffMaxReached != 1 {
+		t.Fatalf("one failure episode must count one saturation, got %d", st.BackoffMaxReached)
+	}
+}

@@ -59,13 +59,14 @@ import (
 
 // Counter names in Stats.Counters / the store's metrics.CounterSet.
 const (
-	cFramesReplayed   = "frames_replayed"
-	cTruncatedBytes   = "truncated_bytes"
-	cConverterRetries = "converter_retries"
-	cCorruptChunks    = "corrupt_chunks"
-	cPartsQuarantined = "parts_quarantined"
-	cPartsRecovered   = "parts_recovered"
-	cDuplicateRecords = "duplicate_records"
+	cFramesReplayed    = "frames_replayed"
+	cTruncatedBytes    = "truncated_bytes"
+	cConverterRetries  = "converter_retries"
+	cBackoffMaxReached = "converter_backoff_max_reached"
+	cCorruptChunks     = "corrupt_chunks"
+	cPartsQuarantined  = "parts_quarantined"
+	cPartsRecovered    = "parts_recovered"
+	cDuplicateRecords  = "duplicate_records"
 )
 
 // Config parameterizes the store.
@@ -667,6 +668,7 @@ func (s *Store) StartConverter() {
 		rng := rand.New(rand.NewSource(1))
 		backoff := make(map[string]time.Duration) // current backoff per failing table
 		wait := make(map[string]time.Duration)    // remaining cool-down per failing table
+		saturated := make(map[string]bool)        // tables whose backoff hit the cap this episode
 		for {
 			select {
 			case <-s.convStop:
@@ -688,14 +690,22 @@ func (s *Store) StartConverter() {
 							b = s.cfg.ConvertEvery
 						}
 						b *= 2
-						if max := 64 * s.cfg.ConvertEvery; b > max {
+						if max := 64 * s.cfg.ConvertEvery; b >= max {
 							b = max
+							// The backoff is now pinned at its bound — count the
+							// saturation once per failure episode so operators can
+							// tell "retried a few times" from "stuck for a while".
+							if !saturated[name] {
+								saturated[name] = true
+								s.counters.Add(cBackoffMaxReached, 1)
+							}
 						}
 						backoff[name] = b
 						wait[name] = b + time.Duration(rng.Int63n(int64(b/2)+1))
 					} else {
 						delete(backoff, name)
 						delete(wait, name)
+						delete(saturated, name)
 					}
 				}
 			}
@@ -884,8 +894,11 @@ type Stats struct {
 	TruncatedBytes int64
 	// ConverterRetries counts conversion attempts that failed and were
 	// retried (backoff in the background converter, bounded retry in
-	// ConvertAll).
-	ConverterRetries int64
+	// ConvertAll). BackoffMaxReached counts failure episodes whose
+	// backoff saturated at the 64× ConvertEvery cap — the "converter is
+	// stuck, not just unlucky" signal.
+	ConverterRetries  int64
+	BackoffMaxReached int64
 	// CorruptChunks counts chunk CRC failures detected during scans;
 	// PartsQuarantined counts parts dropped (at scan time or during
 	// recovery reconciliation) and PartsRecovered counts part files
@@ -904,18 +917,19 @@ func (s *Store) StatsNow() Stats {
 	committed, flushes := s.log.Stats()
 	converted := s.converted.Load()
 	return Stats{
-		CommittedRecords: committed,
-		AppliedRecords:   s.applied.Load(),
-		ConvertedRecords: converted,
-		Converts:         s.converts.Load(),
-		Flushes:          flushes,
-		LagRecords:       committed - converted,
-		FramesReplayed:   s.counters.Get(cFramesReplayed),
-		TruncatedBytes:   s.counters.Get(cTruncatedBytes),
-		ConverterRetries: s.counters.Get(cConverterRetries),
-		CorruptChunks:    s.counters.Get(cCorruptChunks),
-		PartsQuarantined: s.counters.Get(cPartsQuarantined),
-		PartsRecovered:   s.counters.Get(cPartsRecovered),
-		DuplicateRecords: s.counters.Get(cDuplicateRecords),
+		CommittedRecords:  committed,
+		AppliedRecords:    s.applied.Load(),
+		ConvertedRecords:  converted,
+		Converts:          s.converts.Load(),
+		Flushes:           flushes,
+		LagRecords:        committed - converted,
+		FramesReplayed:    s.counters.Get(cFramesReplayed),
+		TruncatedBytes:    s.counters.Get(cTruncatedBytes),
+		ConverterRetries:  s.counters.Get(cConverterRetries),
+		BackoffMaxReached: s.counters.Get(cBackoffMaxReached),
+		CorruptChunks:     s.counters.Get(cCorruptChunks),
+		PartsQuarantined:  s.counters.Get(cPartsQuarantined),
+		PartsRecovered:    s.counters.Get(cPartsRecovered),
+		DuplicateRecords:  s.counters.Get(cDuplicateRecords),
 	}
 }

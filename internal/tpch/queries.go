@@ -249,6 +249,15 @@ func q3(e *relal.Exec, db *DB) *relal.Table {
 
 // q4: order priority with existing late lineitem.
 func q4(e *relal.Exec, db *DB) *relal.Table {
+	return e.Sort(q4Partial(e, db), relal.OrderSpec{Col: "o_orderpriority"})
+}
+
+// q4Partial is Q4 up to (and including) the priority-count aggregate —
+// the shard-local fragment of the distributed plan. Every scan, filter,
+// and join keys on orderkey, so running it per hash partition and
+// summing the counts reproduces the single-process aggregate exactly
+// (counts are integers; no accumulation-order sensitivity).
+func q4Partial(e *relal.Exec, db *DB) *relal.Table {
 	ot := scan(e, db, "orders",
 		[]string{"o_orderkey", "o_orderdate", "o_orderpriority"},
 		relal.StrBetween("o_orderdate", "1993-07-01", "1993-10-01"))
@@ -260,10 +269,9 @@ func q4(e *relal.Exec, db *DB) *relal.Table {
 	li := e.Filter(lt, func(i int) bool { return cdate.Get(i) < rdate.Get(i) })
 	liKeys := e.Aggregate(li, []string{"l_orderkey"}, []relal.AggSpec{{Fn: "count", Col: "*", As: "n"}})
 	sj := e.SemiJoin(ord, liKeys, "o_orderkey", "l_orderkey")
-	agg := e.Aggregate(sj, []string{"o_orderpriority"}, []relal.AggSpec{
+	return e.Aggregate(sj, []string{"o_orderpriority"}, []relal.AggSpec{
 		{Fn: "count", Col: "*", As: "order_count"},
 	})
-	return e.Sort(agg, relal.OrderSpec{Col: "o_orderpriority"})
 }
 
 // q5: local supplier volume in ASIA. Written order follows the HIVE-600
@@ -494,6 +502,15 @@ func q11(e *relal.Exec, db *DB) *relal.Table {
 
 // q12: shipping modes and order priority.
 func q12(e *relal.Exec, db *DB) *relal.Table {
+	return e.Sort(q12Partial(e, db), relal.OrderSpec{Col: "l_shipmode"})
+}
+
+// q12Partial is Q12 up to the per-shipmode sums — the shard-local
+// fragment. The lineitem–orders join is colocated under orderkey
+// hashing, and the summed columns hold only 0/1 integers, so per-shard
+// partial sums (exact in float64) add back to the global answer with no
+// rounding drift.
+func q12Partial(e *relal.Exec, db *DB) *relal.Table {
 	lt := scan(e, db, "lineitem",
 		[]string{"l_orderkey", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipmode"},
 		relal.StrBetween("l_receiptdate", "1994-01-01", "1995-01-01"))
@@ -523,11 +540,10 @@ func q12(e *relal.Exec, db *DB) *relal.Table {
 		}
 		return 1
 	})
-	agg := e.Aggregate(lo, []string{"l_shipmode"}, []relal.AggSpec{
+	return e.Aggregate(lo, []string{"l_shipmode"}, []relal.AggSpec{
 		{Fn: "sum", Col: "high_line", As: "high_line_count"},
 		{Fn: "sum", Col: "low_line", As: "low_line_count"},
 	})
-	return e.Sort(agg, relal.OrderSpec{Col: "l_shipmode"})
 }
 
 // q13: distribution of customers by order count.

@@ -41,6 +41,12 @@
 #                   (-durable), and a fault-injected run exercising the
 #                   converter's retry path (-fault-seed)
 #
+#   BENCH_PR10.json distributed scatter/gather: 22-query stream QPS
+#                   through the coordinator at shard counts {1,2,4},
+#                   the same stream under a seeded network fault
+#                   schedule, and the kill → restart → replay → first
+#                   exact answer recovery timing (-dist-recovery)
+#
 # Usage:
 #
 #   ./scripts/bench.sh [pr1-output.json]
@@ -364,3 +370,30 @@ hfault=$(go run ./cmd/tpchbench -htap -laptop-sf 0.01 -writers "$cores" \
 	echo '}'
 } > "$out9"
 echo "wrote $out9"
+
+# ---- BENCH_PR10.json: distributed scatter/gather QPS + recovery ----
+out10="BENCH_PR10.json"
+
+d1=$(go run ./cmd/tpchbench -dist 1 -stream-rounds "$rounds" -dist-json)
+d2=$(go run ./cmd/tpchbench -dist 2 -stream-rounds "$rounds" -dist-json)
+d4=$(go run ./cmd/tpchbench -dist 4 -stream-rounds "$rounds" -dist-json)
+dfault=$(go run ./cmd/tpchbench -dist 2 -stream-rounds "$rounds" \
+	-dist-fault-seed 42 -dist-json)
+drec=$(go run ./cmd/tpchbench -dist 2 -stream-rounds 1 \
+	-dist-recovery -dist-json)
+[ -n "$d1" ] && [ -n "$d2" ] && [ -n "$d4" ] && [ -n "$dfault" ] && [ -n "$drec" ] || {
+	echo "bench.sh: dist results missing" >&2; exit 1; }
+
+{
+	echo '{'
+	echo '  "benchmark": "cmd/tpchbench -dist (22-query streams scattered over localhost shard servers with durable delta logs, merged back byte-identical; network faults injected client-side on every frame; recovery = kill one shard, restart on the same port + data dir, time to the first exact answer through the retry loop)",'
+	echo "  \"gomaxprocs\": $cores,"
+	echo '  "note": "every answer is verified exact by construction (a wrong merge fails the run); qps therefore includes scatter, wire framing + CRC, RCF decode, and position-merge. The faulted run shows retries absorbing drops/truncations/duplicates/resets/delays; recovery_ms includes shard regeneration and delta-log replay via htap.Open.",'
+	echo "  \"shards_1\": $d1,"
+	echo "  \"shards_2\": $d2,"
+	echo "  \"shards_4\": $d4,"
+	echo "  \"net_faults\": $dfault,"
+	echo "  \"recovery\": $drec"
+	echo '}'
+} > "$out10"
+echo "wrote $out10"
